@@ -1,0 +1,44 @@
+"""E-aggr — ADIOS aggregation ablation: the MPI_AGGREGATE-style N:M
+transport, which serializes device access through few writers.  On a PFS
+(per-stream-limited, metadata-heavy) this wins; on node-local PMEM it
+*wastes* device parallelism — reinforcing the paper's thesis that PMEM
+rewards direct per-process access."""
+
+from conftest import emit
+
+from repro.harness import run_io_experiment
+from repro.harness.figures import render_table, write_csv
+from repro.workloads import Domain3D
+
+
+def run_matrix():
+    w = Domain3D()
+    rows = []
+    for p in (24, 48):
+        for aggr in (None, 8, 4):
+            res = run_io_experiment(
+                "ADIOS", p, w,
+                directions=("write",),
+                driver_override=("adios", {"aggregation": aggr}),
+            )
+            rows.append((
+                p, "per-process" if aggr is None else f"{aggr} aggregators",
+                f"{res[0].seconds:.2f}s",
+            ))
+    return rows
+
+
+def test_aggregation_ablation(once):
+    rows = once(run_matrix)
+    text = render_table(
+        "E-aggr: ADIOS per-process vs aggregated writes to PMEM (40 GB)",
+        ["nprocs", "transport", "write time"],
+        rows,
+    )
+    emit("aggregation", text)
+    write_csv("results/aggregation.csv",
+              ["nprocs", "transport", "seconds"], rows)
+    t = {(r[0], r[1]): float(r[2][:-1]) for r in rows}
+    # aggregation throttles PMEM's concurrency: fewer streams -> slower
+    assert t[(48, "per-process")] < t[(48, "4 aggregators")]
+    assert t[(48, "8 aggregators")] < t[(48, "4 aggregators")]

@@ -1,0 +1,62 @@
+"""E9 — collective vs independent MPI-IO (§2.1 background): why the
+contiguous-layout libraries use two-phase collective buffering.
+
+Run at scale=1 (model == functional) so per-run costs are exact: a
+column-decomposed 2-D dataset gives every rank one strided run per row.
+Independent transfers pay a kernel crossing per run; collective transfers
+pay the exchange once and write large merged stripes.
+"""
+
+from conftest import emit
+
+import numpy as np
+
+from repro.baselines import Dataspace, H5File
+from repro.cluster import Cluster
+from repro.harness.figures import render_table, write_csv
+from repro.mpi import Communicator
+from repro.units import MiB
+
+ROWS_, COLS = 1024, 768
+
+
+def job(ctx, collective):
+    comm = Communicator.world(ctx)
+    f = H5File.create(ctx, comm, f"/pmem/cio{int(collective)}")
+    ds = f.create_dataset("v", np.float64, Dataspace((ROWS_, COLS)))
+    width = COLS // comm.size
+    offs = (0, comm.rank * width)
+    dims = (ROWS_, width)
+    fs = Dataspace((ROWS_, COLS)).select_hyperslab(offs, dims)
+    ds.write(ctx, np.ones(dims), fs, collective=collective)
+    f.close()
+
+
+def run_compare():
+    rows = []
+    for p in (8, 24):
+        for collective in (True, False):
+            cl = Cluster(scale=1, pmem_capacity=64 * MiB)
+            res = cl.run(p, lambda ctx: job(ctx, collective))
+            rows.append((
+                p, "collective" if collective else "independent",
+                f"{res.makespan_s * 1e3:.2f}ms",
+            ))
+    return rows
+
+
+def test_collective_vs_independent(once):
+    rows = once(run_compare)
+    text = render_table(
+        "E9: two-phase collective vs independent strided writes "
+        f"({ROWS_}x{COLS} doubles, column-decomposed; {ROWS_} runs/rank)",
+        ["nprocs", "transfer mode", "time"],
+        rows,
+    )
+    emit("collective_io", text)
+    write_csv("results/collective_io.csv",
+              ["nprocs", "mode", "ms"], rows)
+    t = {(r[0], r[1]): float(r[2][:-2]) for r in rows}
+    # per-run kernel crossings make independent strided writes lose
+    assert t[(24, "collective")] < t[(24, "independent")]
+    assert t[(8, "collective")] < t[(8, "independent")]

@@ -1,0 +1,48 @@
+"""E2 — Figure 7: symmetric read-back of the 40 GB 3-D domain vs. process
+count.
+
+Paper claims reproduced: pMEMCPY ≈5× faster than NetCDF/pNetCDF and ≈2×
+faster than ADIOS with MAP_SYNC off; with it on, no better than ADIOS;
+PMCPY-B and NetCDF keep changing past 24 procs.
+"""
+
+from conftest import emit
+
+from repro.harness import run_sweep
+from repro.harness.experiment import series_from
+from repro.harness.figures import ascii_chart, render_table, series_to_rows, write_csv
+from repro.workloads import Domain3D
+
+
+def run_fig7():
+    workload = Domain3D()
+    results = run_sweep(workload=workload, directions=("write", "read"))
+    return series_from(results, "read"), workload
+
+
+def test_fig7_reads(once):
+    series, workload = once(run_fig7)
+    rows = series_to_rows(series)
+    text = ascii_chart(
+        f"Fig. 7: reading a {workload.model_total_bytes / 1e9:.0f} GB 3-D "
+        f"domain from PMEM (modeled seconds)",
+        series,
+    )
+    text += "\n\n" + render_table(
+        "Fig. 7 data", ["library", "nprocs", "seconds"], rows
+    )
+    emit("fig7_reads", text)
+    write_csv("results/fig7_reads.csv", ["library", "nprocs", "seconds"], rows)
+
+    a, b = series["PMCPY-A"], series["PMCPY-B"]
+    adios, netcdf = series["ADIOS"], series["NetCDF"]
+    for p in (16, 24, 32, 48):
+        assert a[p] < adios[p] < netcdf[p]
+    # ~2x vs ADIOS at 24
+    assert 1.5 <= adios[24] / a[24] <= 2.6
+    # ~5x vs NetCDF at 24 (band)
+    assert 4.0 <= netcdf[24] / a[24] <= 8.0
+    # PMCPY-B no better than ADIOS (within 15%)
+    assert b[24] >= 0.8 * adios[24]
+    # PMCPY-B keeps improving past 24
+    assert b[48] < b[24]

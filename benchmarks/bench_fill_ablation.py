@@ -1,0 +1,43 @@
+"""E-fill — the NC_NOFILL footnote (§4.1): the paper had to call
+``nc_def_var_fill(NC_NOFILL)`` "to prevent [NetCDF-4] initializing
+variables with a default value, which causes significant overhead for
+write workloads."  This ablation measures that overhead."""
+
+from conftest import emit
+
+from repro.harness import render_table, run_io_experiment
+from repro.harness.figures import write_csv
+from repro.workloads import Domain3D
+
+
+def run_ablation():
+    w = Domain3D(nvars=4)  # 4 vars keep the doubled write volume tractable
+    rows = []
+    for p in (8, 24):
+        t = {}
+        for mode in ("nofill", "fill"):
+            res = run_io_experiment(
+                "NetCDF", p, w,
+                directions=("write",),
+                driver_override=("netcdf4", {"fill_mode": mode}),
+            )
+            t[mode] = res[0].seconds
+        rows.append((
+            p, f"{t['nofill']:.2f}s", f"{t['fill']:.2f}s",
+            f"{(t['fill'] / t['nofill'] - 1) * 100:.0f}%",
+        ))
+    return rows
+
+
+def test_fill_ablation(once):
+    rows = once(run_ablation)
+    text = render_table(
+        "E-fill: NetCDF-4 default fill vs NC_NOFILL (write-only)",
+        ["nprocs", "NC_NOFILL", "NC_FILL (default)", "overhead"],
+        rows,
+    )
+    emit("fill_ablation", text)
+    write_csv("results/fill_ablation.csv",
+              ["nprocs", "nofill_s", "fill_s", "overhead_pct"], rows)
+    for r in rows:
+        assert float(r[3].rstrip("%")) > 25, "fill overhead should be large"

@@ -1,0 +1,49 @@
+"""E4 — MAP_SYNC ablation (§4.1): the crash-consistency flag's latency
+penalty across process counts, isolated on pMEMCPY (PMCPY-A vs PMCPY-B).
+
+The paper: "the choice of flags has a significant impact on performance.
+When MAP_SYNC is enabled, the performance benefit of serializing/
+deserializing directly from PMEM is completely lost."
+"""
+
+from conftest import emit
+
+from repro.harness import run_io_experiment, render_table
+from repro.harness.figures import write_csv
+from repro.workloads import Domain3D
+
+
+def run_ablation():
+    w = Domain3D()
+    rows = []
+    for p in (8, 24, 48):
+        a = {r.direction: r.seconds for r in run_io_experiment("PMCPY-A", p, w)}
+        b = {r.direction: r.seconds for r in run_io_experiment("PMCPY-B", p, w)}
+        for d in ("write", "read"):
+            rows.append((
+                p, d, f"{a[d]:.2f}s", f"{b[d]:.2f}s",
+                f"{(b[d] / a[d] - 1) * 100:.0f}%",
+            ))
+    return rows
+
+
+def test_mapsync_ablation(once):
+    rows = once(run_ablation)
+    text = render_table(
+        "E4: MAP_SYNC ablation — PMCPY-A (off) vs PMCPY-B (on)",
+        ["nprocs", "direction", "MAP_SYNC off", "MAP_SYNC on", "penalty"],
+        rows,
+    )
+    emit("mapsync_ablation", text)
+    write_csv(
+        "results/mapsync_ablation.csv",
+        ["nprocs", "direction", "off_s", "on_s", "penalty_pct"],
+        rows,
+    )
+    # the penalty exists everywhere and shrinks with rank count (the
+    # parallelized-metadata-updates effect)
+    penalties = {(r[0], r[1]): float(r[4].rstrip("%")) for r in rows}
+    for key, pen in penalties.items():
+        assert pen > 0, f"no MAP_SYNC penalty at {key}"
+    assert penalties[(48, "write")] < penalties[(8, "write")]
+    assert penalties[(48, "read")] < penalties[(8, "read")]

@@ -1,0 +1,86 @@
+"""Microbenchmarks of the PMDK substrate itself (real wall-time, where
+pytest-benchmark's statistics are meaningful): hashtable puts/gets,
+allocator malloc/free churn, transaction commit overhead."""
+
+import numpy as np
+
+from repro.mem import PMEMDevice
+from repro.pmdk import PmemHashmap, PmemPool, RawRegion, Transaction
+from repro.sim import run_spmd
+from repro.units import MiB
+
+
+def make_pool(size=16 * MiB):
+    device = PMEMDevice(size)
+    region = RawRegion(device, 0, size)
+    holder = {}
+
+    def fn(ctx):
+        holder["pool"] = PmemPool.create(ctx, region, size=size, nlanes=4)
+
+    run_spmd(1, fn)
+    return holder["pool"]
+
+
+def test_hashmap_put_get(benchmark):
+    pool = make_pool()
+    holder = {}
+
+    def setup(ctx):
+        holder["map"] = PmemHashmap.create(ctx, pool, nbuckets=64)
+
+    run_spmd(1, setup)
+    m = holder["map"]
+    keys = [f"key-{i}".encode() for i in range(200)]
+    payload = bytes(64)
+
+    def work():
+        def fn(ctx):
+            for k in keys:
+                m.put(ctx, k, payload)
+            for k in keys:
+                assert m.get(ctx, k) is not None
+
+        run_spmd(1, fn)
+
+    benchmark(work)
+
+
+def test_allocator_churn(benchmark):
+    pool = make_pool()
+
+    def work():
+        def fn(ctx):
+            live = []
+            for i in range(300):
+                live.append(pool.malloc(ctx, 64 + (i % 7) * 512))
+                if len(live) > 40:
+                    pool.free(ctx, live.pop(0))
+            for off in live:
+                pool.free(ctx, off)
+
+        run_spmd(1, fn)
+
+    benchmark(work)
+
+
+def test_transaction_commit(benchmark):
+    pool = make_pool()
+    holder = {}
+
+    def setup(ctx):
+        holder["off"] = pool.malloc(ctx, 4096)
+
+    run_spmd(1, setup)
+    off = holder["off"]
+    blob = np.random.default_rng(0).integers(0, 255, 512, dtype=np.uint8)
+
+    def work():
+        def fn(ctx):
+            for _ in range(50):
+                with Transaction(pool, ctx) as tx:
+                    tx.write(off, blob)
+
+        run_spmd(1, fn)
+
+    benchmark(work)

@@ -1,0 +1,41 @@
+"""E5 — serializer ablation (§3): pMEMCPY with BP4 (default), Cap'n-Proto-
+like, cereal-like, and raw ("serialization completely disabled"), at the
+24-proc sweet spot."""
+
+from conftest import emit
+
+from repro.harness import render_table, run_io_experiment
+from repro.harness.figures import write_csv
+from repro.workloads import Domain3D
+
+SERIALIZERS = ("bp4", "cproto", "cereal", "raw")
+
+
+def run_ablation():
+    w = Domain3D()
+    rows = []
+    for ser in SERIALIZERS:
+        res = run_io_experiment(
+            "PMCPY-A", 24, w,
+            driver_override=("pmemcpy", {"serializer": ser}),
+        )
+        secs = {r.direction: r.seconds for r in res}
+        rows.append((ser, f"{secs['write']:.2f}s", f"{secs['read']:.2f}s"))
+    return rows
+
+
+def test_serializer_ablation(once):
+    rows = once(run_ablation)
+    text = render_table(
+        "E5: serializer ablation — pMEMCPY @24 procs, 40 GB domain",
+        ["serializer", "write", "read"],
+        rows,
+    )
+    emit("serializer_ablation", text)
+    write_csv("results/serializer_ablation.csv",
+              ["serializer", "write_s", "read_s"], rows)
+    by = {r[0]: (float(r[1][:-1]), float(r[2][:-1])) for r in rows}
+    # raw (no serialization) is the fastest; bp4 (min/max characteristics)
+    # costs the most CPU
+    assert by["raw"][0] <= by["cproto"][0] <= by["bp4"][0]
+    assert by["raw"][1] <= by["bp4"][1]

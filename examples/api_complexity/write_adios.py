@@ -1,0 +1,24 @@
+"""E3: the paper's Fig. 5 — the equivalent ADIOS program.  As in the
+paper, the array's dimensions travel as separately written variables."""
+import numpy as np
+
+from repro import Cluster, Communicator
+from repro.baselines import AdiosFile
+
+
+def main(ctx):
+    comm = Communicator.world(ctx)
+    count = 100
+    offset = 100 * comm.rank
+    dimsf = 100 * comm.size
+    data = np.zeros(count)
+    handle = AdiosFile(ctx, comm, "/pmem/data.bp", "w")
+    handle.write("count", np.array([count]))
+    handle.write("dimsf", np.array([dimsf]))
+    handle.write("offset", np.array([offset]))
+    handle.write("A", data, (offset,), (dimsf,))
+    handle.close()
+
+
+if __name__ == "__main__":
+    Cluster().run(4, main)

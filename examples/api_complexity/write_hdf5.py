@@ -1,0 +1,31 @@
+"""E3: the paper's Fig. 4 — the equivalent HDF5 program."""
+import numpy as np
+
+from repro import Cluster, Communicator
+from repro.baselines import H5File, H5Pcreate, H5Screate_simple
+
+
+def main(ctx):
+    comm = Communicator.world(ctx)
+    count = 100
+    offset = 100 * comm.rank
+    dimsf = 100 * comm.size
+    data = np.zeros(count, dtype=np.int32)
+    plist = H5Pcreate("file_access")
+    plist.set_fapl_mpio(comm, None)
+    file = H5File.create(ctx, comm, "/pmem/data.h5", fapl=plist)
+    plist.close()
+    filespace = H5Screate_simple((dimsf,))
+    dset = file.create_dataset("dataset", np.int32, filespace)
+    memspace = H5Screate_simple((count,))
+    filespace = dset.get_space()
+    filespace.select_hyperslab((offset,), (count,))
+    plist = H5Pcreate("dataset_xfer")
+    dset.write(ctx, data, filespace, memspace, plist)
+    dset.close()
+    plist.close()
+    file.close()
+
+
+if __name__ == "__main__":
+    Cluster().run(4, main)

@@ -1,0 +1,21 @@
+"""E3: the paper's Fig. 3 — parallel 1-D array write with pMEMCPY."""
+import numpy as np
+
+from repro import Cluster, Communicator, PMEM
+
+
+def main(ctx):
+    comm = Communicator.world(ctx)
+    count = 100
+    off = 100 * comm.rank
+    dimsf = 100 * comm.size
+    data = np.zeros(count)
+    pmem = PMEM()
+    pmem.mmap("/pmem/data", comm)
+    pmem.alloc("A", (dimsf,))
+    pmem.store("A", data, offsets=(off,))
+    pmem.munmap()
+
+
+if __name__ == "__main__":
+    Cluster().run(4, main)

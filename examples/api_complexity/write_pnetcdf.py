@@ -1,0 +1,24 @@
+"""E3 (extra datum): the equivalent pNetCDF program — the define/data-mode
+split and dimension objects the paper calls "unnecessary complexity"."""
+import numpy as np
+
+from repro import Cluster, Communicator
+from repro.baselines import PnetcdfFile
+
+
+def main(ctx):
+    comm = Communicator.world(ctx)
+    count = 100
+    offset = 100 * comm.rank
+    dimsf = 100 * comm.size
+    data = np.zeros(count)
+    f = PnetcdfFile(ctx, comm, "/pmem/data.nc", "w")
+    dim = f.def_dim("x", dimsf)
+    f.def_var("A", np.float64, (dim,))
+    f.enddef(ctx)
+    f.put_vara_all(ctx, "A", (offset,), (count,), data)
+    f.close(ctx)
+
+
+if __name__ == "__main__":
+    Cluster().run(4, main)

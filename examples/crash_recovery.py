@@ -1,0 +1,68 @@
+"""PMDK transactions under power failure.
+
+Builds a persistent hashtable in a pool on a crash-simulating device,
+power-fails the node at a randomly chosen device store *inside* a
+transaction, re-opens the pool (running undo-log recovery), and shows that
+every key-value pair is either fully present or fully absent — never torn.
+
+Run:  python examples/crash_recovery.py
+"""
+
+import random
+
+from repro import Cluster, Communicator
+from repro.mem.device import CrashInjected
+from repro.pmdk import PmemHashmap, PmemPool
+from repro.pmemcpy.layout_hash import HashtableLayout
+from repro.units import MiB
+
+
+def build(ctx, cl, crash_after):
+    comm = Communicator.world(ctx)
+    layout = HashtableLayout()
+    layout.setup(ctx, comm, "/pmem/bank", pool_size=8 * MiB)
+    m = layout.map
+    # committed balances
+    m.put(ctx, b"alice", b"100")
+    m.put(ctx, b"bob", b"250")
+    cl.device.inject_crash_after(crash_after)
+    try:
+        # a "transfer" that dies partway through its device stores
+        m.put(ctx, b"alice", b"0")
+        m.put(ctx, b"bob", b"350")
+        m.put(ctx, b"audit", b"alice->bob:100")
+    except CrashInjected:
+        pass
+    cl.device.inject_crash_after(None)
+
+
+def inspect(ctx, cl):
+    comm = Communicator.world(ctx)
+    layout = HashtableLayout()
+    layout.setup(ctx, comm, "/pmem/bank", pool_size=8 * MiB)
+    return layout.map.items(ctx)
+
+
+def main():
+    rng = random.Random(7)
+    outcomes = {}
+    for trial in range(8):
+        crash_after = rng.randint(0, 120)
+        cl = Cluster(crash_sim=True, pmem_capacity=16 * MiB)
+        cl.run(1, lambda ctx: build(ctx, cl, crash_after))
+        cl.crash()  # power failure: unflushed cachelines are gone
+        items = cl.run(1, lambda ctx: inspect(ctx, cl)).returns[0]
+        state = dict(items)
+        # invariant: committed prefix only — balances are never torn
+        assert state.get(b"alice") in (b"100", b"0"), state
+        assert state.get(b"bob") in (b"250", b"350"), state
+        outcomes[crash_after] = {
+            k.decode(): v.decode() for k, v in sorted(state.items())
+        }
+        print(f"crash after {crash_after:3d} stores -> recovered state: "
+              f"{outcomes[crash_after]}")
+    print("\nevery recovery produced a transaction-consistent prefix ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Particle (compound-type) I/O: the §2.1 complaint made concrete.
+
+The paper notes HDF5 "compound types do not support the nesting of compound
+types or dynamically sized arrays" and that a memcpy-style interface is
+preferable.  Here each rank owns a *different number* of particles with a
+structured dtype — pMEMCPY stores each rank's slab as its own chunk with a
+one-line call, using exscan to agree on offsets.
+
+Run:  python examples/particle_checkpoint.py
+"""
+
+import numpy as np
+
+from repro import Cluster, Communicator, PMEM
+
+PARTICLE = np.dtype([
+    ("pos", "<f8", (3,)),
+    ("vel", "<f8", (3,)),
+    ("charge", "<f4"),
+    ("species", "<i4"),
+])
+
+
+def make_particles(rank: int, count: int) -> np.ndarray:
+    rng = np.random.default_rng(rank)
+    p = np.zeros(count, dtype=PARTICLE)
+    p["pos"] = rng.random((count, 3))
+    p["vel"] = rng.standard_normal((count, 3))
+    p["charge"] = np.where(rng.random(count) < 0.5, -1.0, 1.0)
+    p["species"] = rank
+    return p
+
+
+def main(ctx):
+    comm = Communicator.world(ctx)
+    # dynamically sized per rank: rank r owns 1000 + 137*r particles
+    mine = 1000 + 137 * comm.rank
+    particles = make_particles(comm.rank, mine)
+
+    # agree on the global layout with a prefix sum
+    my_off = int(comm.exscan(np.array([mine]))[0])
+    total = int(comm.allreduce(np.array([mine]))[0])
+
+    pmem = PMEM(serializer="cproto")
+    pmem.mmap("/pmem/particles", comm)
+    pmem.alloc("plasma", (total,), PARTICLE)
+    pmem.store("plasma", particles, offsets=(my_off,))
+    comm.barrier()
+
+    # any rank can read any slice — e.g. rank 0 audits the species counts
+    if comm.rank == 0:
+        everything = pmem.load("plasma")
+        counts = {
+            s: int((everything["species"] == s).sum())
+            for s in range(comm.size)
+        }
+        net_charge = float(everything["charge"].sum())
+    else:
+        counts, net_charge = None, None
+    pmem.munmap()
+    return counts, net_charge, total
+
+
+if __name__ == "__main__":
+    result = Cluster().run(4, main)
+    counts, net_charge, total = result.returns[0]
+    expected = {r: 1000 + 137 * r for r in range(4)}
+    assert counts == expected, counts
+    print(f"checkpointed {total} particles "
+          f"({', '.join(f'rank{r}:{n}' for r, n in counts.items())})")
+    print(f"net charge read back: {net_charge:+.1f}")
+    print(f"modeled I/O time: {result.makespan_s * 1e3:.3f} ms")

@@ -1,0 +1,44 @@
+"""S3D-style checkpoint/restart: the paper's §4.1 workload end to end.
+
+Writes the 10-variable 3-D domain (40 GB at model scale) with each library,
+reads it back symmetrically with verification, and prints a miniature
+Fig. 6/7 — who wins and by how much at 24 processes.
+
+Run:  python examples/s3d_checkpoint_restart.py [nprocs]
+"""
+
+import sys
+
+from repro.harness import PAPER_LIBRARIES, render_table, run_io_experiment
+from repro.workloads import Domain3D
+
+
+def main(nprocs: int = 24) -> None:
+    workload = Domain3D()  # 10 × 800³ doubles ≈ 41 GB at model scale
+    print(
+        f"workload: {workload.nvars} vars × {workload.model_dims} doubles "
+        f"= {workload.model_total_bytes / 1e9:.1f} GB (functional pass runs "
+        f"at 1/{workload.scale})"
+    )
+    results = {
+        label: run_io_experiment(label, nprocs, workload)
+        for label in PAPER_LIBRARIES
+    }
+    base = {r.direction: r.seconds for r in results["PMCPY-A"]}
+    rows = [
+        (label, r.direction, f"{r.seconds:.2f}s",
+         f"{r.seconds / base[r.direction]:.2f}x")
+        for label, rs in results.items()
+        for r in rs
+    ]
+    print(render_table(
+        f"checkpoint ({nprocs} procs): write + symmetric restart read",
+        ["library", "direction", "modeled time", "vs PMCPY-A"],
+        rows,
+    ))
+    print("\n(all reads are verified element-for-element against the "
+          "generator — a failed restart raises)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 24)

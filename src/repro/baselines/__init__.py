@@ -1,0 +1,50 @@
+"""Baseline parallel I/O libraries, functionally re-implemented.
+
+Each library reproduces the *data-path structure* that drives the paper's
+Figs. 6–7 (see DESIGN.md §2):
+
+=============  =============================================================
+library        copy path per byte written
+=============  =============================================================
+``posix``      user DRAM → kernel → PMEM (no serialization; lower bound)
+``adios``      serialize → DRAM staging → kernel POSIX write → PMEM
+``netcdf4``    convert/pack → DRAM staging → all-to-all rearrangement →
+               aggregator DRAM collective buffer → kernel write → PMEM
+``pnetcdf``    same two-phase contiguous path with a CDF-style header
+``hdf5``       the substrate under netcdf4 (dataspaces, hyperslabs,
+               datasets, property lists) — also usable directly
+=============  =============================================================
+
+All of them implement the uniform :class:`PIODriver` interface the
+benchmark harness drives, alongside their native-feeling APIs.
+"""
+
+from .base import PIODriver, get_driver, available_drivers
+from .posixio import PosixDriver
+from .adios import AdiosDriver, AdiosFile
+from .hdf5 import (H5File, H5Dataset, Dataspace, H5Driver,
+                   PropertyList, H5Pcreate, H5Screate_simple)
+from .netcdf4 import NetCDF4Driver, NetCDFFile
+from .pnetcdf import PnetcdfDriver, PnetcdfFile
+from .pmemcpy_driver import PmemcpyDriver
+
+__all__ = [
+    "PIODriver",
+    "get_driver",
+    "available_drivers",
+    "PosixDriver",
+    "AdiosDriver",
+    "AdiosFile",
+    "H5File",
+    "H5Dataset",
+    "Dataspace",
+    "H5Driver",
+    "PropertyList",
+    "H5Pcreate",
+    "H5Screate_simple",
+    "NetCDF4Driver",
+    "NetCDFFile",
+    "PnetcdfDriver",
+    "PnetcdfFile",
+    "PmemcpyDriver",
+]

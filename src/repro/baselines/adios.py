@@ -1,0 +1,242 @@
+"""ADIOS-like library: process-group BP output, no data rearrangement.
+
+The behaviors that matter for Figs. 6–7 (§2.1, §4.1):
+
+- each process writes the data it owns *in the format it was produced* —
+  no all-to-all rearrangement, no global linearization;
+- but variables are first serialized into a DRAM staging buffer and only
+  shipped to storage through POSIX ``write`` at close — one staging copy
+  plus the kernel copy path that pMEMCPY avoids;
+- reads fetch a process-group record into DRAM and deserialize from there —
+  an extra PMEM→DRAM copy before the unpack pass (the 2× read gap).
+
+File layout::
+
+    0:  magic u32 "ADB4" | index_off u64   (patched at close)
+    16: process-group regions, rank-ordered per output step
+    index: count u32, then per record:
+           name | dtype | offsets | dims (as posixio records) |
+           abs_off u64 | length u64   (of the BP4 record)
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..errors import BaselineError, FormatError
+from ..kernel.vfs import OpenFlags
+from ..serial import BP4Serializer, DramSink, DramSource
+from .base import PIODriver, register_driver
+from .posixio import _pack_record, _unpack_records, _intersects, _paste
+
+MAGIC = 0x41444234  # "ADB4"
+_DATA_START = 16
+
+
+class AdiosFile:
+    """Native-feeling ADIOS handle (adios_open/write/close).
+
+    ``aggregation=k`` enables the MPI_AGGREGATE-style transport: process
+    groups are shipped to ``k`` aggregator ranks which write fewer, larger
+    regions — the classic PFS optimization.  On per-process-friendly PMEM
+    it *reduces* device parallelism (see the aggregation ablation).
+    """
+
+    def __init__(self, ctx, comm, path: str, mode: str,
+                 aggregation: int | None = None):
+        from ..mpi.io import MPIFile
+
+        self.ctx = ctx
+        self.comm = comm
+        self.mode = mode
+        self.aggregation = aggregation
+        self.serializer = BP4Serializer()
+        self._pending: list[tuple[str, np.ndarray, tuple, tuple]] = []
+        self._index: list[dict] = []
+        self._eof = _DATA_START
+        flags = (
+            OpenFlags.CREAT | OpenFlags.RDWR | OpenFlags.TRUNC
+            if mode == "w" else OpenFlags.RDWR
+        )
+        self.file = MPIFile.open(ctx, comm, ctx.env.vfs, path, flags)
+        if mode == "r":
+            if comm.rank == 0:
+                hdr = self.file.read_at(ctx, 0, 16).tobytes()
+                magic, index_off = struct.unpack("<IxxxxQ", hdr)
+                if magic != MAGIC:
+                    raise FormatError("not an ADIOS-BP4 file")
+                size = ctx.env.vfs.fstat(ctx, self.file.fd)["size"]
+                raw = self.file.read_at(ctx, index_off, size - index_off).tobytes()
+                index = _unpack_records(raw)
+            else:
+                index = None
+            self._index = comm.bcast(index, root=0)
+
+    # ------------------------------------------------------------------ write
+
+    def write(self, name: str, array: np.ndarray, offsets=None, global_dims=None) -> None:
+        """adios_write: buffer the variable for the PG flush at close."""
+        if self.mode != "w":
+            raise BaselineError("file opened read-only")
+        array = np.asarray(array)
+        offs = tuple(offsets) if offsets is not None else tuple(0 for _ in array.shape)
+        gdims = tuple(global_dims) if global_dims is not None else tuple(array.shape)
+        self._pending.append((name, array, offs, gdims))
+
+    def _flush_pg(self, ctx) -> list[dict]:
+        """Serialize this rank's process group into DRAM and POSIX-write it."""
+        sink = DramSink(ctx)
+        positions = []
+        for name, array, offs, _gdims in self._pending:
+            start = sink.tell()
+            self.serializer.pack(ctx, name, array, sink)
+            positions.append((name, array, offs, start, sink.tell() - start))
+        pg = sink.getvalue()
+        sizes = self.comm.allgather(len(pg))
+        my_off = self._eof + sum(sizes[: self.comm.rank])
+        naggr = self.aggregation
+        if naggr and naggr < self.comm.size:
+            # N:M aggregation: contiguous rank groups ship their PGs to the
+            # group's first rank, which writes one large region
+            size = self.comm.size
+            group = self.comm.rank * naggr // size
+            leader = -(-group * size // naggr)  # first rank of the group
+            send: list = [None] * size
+            send[leader] = pg
+            incoming = self.comm.alltoall(send)
+            my_group = [
+                r for r in range(size) if r * naggr // size == group
+            ]
+            if self.comm.rank == leader:
+                blob = b"".join(incoming[r] or b"" for r in my_group)
+                base = self._eof + sum(sizes[: my_group[0]])
+                if blob:
+                    self.file.write_at(
+                        ctx, base, np.frombuffer(blob, np.uint8),
+                        model_bytes=ctx.model_bytes(len(blob)),
+                    )
+        elif pg:
+            self.file.write_at(
+                ctx, my_off,
+                np.frombuffer(pg, np.uint8),
+                model_bytes=ctx.model_bytes(len(pg)),
+            )
+        self._eof += sum(sizes)
+        return [
+            {
+                "name": name, "dtype": array.dtype,
+                "offsets": offs, "dims": tuple(array.shape),
+                "file_off": my_off + start, "nbytes": length,
+            }
+            for name, array, offs, start, length in positions
+        ]
+
+    # ------------------------------------------------------------------ inquiry
+
+    def available_variables(self) -> list[str]:
+        """Variable names present in the BP index (no data reads)."""
+        return sorted({r["name"] for r in self._index})
+
+    def inquire(self, name: str) -> list[dict]:
+        """BP's lightweight data characterization: per-block metadata
+        (offsets, dims, min/max) read from each record's *header only* —
+        no payload traffic.  This is the 'read the stats, skip the data'
+        pattern ADIOS queries use."""
+        ctx = self.ctx
+        out = []
+        for r in self._index:
+            if r["name"] != name:
+                continue
+            # a BP4 record header is well under 4 KiB
+            head = self.file.read_at(
+                ctx, r["file_off"], min(r["nbytes"], 4096),
+                model_bytes=min(r["nbytes"], 4096),
+            )
+            chars = self.serializer.read_characteristics(
+                ctx, DramSource(ctx, head)
+            )
+            out.append({
+                "offsets": tuple(r["offsets"]),
+                "dims": tuple(r["dims"]),
+                "min": chars["min"],
+                "max": chars["max"],
+            })
+        if not out:
+            raise FormatError(f"variable {name!r} not in BP index")
+        return out
+
+    # ------------------------------------------------------------------ read
+
+    def read(self, name: str, offsets, dims) -> np.ndarray:
+        ctx = self.ctx
+        recs = [
+            r for r in self._index
+            if r["name"] == name and _intersects(r, offsets, dims)
+        ]
+        if not recs:
+            raise FormatError(f"variable {name!r} block not in BP index")
+        out = np.zeros(tuple(dims), dtype=recs[0]["dtype"])
+        for r in recs:
+            raw = self.file.read_at(
+                ctx, r["file_off"], r["nbytes"],
+                model_bytes=ctx.model_bytes(r["nbytes"]),
+            )
+            _rname, arr = self.serializer.unpack(ctx, DramSource(ctx, raw))
+            arr = arr.reshape(r["dims"])
+            _paste(out, tuple(offsets), tuple(dims), arr, r["offsets"], r["dims"])
+            # §4.1: "ADIOS requires the serialized data to be copied from
+            # PMEM into DRAM and then deserialized into ANOTHER DRAM
+            # buffer" — the second buffer write is this copy
+            from ..mem.memcpy import charge_dram_copy
+
+            charge_dram_copy(ctx, ctx.model_bytes(arr.nbytes), note="stage-copy")
+        return out
+
+    # ------------------------------------------------------------------ close
+
+    def close(self) -> None:
+        ctx = self.ctx
+        if self.mode == "w":
+            records = self._flush_pg(ctx)
+            metas = self.comm.gather(records, root=0)
+            if self.comm.rank == 0:
+                all_recs = [r for sub in metas for r in sub]
+                raw = struct.pack("<I", len(all_recs)) + b"".join(
+                    _pack_record(r) for r in all_recs
+                )
+                self.file.write_at(ctx, self._eof, np.frombuffer(raw, np.uint8))
+                self.file.write_at(
+                    ctx, 0, struct.pack("<IxxxxQ", MAGIC, self._eof)
+                )
+        self.file.close(ctx)
+
+
+@register_driver
+class AdiosDriver(PIODriver):
+    name = "adios"
+
+    def __init__(self, *, aggregation: int | None = None):
+        self.handle: AdiosFile | None = None
+        self.aggregation = aggregation
+        self._gdims: dict[str, tuple] = {}
+
+    def open(self, ctx, comm, path: str, mode: str) -> None:
+        self.handle = AdiosFile(ctx, comm, path, mode,
+                                aggregation=self.aggregation)
+
+    def def_var(self, ctx, name: str, global_dims, dtype) -> None:
+        # ADIOS declares dimensions alongside the data (config XML / extra
+        # adios_write calls, Fig. 5); nothing to do up front.
+        self._gdims[name] = tuple(global_dims)
+
+    def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
+        self.handle.write(name, array, offsets, self._gdims.get(name))
+
+    def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
+        return self.handle.read(name, offsets, dims)
+
+    def close(self, ctx) -> None:
+        self.handle.close()
+        self.handle = None

@@ -1,0 +1,63 @@
+"""The uniform driver interface the experiment harness runs against."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import BaselineError
+
+
+class PIODriver(ABC):
+    """One write-or-read session against one file/store.
+
+    Lifecycle: ``open(mode) → [def_var]* → [write|read]* → close``.
+    Every method is called SPMD by all ranks of ``comm``.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def open(self, ctx, comm, path: str, mode: str) -> None:
+        """Collective open; ``mode`` is ``"w"`` or ``"r"``."""
+
+    @abstractmethod
+    def def_var(self, ctx, name: str, global_dims, dtype) -> None:
+        """Collective variable declaration (write mode)."""
+
+    @abstractmethod
+    def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
+        """Store this rank's block of ``name`` at ``offsets``."""
+
+    @abstractmethod
+    def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
+        """Load a block of ``name``."""
+
+    @abstractmethod
+    def close(self, ctx) -> None:
+        """Collective close (flushes indexes/headers)."""
+
+
+_DRIVERS: dict[str, type] = {}
+
+
+def register_driver(cls: type) -> type:
+    _DRIVERS[cls.name] = cls
+    return cls
+
+
+def get_driver(name: str, **kw) -> PIODriver:
+    """Instantiate a driver by name (``pmemcpy`` accepts the PMEM kwargs,
+    e.g. ``map_sync=True`` for the paper's PMCPY-B)."""
+    try:
+        cls = _DRIVERS[name]
+    except KeyError:
+        raise BaselineError(
+            f"unknown I/O driver {name!r}; available: {available_drivers()}"
+        ) from None
+    return cls(**kw)
+
+
+def available_drivers() -> list[str]:
+    return sorted(_DRIVERS)

@@ -1,0 +1,41 @@
+"""pMEMCPY behind the uniform driver interface, so the harness can run it
+head-to-head with the baselines.  ``map_sync=True`` gives the paper's
+PMCPY-B configuration; the serializer/layout kwargs expose E5/E6."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pmemcpy import PMEM
+from .base import PIODriver, register_driver
+
+
+@register_driver
+class PmemcpyDriver(PIODriver):
+    name = "pmemcpy"
+
+    def __init__(self, *, serializer: str = "bp4", layout: str = "hashtable",
+                 map_sync: bool = False, pool_size: int | None = None,
+                 filters: tuple | list = ()):
+        self.kw = dict(
+            serializer=serializer, layout=layout, map_sync=map_sync,
+            pool_size=pool_size, filters=filters,
+        )
+        self.pmem: PMEM | None = None
+
+    def open(self, ctx, comm, path: str, mode: str) -> None:
+        self.pmem = PMEM(**self.kw)
+        self.pmem.mmap(path, comm)
+
+    def def_var(self, ctx, name: str, global_dims, dtype) -> None:
+        self.pmem.alloc(name, tuple(global_dims), dtype)
+
+    def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
+        self.pmem.store(name, array, offsets=offsets)
+
+    def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
+        return self.pmem.load(name, offsets=offsets, dims=dims)
+
+    def close(self, ctx) -> None:
+        self.pmem.munmap()
+        self.pmem = None

@@ -1,0 +1,210 @@
+"""pNetCDF-like library: CDF-style header + contiguous variables +
+collective MPI-IO, independent of the HDF5 substrate (as the real pNetCDF
+is).  Same define/data-mode split as NetCDF-3::
+
+    f = PnetcdfFile(ctx, comm, path, "w")
+    f.def_dim("x", n); f.def_var("A", float64, ("x",))
+    f.enddef()                      # computes variable begins, writes header
+    f.put_vara_all(ctx, "A", start, count, data)
+    f.close()
+
+Variables are stored contiguously in global row-major order right after a
+fixed header block, so parallel block writes decompose into strided runs
+and take the same two-phase rearrangement path as NetCDF-4 — matching the
+paper's observation that the two perform alike (§4.1).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import numpy as np
+
+from ..errors import BaselineError, FormatError
+from ..kernel.vfs import OpenFlags
+from ..mem.memcpy import charge_cpu, charge_dram_copy
+from ..mpi.datatypes import subarray_run_starts, subarray_runs
+from ..serial.base import dtype_from_token, dtype_to_token
+from .base import PIODriver, register_driver
+
+MAGIC = b"CDFS"
+_HEADER_BLOCK = 8192
+CONVERT_BW = 2.2
+
+
+class PnetcdfFile:
+    def __init__(self, ctx, comm, path: str, mode: str):
+        from ..mpi.io import MPIFile
+
+        self.ctx = ctx
+        self.comm = comm
+        self.mode = mode
+        self.defining = mode == "w"
+        self.dims: dict[str, int] = {}
+        #: name -> (dtype, dim names, begin offset)
+        self.vars: dict[str, tuple[np.dtype, tuple[str, ...], int]] = {}
+        flags = (
+            OpenFlags.CREAT | OpenFlags.RDWR | OpenFlags.TRUNC
+            if mode == "w" else OpenFlags.RDWR
+        )
+        self.file = MPIFile.open(ctx, comm, ctx.env.vfs, path, flags)
+        if mode == "r":
+            self._read_header(ctx)
+            self.defining = False
+
+    # ------------------------------------------------------------------ define mode
+
+    def _require_define(self):
+        if not self.defining:
+            raise BaselineError("not in define mode")
+
+    def def_dim(self, name: str, size: int) -> str:
+        self._require_define()
+        self.dims[name] = int(size)
+        return name
+
+    def def_var(self, name: str, dtype, dim_names) -> str:
+        self._require_define()
+        if name in self.vars:
+            raise BaselineError(f"variable {name!r} redefined")
+        self.vars[name] = (np.dtype(dtype), tuple(dim_names), 0)
+        return name
+
+    def enddef(self, ctx) -> None:
+        """Freeze the schema: assign begins and write the header."""
+        self._require_define()
+        begin = _HEADER_BLOCK
+        for name, (dtype, dim_names, _b) in list(self.vars.items()):
+            self.vars[name] = (dtype, dim_names, begin)
+            nbytes = math.prod(self.dims[d] for d in dim_names) * dtype.itemsize
+            begin += nbytes
+        if self.comm.rank == 0:
+            self.file.write_at(ctx, 0, np.frombuffer(self._pack_header(), np.uint8))
+        self.comm.barrier()
+        self.defining = False
+
+    def _pack_header(self) -> bytes:
+        parts = [MAGIC, struct.pack("<II", len(self.dims), len(self.vars))]
+        for name, size in self.dims.items():
+            nb = name.encode()
+            parts.append(struct.pack("<H", len(nb)) + nb + struct.pack("<Q", size))
+        for name, (dtype, dim_names, begin) in self.vars.items():
+            nb = name.encode()
+            dt = dtype_to_token(dtype).encode()
+            parts.append(struct.pack("<H", len(nb)) + nb)
+            parts.append(struct.pack("<H", len(dt)) + dt)
+            parts.append(struct.pack("<H", len(dim_names)))
+            for d in dim_names:
+                db = d.encode()
+                parts.append(struct.pack("<H", len(db)) + db)
+            parts.append(struct.pack("<Q", begin))
+        raw = b"".join(parts)
+        if len(raw) > _HEADER_BLOCK:
+            raise FormatError("header exceeds reserved block")
+        return raw + bytes(_HEADER_BLOCK - len(raw))
+
+    def _read_header(self, ctx) -> None:
+        if self.comm.rank == 0:
+            raw = self.file.read_at(ctx, 0, _HEADER_BLOCK).tobytes()
+        else:
+            raw = None
+        raw = self.comm.bcast(raw, root=0)
+        if raw[:4] != MAGIC:
+            raise FormatError("not a pnetcdf-sim file")
+        ndims, nvars = struct.unpack_from("<II", raw, 4)
+        pos = 12
+        for _ in range(ndims):
+            (nlen,) = struct.unpack_from("<H", raw, pos); pos += 2
+            name = raw[pos : pos + nlen].decode(); pos += nlen
+            (size,) = struct.unpack_from("<Q", raw, pos); pos += 8
+            self.dims[name] = size
+        for _ in range(nvars):
+            (nlen,) = struct.unpack_from("<H", raw, pos); pos += 2
+            name = raw[pos : pos + nlen].decode(); pos += nlen
+            (dlen,) = struct.unpack_from("<H", raw, pos); pos += 2
+            dtype = dtype_from_token(raw[pos : pos + dlen].decode()); pos += dlen
+            (nd,) = struct.unpack_from("<H", raw, pos); pos += 2
+            dim_names = []
+            for _ in range(nd):
+                (l,) = struct.unpack_from("<H", raw, pos); pos += 2
+                dim_names.append(raw[pos : pos + l].decode()); pos += l
+            (begin,) = struct.unpack_from("<Q", raw, pos); pos += 8
+            self.vars[name] = (dtype, tuple(dim_names), begin)
+
+    # ------------------------------------------------------------------ data mode
+
+    def _var(self, name: str):
+        try:
+            dtype, dim_names, begin = self.vars[name]
+        except KeyError:
+            raise FormatError(f"no variable {name!r}") from None
+        shape = tuple(self.dims[d] for d in dim_names)
+        return dtype, shape, begin
+
+    def put_vara_all(self, ctx, name: str, start, count, data) -> None:
+        if self.defining:
+            raise BaselineError("still in define mode — call enddef()")
+        dtype, shape, begin = self._var(name)
+        data = np.ascontiguousarray(data, dtype=dtype)
+        charge_cpu(ctx, ctx.model_bytes(data.nbytes), CONVERT_BW, note="nc-pack")
+        charge_dram_copy(ctx, ctx.model_bytes(data.nbytes), note="stage-copy")
+        starts = subarray_run_starts(shape, start, count, dtype.itemsize)
+        _n, run_bytes = subarray_runs(shape, start, count, dtype.itemsize)
+        flat = data.reshape(-1).view(np.uint8)
+        extents = [
+            (begin + int(s), flat[i * run_bytes : (i + 1) * run_bytes])
+            for i, s in enumerate(starts)
+        ]
+        self.file.write_at_all(ctx, extents)
+
+    def get_vara_all(self, ctx, name: str, start, count) -> np.ndarray:
+        if self.defining:
+            raise BaselineError("still in define mode — call enddef()")
+        dtype, shape, begin = self._var(name)
+        starts = subarray_run_starts(shape, start, count, dtype.itemsize)
+        _n, run_bytes = subarray_runs(shape, start, count, dtype.itemsize)
+        reqs = [(begin + int(s), run_bytes) for s in starts]
+        runs = self.file.read_at_all(ctx, reqs)
+        flat = np.concatenate(runs) if runs else np.empty(0, np.uint8)
+        out = np.frombuffer(flat.tobytes(), dtype=dtype).reshape(tuple(count))
+        charge_cpu(ctx, ctx.model_bytes(out.nbytes), CONVERT_BW, note="nc-unpack")
+        return out
+
+    def close(self, ctx) -> None:
+        self.file.close(ctx)
+
+
+@register_driver
+class PnetcdfDriver(PIODriver):
+    name = "pnetcdf"
+
+    def __init__(self):
+        self.f: PnetcdfFile | None = None
+        self._defined = False
+
+    def open(self, ctx, comm, path: str, mode: str) -> None:
+        self.f = PnetcdfFile(ctx, comm, path, mode)
+        self._defined = mode == "r"
+
+    def def_var(self, ctx, name: str, global_dims, dtype) -> None:
+        dim_names = [
+            self.f.def_dim(f"{name}_d{i}", d)
+            for i, d in enumerate(global_dims)
+        ]
+        self.f.def_var(name, dtype, dim_names)
+
+    def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
+        if not self._defined:
+            self.f.enddef(ctx)
+            self._defined = True
+        self.f.put_vara_all(ctx, name, offsets, array.shape, array)
+
+    def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
+        return self.f.get_vara_all(ctx, name, offsets, dims)
+
+    def close(self, ctx) -> None:
+        if not self._defined and self.f.mode == "w":
+            self.f.enddef(ctx)
+        self.f.close(ctx)
+        self.f = None

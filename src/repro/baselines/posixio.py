@@ -1,0 +1,168 @@
+"""Plain POSIX baseline: raw per-rank blocks behind a tiny binary index.
+
+No serialization format, no rearrangement — each rank ``pwrite``s its block
+to a deterministic region of the shared file.  This is the floor every
+library's overhead is measured against; it still pays the kernel copy path
+that pMEMCPY's mmap avoids.
+
+File layout::
+
+    0:      index_off u64   (patched at close by rank 0)
+    8:      data blocks (per write call: rank blocks back to back)
+    index:  count u32, then per record:
+            name_len u16 | name | dtype_len u16 | dtype token |
+            ndims u16 | offsets ndims×u64 | dims ndims×u64 |
+            file_off u64 | nbytes u64
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..errors import BaselineError, FormatError
+from ..kernel.vfs import OpenFlags
+from ..serial.base import dtype_from_token, dtype_to_token
+from .base import PIODriver, register_driver
+
+_MAGIC_OFF = 0
+_DATA_START = 8
+
+
+def _pack_record(rec: dict) -> bytes:
+    name = rec["name"].encode()
+    dt = dtype_to_token(rec["dtype"]).encode()
+    nd = len(rec["offsets"])
+    return b"".join([
+        struct.pack("<H", len(name)), name,
+        struct.pack("<H", len(dt)), dt,
+        struct.pack("<H", nd),
+        struct.pack(f"<{nd}Q", *rec["offsets"]),
+        struct.pack(f"<{nd}Q", *rec["dims"]),
+        struct.pack("<QQ", rec["file_off"], rec["nbytes"]),
+    ])
+
+
+def _unpack_records(raw: bytes) -> list[dict]:
+    (count,) = struct.unpack_from("<I", raw, 0)
+    pos = 4
+    out = []
+    for _ in range(count):
+        (nlen,) = struct.unpack_from("<H", raw, pos); pos += 2
+        name = raw[pos : pos + nlen].decode(); pos += nlen
+        (dlen,) = struct.unpack_from("<H", raw, pos); pos += 2
+        dtype = dtype_from_token(raw[pos : pos + dlen].decode()); pos += dlen
+        (nd,) = struct.unpack_from("<H", raw, pos); pos += 2
+        offsets = struct.unpack_from(f"<{nd}Q", raw, pos); pos += 8 * nd
+        dims = struct.unpack_from(f"<{nd}Q", raw, pos); pos += 8 * nd
+        file_off, nbytes = struct.unpack_from("<QQ", raw, pos); pos += 16
+        out.append({
+            "name": name, "dtype": dtype, "offsets": offsets,
+            "dims": dims, "file_off": file_off, "nbytes": nbytes,
+        })
+    return out
+
+
+@register_driver
+class PosixDriver(PIODriver):
+    name = "posix"
+
+    def __init__(self):
+        self.file = None
+        self.mode = ""
+        self.comm = None
+        self._eof = _DATA_START
+        self._records: list[dict] = []  # this rank's writes
+        self._index: list[dict] = []    # read mode: all records
+        self._vars: dict[str, tuple] = {}
+
+    def open(self, ctx, comm, path: str, mode: str) -> None:
+        from ..mpi.io import MPIFile
+
+        self.comm = comm
+        self.mode = mode
+        flags = (
+            OpenFlags.CREAT | OpenFlags.RDWR | OpenFlags.TRUNC
+            if mode == "w" else OpenFlags.RDWR
+        )
+        self.file = MPIFile.open(ctx, comm, ctx.env.vfs, path, flags)
+        if mode == "r":
+            if comm.rank == 0:
+                hdr = self.file.read_at(ctx, _MAGIC_OFF, 8)
+                (index_off,) = struct.unpack("<Q", hdr.tobytes())
+                size = ctx.env.vfs.fstat(ctx, self.file.fd)["size"]
+                raw = self.file.read_at(ctx, index_off, size - index_off).tobytes()
+                index = _unpack_records(raw)
+            else:
+                index = None
+            self._index = comm.bcast(index, root=0)
+
+    def def_var(self, ctx, name: str, global_dims, dtype) -> None:
+        self._vars[name] = (tuple(global_dims), np.dtype(dtype))
+
+    def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
+        if self.mode != "w":
+            raise BaselineError("file opened read-only")
+        # deterministic region allocation: everyone learns all sizes
+        sizes = self.comm.allgather(int(array.nbytes))
+        base = self._eof
+        my_off = base + sum(sizes[: self.comm.rank])
+        self._eof = base + sum(sizes)
+        self.file.write_at(
+            ctx, my_off, array, model_bytes=ctx.model_bytes(array.nbytes)
+        )
+        self._records.append({
+            "name": name, "dtype": array.dtype,
+            "offsets": tuple(offsets), "dims": tuple(array.shape),
+            "file_off": my_off, "nbytes": int(array.nbytes),
+        })
+
+    def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
+        recs = [
+            r for r in self._index
+            if r["name"] == name and _intersects(r, offsets, dims)
+        ]
+        if not recs:
+            raise FormatError(f"variable {name!r} block not found in index")
+        dtype = recs[0]["dtype"]
+        out = np.zeros(tuple(dims), dtype=dtype)
+        for r in recs:
+            raw = self.file.read_at(
+                ctx, r["file_off"], r["nbytes"],
+                model_bytes=ctx.model_bytes(r["nbytes"]),
+            )
+            block = raw.tobytes()
+            arr = np.frombuffer(block, dtype=dtype).reshape(r["dims"])
+            _paste(out, offsets, dims, arr, r["offsets"], r["dims"])
+        return out
+
+    def close(self, ctx) -> None:
+        metas = self.comm.gather(self._records, root=0)
+        if self.comm.rank == 0 and self.mode == "w":
+            all_recs = [r for sub in metas for r in sub]
+            raw = struct.pack("<I", len(all_recs)) + b"".join(
+                _pack_record(r) for r in all_recs
+            )
+            self.file.write_at(ctx, self._eof, np.frombuffer(raw, np.uint8))
+            self.file.write_at(ctx, _MAGIC_OFF, struct.pack("<Q", self._eof))
+        self.file.close(ctx)
+
+
+def _intersects(rec: dict, offsets, dims) -> bool:
+    for ro, rd, o, d in zip(rec["offsets"], rec["dims"], offsets, dims):
+        if ro + rd <= o or o + d <= ro:
+            return False
+    return True
+
+
+def _paste(out, out_off, out_dims, block, blk_off, blk_dims) -> None:
+    """Copy the intersection of ``block`` into ``out`` (global coords)."""
+    lo = tuple(max(a, b) for a, b in zip(out_off, blk_off))
+    hi = tuple(
+        min(a + da, b + db)
+        for a, da, b, db in zip(out_off, out_dims, blk_off, blk_dims)
+    )
+    src = tuple(slice(l - b, h - b) for l, h, b in zip(lo, hi, blk_off))
+    dst = tuple(slice(l - a, h - a) for l, h, a in zip(lo, hi, out_off))
+    out[dst] = block[src]

@@ -1,0 +1,7 @@
+"""Burst-buffer drain: the paper's §3 "after serialization, a burst buffer,
+such as DataWarp, will then be triggered to asynchronously flush the
+buffered data to mass storage" path (extension E8)."""
+
+from .bb import BurstBuffer, DrainReport, drain_job
+
+__all__ = ["BurstBuffer", "DrainReport", "drain_job"]

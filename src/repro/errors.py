@@ -1,0 +1,140 @@
+"""Exception taxonomy for the reproduction stack.
+
+Each substrate raises its own subclass so callers can distinguish, e.g., a
+simulated kernel fault (``KernelError``) from a PMDK transaction abort
+(``TransactionAborted``).  Everything derives from :class:`ReproError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# -- memory / device ---------------------------------------------------------
+
+class MemoryError_(ReproError):
+    """Base for emulated-memory errors (named with underscore to avoid
+    shadowing the builtin)."""
+
+
+class OutOfSpaceError(MemoryError_):
+    """A device, pool, or filesystem ran out of capacity."""
+
+
+class BadAddressError(MemoryError_):
+    """An access fell outside a mapped region or device."""
+
+
+class TornWriteError(MemoryError_):
+    """Crash-simulation detected data read back that was never persisted."""
+
+
+# -- kernel / filesystem ------------------------------------------------------
+
+class KernelError(ReproError):
+    """Base for simulated-kernel errors; carries a POSIX-style errno name."""
+
+    errno_name = "EIO"
+
+
+class NoSuchFileError(KernelError):
+    errno_name = "ENOENT"
+
+
+class FileExistsError_(KernelError):
+    errno_name = "EEXIST"
+
+
+class IsADirectoryError_(KernelError):
+    errno_name = "EISDIR"
+
+
+class NotADirectoryError_(KernelError):
+    errno_name = "ENOTDIR"
+
+
+class BadFileDescriptorError(KernelError):
+    errno_name = "EBADF"
+
+
+class InvalidArgumentError(KernelError):
+    errno_name = "EINVAL"
+
+
+class NoSpaceError(KernelError):
+    errno_name = "ENOSPC"
+
+
+class NotEmptyError(KernelError):
+    errno_name = "ENOTEMPTY"
+
+
+# -- PMDK ---------------------------------------------------------------------
+
+class PmdkError(ReproError):
+    """Base for the emulated PMDK object store."""
+
+
+class PoolCorruptError(PmdkError):
+    """Pool superblock/layout validation failed."""
+
+
+class TransactionAborted(PmdkError):
+    """A transaction was explicitly aborted; changes were rolled back."""
+
+
+class AllocationError(PmdkError):
+    """The persistent allocator could not satisfy a request."""
+
+
+# -- MPI ----------------------------------------------------------------------
+
+class MPIError(ReproError):
+    """Base for the simulated MPI runtime."""
+
+
+class CommunicatorError(MPIError):
+    """Mismatched collective participation or invalid rank."""
+
+
+class RankFailedError(MPIError):
+    """A peer rank raised; collective operations propagate this."""
+
+    def __init__(self, rank: int, original: BaseException):
+        super().__init__(f"rank {rank} failed: {original!r}")
+        self.rank = rank
+        self.original = original
+
+
+# -- serialization / pMEMCPY ---------------------------------------------------
+
+class SerializationError(ReproError):
+    """Pack/unpack failure (format violation, short buffer, bad magic)."""
+
+
+class PmemcpyError(ReproError):
+    """Base for the pMEMCPY public API."""
+
+
+class KeyNotFoundError(PmemcpyError, KeyError):
+    """``load`` of an id that was never stored."""
+
+
+class DimensionMismatchError(PmemcpyError):
+    """Subarray offsets/dims incompatible with the allocated variable."""
+
+
+class NotMappedError(PmemcpyError):
+    """API used before ``mmap`` or after ``munmap``."""
+
+
+# -- baselines ------------------------------------------------------------------
+
+class BaselineError(ReproError):
+    """Base for the baseline PIO library emulations (HDF5/NetCDF/ADIOS...)."""
+
+
+class FormatError(BaselineError):
+    """On-device file format violation."""

@@ -1,0 +1,141 @@
+"""Experiment runner for the paper's evaluation section."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster import Cluster
+from ..config import DEFAULT_MACHINE, MachineSpec
+from ..sim.stats import summarize
+from ..units import MiB
+from ..workloads import Domain3D, read_job, write_job
+
+#: the paper's series (Figs. 6-7) -> (driver name, driver kwargs)
+PAPER_LIBRARIES: dict[str, tuple[str, dict]] = {
+    "ADIOS": ("adios", {}),
+    "NetCDF": ("netcdf4", {}),
+    "pNetCDF": ("pnetcdf", {}),
+    "PMCPY-A": ("pmemcpy", {"map_sync": False}),
+    "PMCPY-B": ("pmemcpy", {"map_sync": True}),
+}
+
+#: Fig. 6/7 x-axis
+PAPER_PROC_COUNTS = (8, 16, 24, 32, 48)
+
+
+@dataclass
+class JobResult:
+    library: str
+    nprocs: int
+    direction: str           # "write" | "read"
+    seconds: float
+    phases: dict[str, float] = field(default_factory=dict)  # seconds
+
+    def row(self) -> tuple:
+        return (self.library, self.nprocs, self.direction, round(self.seconds, 3))
+
+
+def _cluster_for(workload: Domain3D, machine: MachineSpec) -> Cluster:
+    capacity = max(64 * MiB, 8 * workload.functional_total_bytes)
+    return Cluster(machine=machine, scale=workload.scale, pmem_capacity=capacity)
+
+
+def run_io_experiment(
+    library: str,
+    nprocs: int,
+    workload: Domain3D | None = None,
+    *,
+    machine: MachineSpec = DEFAULT_MACHINE,
+    directions: tuple[str, ...] = ("write", "read"),
+    driver_override: tuple[str, dict] | None = None,
+) -> list[JobResult]:
+    """One cell of Fig. 6/7: write the 40 GB domain with ``library`` on
+    ``nprocs`` ranks, then read it back symmetrically.  Returns one
+    JobResult per direction."""
+    workload = workload or Domain3D()
+    driver_name, driver_kw = (
+        driver_override if driver_override else PAPER_LIBRARIES[library]
+    )
+    cl = _cluster_for(workload, machine)
+    path = "/pmem/eval"
+    out: list[JobResult] = []
+
+    res_w = cl.run(
+        nprocs, lambda ctx: write_job(ctx, workload, driver_name, path, driver_kw)
+    )
+    if "write" in directions:
+        timing = res_w.time()
+        out.append(JobResult(
+            library, nprocs, "write", timing.makespan_ns / 1e9,
+            {k: v / 1e9 for k, v in timing.phase_totals().items()},
+        ))
+    if "read" in directions:
+        res_r = cl.run(
+            nprocs,
+            lambda ctx: read_job(ctx, workload, driver_name, path, driver_kw),
+        )
+        timing = res_r.time()
+        out.append(JobResult(
+            library, nprocs, "read", timing.makespan_ns / 1e9,
+            {k: v / 1e9 for k, v in timing.phase_totals().items()},
+        ))
+    return out
+
+
+def run_sweep(
+    *,
+    libraries: dict[str, tuple[str, dict]] | None = None,
+    proc_counts: tuple[int, ...] = PAPER_PROC_COUNTS,
+    workload: Domain3D | None = None,
+    machine: MachineSpec = DEFAULT_MACHINE,
+    directions: tuple[str, ...] = ("write", "read"),
+) -> list[JobResult]:
+    """The full Fig. 6 + Fig. 7 sweep."""
+    libraries = libraries or PAPER_LIBRARIES
+    workload = workload or Domain3D()
+    results: list[JobResult] = []
+    for label, (driver, kw) in libraries.items():
+        for p in proc_counts:
+            results.extend(
+                run_io_experiment(
+                    label, p, workload, machine=machine,
+                    directions=directions,
+                    driver_override=(driver, kw),
+                )
+            )
+    return results
+
+
+def series_from(results: list[JobResult], direction: str) -> dict[str, dict[int, float]]:
+    """{library: {nprocs: seconds}} for one direction."""
+    out: dict[str, dict[int, float]] = {}
+    for r in results:
+        if r.direction == direction:
+            out.setdefault(r.library, {})[r.nprocs] = r.seconds
+    return out
+
+
+def breakdown_experiment(
+    nprocs: int = 24,
+    workload: Domain3D | None = None,
+    *,
+    machine: MachineSpec = DEFAULT_MACHINE,
+) -> dict[str, dict]:
+    """E7: per-phase / per-resource decomposition of each library's write
+    and read at the paper's 24-core sweet spot."""
+    workload = workload or Domain3D()
+    out: dict[str, dict] = {}
+    for label, (driver, kw) in PAPER_LIBRARIES.items():
+        cl = _cluster_for(workload, machine)
+        path = "/pmem/bd"
+        res_w = cl.run(
+            nprocs, lambda ctx: write_job(ctx, workload, driver, path, kw)
+        )
+        res_r = cl.run(
+            nprocs, lambda ctx: read_job(ctx, workload, driver, path, kw)
+        )
+        out[label] = {
+            "write": summarize(res_w.time()),
+            "read": summarize(res_r.time()),
+        }
+    return out

@@ -1,0 +1,68 @@
+"""Table/chart rendering and CSV export for experiment results."""
+
+from __future__ import annotations
+
+import csv
+import os
+
+
+def render_table(
+    title: str,
+    header: list[str],
+    rows: list[tuple],
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(header)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} =="]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    title: str,
+    series: dict[str, dict[int, float]],
+    *,
+    unit: str = "s",
+    width: int = 48,
+) -> str:
+    """Horizontal-bar rendering of {series: {x: y}} — one bar per (x,
+    series), grouped by x, like the paper's grouped bar charts."""
+    xs = sorted({x for vals in series.values() for x in vals})
+    vmax = max((v for vals in series.values() for v in vals.values()), default=1.0)
+    label_w = max(len(name) for name in series) if series else 4
+    lines = [f"== {title} =="]
+    for x in xs:
+        lines.append(f"#procs = {x}")
+        for name in series:
+            v = series[name].get(x)
+            if v is None:
+                continue
+            bar = "#" * max(1, round(width * v / vmax))
+            lines.append(f"  {name.ljust(label_w)} {bar} {v:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def write_csv(path: str, header: list[str], rows: list[tuple]) -> str:
+    """Write rows to ``path`` (directories created); returns the path."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(header)
+        w.writerows(rows)
+    return path
+
+
+def series_to_rows(series: dict[str, dict[int, float]]) -> list[tuple]:
+    rows = []
+    for name, vals in series.items():
+        for x, y in sorted(vals.items()):
+            rows.append((name, x, round(y, 4)))
+    return rows

@@ -1,0 +1,178 @@
+"""POSIX-style VFS façade: mounts, per-rank file descriptors, and the
+syscall surface the baseline I/O libraries are written against."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from enum import IntFlag
+
+import numpy as np
+
+from ..errors import (
+    BadFileDescriptorError,
+    InvalidArgumentError,
+    NoSuchFileError,
+)
+from .dax import DaxFS, DaxMapping, Inode, MapFlags
+from .syscall import syscall
+
+
+class OpenFlags(IntFlag):
+    RDONLY = 0
+    WRONLY = 1
+    RDWR = 2
+    CREAT = 64
+    EXCL = 128
+    TRUNC = 512
+
+
+@dataclass
+class OpenFile:
+    fs: DaxFS
+    inode: Inode
+    flags: OpenFlags
+    pos: int = 0
+
+
+class VFS:
+    """Mount table + fd table.  Descriptors are namespaced by rank, since
+    each rank models a separate process."""
+
+    def __init__(self):
+        self._mounts: list[tuple[str, DaxFS]] = []
+        self._fds: dict[tuple[int, int], OpenFile] = {}
+        self._next_fd: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def mount(self, prefix: str, fs: DaxFS) -> None:
+        prefix = "/" + "/".join(p for p in prefix.split("/") if p)
+        with self._lock:
+            self._mounts.append((prefix, fs))
+            # longest prefix first
+            self._mounts.sort(key=lambda m: -len(m[0]))
+
+    def resolve(self, path: str) -> tuple[DaxFS, str]:
+        if not path.startswith("/"):
+            raise InvalidArgumentError(f"path must be absolute: {path!r}")
+        for prefix, fs in self._mounts:
+            if path == prefix or path.startswith(prefix.rstrip("/") + "/") or prefix == "/":
+                rel = path[len(prefix):] if prefix != "/" else path
+                return fs, rel or "/"
+        raise NoSuchFileError(f"no filesystem mounted for {path!r}")
+
+    # ------------------------------------------------------------------ fds
+
+    def _get(self, ctx, fd: int) -> OpenFile:
+        of = self._fds.get((ctx.rank, fd))
+        if of is None:
+            raise BadFileDescriptorError(f"rank {ctx.rank} fd {fd}")
+        return of
+
+    def open(self, ctx, path: str, flags: OpenFlags = OpenFlags.RDONLY) -> int:
+        syscall(ctx, note="open")
+        fs, rel = self.resolve(path)
+        if flags & OpenFlags.CREAT:
+            inode = fs.create(ctx, rel, exist_ok=not (flags & OpenFlags.EXCL))
+        else:
+            inode = fs.lookup(rel)
+        if flags & OpenFlags.TRUNC and not inode.is_dir:
+            fs.truncate(ctx, inode, 0)
+        with self._lock:
+            fd = self._next_fd.get(ctx.rank, 3)
+            self._next_fd[ctx.rank] = fd + 1
+            self._fds[(ctx.rank, fd)] = OpenFile(fs, inode, flags)
+        return fd
+
+    def close(self, ctx, fd: int) -> None:
+        syscall(ctx, note="close")
+        self._get(ctx, fd)
+        with self._lock:
+            del self._fds[(ctx.rank, fd)]
+
+    # ------------------------------------------------------------------ data
+
+    def pwrite(self, ctx, fd: int, data, offset: int, *, model_bytes: float | None = None) -> int:
+        syscall(ctx, note="pwrite")
+        of = self._get(ctx, fd)
+        return of.fs.write_file(ctx, of.inode, offset, data, model_bytes=model_bytes)
+
+    def pread(self, ctx, fd: int, size: int, offset: int, *, model_bytes: float | None = None) -> np.ndarray:
+        syscall(ctx, note="pread")
+        of = self._get(ctx, fd)
+        return of.fs.read_file(ctx, of.inode, offset, size, model_bytes=model_bytes)
+
+    def write(self, ctx, fd: int, data, *, model_bytes: float | None = None) -> int:
+        of = self._get(ctx, fd)
+        n = self.pwrite(ctx, fd, data, of.pos, model_bytes=model_bytes)
+        of.pos += n
+        return n
+
+    def read(self, ctx, fd: int, size: int, *, model_bytes: float | None = None) -> np.ndarray:
+        of = self._get(ctx, fd)
+        out = self.pread(ctx, fd, size, of.pos, model_bytes=model_bytes)
+        of.pos += out.size
+        return out
+
+    def lseek(self, ctx, fd: int, pos: int) -> int:
+        of = self._get(ctx, fd)
+        if pos < 0:
+            raise InvalidArgumentError("negative seek")
+        of.pos = pos
+        return pos
+
+    def fsync(self, ctx, fd: int) -> None:
+        # DAX writes are already durable at write_file time (we persist the
+        # stored ranges); fsync still costs a kernel crossing + journal flush.
+        syscall(ctx, note="fsync")
+        self._get(ctx, fd)
+        ctx.delay(ctx.machine.kernel.context_switch_ns, note="fsync-journal")
+
+    def ftruncate(self, ctx, fd: int, size: int) -> None:
+        syscall(ctx, note="ftruncate")
+        of = self._get(ctx, fd)
+        of.fs.truncate(ctx, of.inode, size)
+
+    def fallocate(self, ctx, fd: int, size: int, *, contiguous: bool = False) -> None:
+        syscall(ctx, note="fallocate")
+        of = self._get(ctx, fd)
+        of.fs.fallocate(ctx, of.inode, size, contiguous=contiguous)
+
+    def fstat(self, ctx, fd: int) -> dict:
+        syscall(ctx, note="fstat")
+        of = self._get(ctx, fd)
+        return {"size": of.inode.size, "ino": of.inode.ino, "is_dir": of.inode.is_dir}
+
+    def mmap(self, ctx, fd: int, flags: MapFlags = MapFlags.SHARED) -> DaxMapping:
+        of = self._get(ctx, fd)
+        return of.fs.mmap(ctx, of.inode, flags)
+
+    # ------------------------------------------------------------------ namespace
+
+    def mkdir(self, ctx, path: str, *, parents: bool = False) -> None:
+        syscall(ctx, note="mkdir")
+        fs, rel = self.resolve(path)
+        fs.mkdir(ctx, rel, parents=parents)
+
+    def unlink(self, ctx, path: str) -> None:
+        syscall(ctx, note="unlink")
+        fs, rel = self.resolve(path)
+        fs.unlink(ctx, rel)
+
+    def listdir(self, ctx, path: str) -> list[str]:
+        syscall(ctx, note="getdents")
+        fs, rel = self.resolve(path)
+        return fs.listdir(rel)
+
+    def exists(self, path: str) -> bool:
+        try:
+            fs, rel = self.resolve(path)
+        except NoSuchFileError:
+            return False
+        return fs.exists(rel)
+
+    def stat(self, ctx, path: str) -> dict:
+        syscall(ctx, note="stat")
+        fs, rel = self.resolve(path)
+        node = fs.lookup(rel)
+        return {"size": node.size, "ino": node.ino, "is_dir": node.is_dir}

@@ -1,0 +1,136 @@
+"""The emulated PMEM device.
+
+A :class:`PMEMDevice` is a flat byte space of ``capacity`` bytes (functional
+scale).  It does *no* time accounting itself — every layer above moves bytes
+through the charged primitives in :mod:`repro.mem.memcpy` — so it stays a
+pure, easily-testable store.
+
+With ``crash_sim=True`` the device routes through :class:`ShadowPMEM` so
+that data is only durable after :meth:`persist`; ``crash()`` then drops
+un-persisted writes exactly like a power failure on real hardware.  With
+``crash_sim=False`` (the benchmark configuration) writes are immediately
+durable and reads can be served zero-copy.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..errors import BadAddressError
+from .cache import ShadowPMEM
+
+
+class CrashInjected(Exception):
+    """Raised by a device armed with :meth:`PMEMDevice.inject_crash_after`
+    when the store budget is exhausted — the test then calls ``crash()``
+    and re-opens, modeling power failure at an arbitrary store."""
+
+
+class PMEMDevice:
+    """Flat emulated persistent-memory device."""
+
+    def __init__(self, capacity: int, *, name: str = "pmem0", crash_sim: bool = False):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        # round up to a cacheline multiple so the shadow accepts it
+        capacity = -(-capacity // 64) * 64
+        self.capacity = capacity
+        self.name = name
+        self.crash_sim = crash_sim
+        self.lock = threading.RLock()
+        self._stores_until_crash: int | None = None
+        if crash_sim:
+            self._shadow: ShadowPMEM | None = ShadowPMEM(capacity)
+            self._flat: np.ndarray | None = None
+        else:
+            self._shadow = None
+            self._flat = np.zeros(capacity, dtype=np.uint8)
+
+    def inject_crash_after(self, n_stores: int | None) -> None:
+        """Arm (or with ``None`` disarm) a fault: the (n+1)-th subsequent
+        ``store`` raises :class:`CrashInjected` without writing."""
+        if n_stores is not None and not self.crash_sim:
+            raise RuntimeError("crash injection requires crash_sim=True")
+        self._stores_until_crash = n_stores
+
+    # -- raw access (functional only; charging is the caller's job) ----------
+
+    def _check(self, offset: int, size: int) -> None:
+        if offset < 0 or size < 0 or offset + size > self.capacity:
+            raise BadAddressError(
+                f"{self.name}: access [{offset}, {offset + size}) outside "
+                f"device of {self.capacity} bytes"
+            )
+
+    @staticmethod
+    def _as_bytes(data) -> np.ndarray:
+        if isinstance(data, np.ndarray):
+            arr = np.ascontiguousarray(data)
+            return arr.reshape(-1).view(np.uint8)
+        return np.frombuffer(memoryview(data).cast("B"), dtype=np.uint8)
+
+    def store(self, offset: int, data) -> int:
+        """Write bytes at ``offset``; returns the byte count written."""
+        buf = self._as_bytes(data)
+        self._check(offset, buf.size)
+        with self.lock:
+            if self._stores_until_crash is not None:
+                if self._stores_until_crash <= 0:
+                    raise CrashInjected(
+                        f"{self.name}: injected power failure at store to {offset}"
+                    )
+                self._stores_until_crash -= 1
+            if self._shadow is not None:
+                self._shadow.write(offset, buf)
+            else:
+                self._flat[offset : offset + buf.size] = buf
+        return int(buf.size)
+
+    def load(self, offset: int, size: int) -> np.ndarray:
+        """Read ``size`` bytes at ``offset`` as a fresh uint8 array."""
+        self._check(offset, size)
+        with self.lock:
+            if self._shadow is not None:
+                return self._shadow.read(offset, size)
+            return self._flat[offset : offset + size].copy()
+
+    def view(self, offset: int, size: int) -> np.ndarray:
+        """Zero-copy read-only view (what a DAX mmap load sees)."""
+        self._check(offset, size)
+        if self._shadow is not None:
+            return self._shadow.view(offset, size)
+        v = self._flat[offset : offset + size].view()
+        v.flags.writeable = False
+        return v
+
+    # -- persistence / failure -------------------------------------------------
+
+    def persist(self, offset: int, size: int) -> int:
+        """Flush the cachelines covering the range; returns dirty-line count
+        (zero when crash simulation is off — everything is already durable)."""
+        self._check(offset, size)
+        if self._shadow is None:
+            return 0
+        with self.lock:
+            return self._shadow.flush(offset, size)
+
+    def drain(self) -> int:
+        if self._shadow is None:
+            return 0
+        with self.lock:
+            return self._shadow.drain()
+
+    def crash(self) -> None:
+        """Power-fail the device (only meaningful with crash_sim=True)."""
+        if self._shadow is None:
+            raise RuntimeError("crash() requires crash_sim=True")
+        with self.lock:
+            self._shadow.crash()
+
+    # -- introspection -----------------------------------------------------------
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the full *live* image (test helper)."""
+        return self.load(0, self.capacity)

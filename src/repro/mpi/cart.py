@@ -1,0 +1,98 @@
+"""Cartesian process topology (MPI_Cart_create and friends) — the natural
+companion to the paper's 3-D domain decomposition workload."""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import CommunicatorError
+from ..workloads.decomp import coords_of, proc_grid
+from .comm import Communicator
+
+
+class CartComm:
+    """A Cartesian view over a communicator (non-periodic by default)."""
+
+    def __init__(self, comm: Communicator, dims=None, periods=None):
+        self.comm = comm
+        if dims is None:
+            dims = proc_grid(comm.size, 3)
+        self.dims = tuple(int(d) for d in dims)
+        if math.prod(self.dims) != comm.size:
+            raise CommunicatorError(
+                f"grid {self.dims} does not tile {comm.size} ranks"
+            )
+        self.periods = tuple(periods) if periods else tuple(
+            False for _ in self.dims
+        )
+        if len(self.periods) != len(self.dims):
+            raise CommunicatorError("periods rank mismatch")
+        self.coords = coords_of(comm.rank, self.dims)
+
+    # ------------------------------------------------------------------ mapping
+
+    def rank_of(self, coords) -> int:
+        """MPI_Cart_rank (honoring periodicity)."""
+        coords = list(coords)
+        for i, (c, d, p) in enumerate(zip(coords, self.dims, self.periods)):
+            if p:
+                coords[i] = c % d
+            elif not 0 <= c < d:
+                raise CommunicatorError(
+                    f"coordinate {c} outside non-periodic dim {i} of size {d}"
+                )
+        rank = 0
+        for c, d in zip(coords, self.dims):
+            rank = rank * d + c
+        return rank
+
+    def coords_of(self, rank: int):
+        """MPI_Cart_coords."""
+        return coords_of(rank, self.dims)
+
+    def shift(self, axis: int, displacement: int = 1) -> tuple[int | None, int | None]:
+        """MPI_Cart_shift: (source, dest) neighbor ranks along ``axis``;
+        None at a non-periodic boundary (MPI_PROC_NULL)."""
+        if not 0 <= axis < len(self.dims):
+            raise CommunicatorError(f"bad axis {axis}")
+
+        def neighbor(delta: int) -> int | None:
+            c = list(self.coords)
+            c[axis] += delta
+            if self.periods[axis]:
+                c[axis] %= self.dims[axis]
+            elif not 0 <= c[axis] < self.dims[axis]:
+                return None
+            return self.rank_of(c)
+
+        return neighbor(-displacement), neighbor(displacement)
+
+    # ------------------------------------------------------------------ halo helper
+
+    def sendrecv_halo(self, send_down, send_up, axis: int):
+        """Exchange boundary slabs with both neighbors along ``axis``;
+        returns (from_down, from_up) — None at open boundaries.
+
+        Deadlock-free ordering: even coordinates talk down first, odd talk
+        up first.  (This parity scheme requires even extents on *periodic*
+        axes — the classic red/black constraint.)
+        """
+        if self.periods[axis] and self.dims[axis] % 2:
+            raise CommunicatorError(
+                "sendrecv_halo needs an even extent on a periodic axis "
+                "(red/black pairing)"
+            )
+        down, up = self.shift(axis)
+        from_down = from_up = None
+        first_down = self.coords[axis] % 2 == 0
+        for phase in (0, 1):
+            talk_down = (phase == 0) == first_down
+            if talk_down:
+                if down is not None:
+                    self.comm.send(send_down, dest=down, tag=10 + axis)
+                    from_down = self.comm.recv(source=down, tag=20 + axis)
+            else:
+                if up is not None:
+                    self.comm.send(send_up, dest=up, tag=20 + axis)
+                    from_up = self.comm.recv(source=up, tag=10 + axis)
+        return from_down, from_up

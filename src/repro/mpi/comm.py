@@ -1,0 +1,337 @@
+"""Communicators and collectives.
+
+Functionally, a collective is a rendezvous on the shared board: every member
+deposits its contribution under a deterministic key (communicator identity +
+a per-rank operation counter — SPMD determinism guarantees these line up),
+waits for the set to fill, copies out what it needs, and the last reader
+cleans up.
+
+For timing, each collective records a Barrier op (members can't complete
+before the slowest arrives) followed by per-rank ``net`` transfers sized by
+what that rank sends plus what it receives — on a single node both ends of a
+shared-memory pipe pay a DRAM crossing, which is exactly the rearrangement
+cost the paper attributes to NetCDF/pNetCDF.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+
+import numpy as np
+
+from ..errors import CommunicatorError
+from ..mem.memcpy import charge_cpu, charge_net
+
+
+def obj_nbytes(obj) -> int:
+    """Approximate wire size of a collective payload."""
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(obj_nbytes(x) for x in obj) + 16 * len(obj)
+    if isinstance(obj, dict):
+        return sum(obj_nbytes(k) + obj_nbytes(v) for k, v in obj.items())
+    if isinstance(obj, str):
+        return len(obj.encode())
+    return 64  # headers, ints, small scalars
+
+
+def _received_copy(obj):
+    """Receivers get their own copy (MPI semantics, no aliasing)."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    return copy.deepcopy(obj)
+
+
+class Communicator:
+    """A set of global ranks.  ``self.rank`` is this rank's index within the
+    communicator; ``self.ranks`` maps indices to global (engine) ranks."""
+
+    def __init__(self, ctx, ranks: tuple[int, ...] | None = None, name: str = "world"):
+        self.ctx = ctx
+        self.ranks = ranks if ranks is not None else tuple(range(ctx.nprocs))
+        if ctx.rank not in self.ranks:
+            raise CommunicatorError(
+                f"rank {ctx.rank} not a member of communicator {name} {self.ranks}"
+            )
+        self.rank = self.ranks.index(ctx.rank)
+        self.size = len(self.ranks)
+        self.name = name
+        self._op_seq = 0
+
+    @classmethod
+    def world(cls, ctx) -> "Communicator":
+        return cls(ctx)
+
+    def sub(self, member_indices, name: str | None = None) -> "Communicator | None":
+        """Collective: build a sub-communicator from communicator-rank
+        indices.  Returns None on non-members."""
+        global_ranks = tuple(sorted(self.ranks[i] for i in member_indices))
+        self.barrier()
+        if self.ctx.rank not in global_ranks:
+            return None
+        return Communicator(
+            self.ctx, global_ranks, name or f"{self.name}.sub{len(global_ranks)}"
+        )
+
+    # ------------------------------------------------------------------ rendezvous
+
+    def _next_key(self, op: str):
+        self._op_seq += 1
+        return ("mpi", self.name, self.ranks, self._op_seq, op)
+
+    def _exchange(self, op: str, contribution) -> dict[int, object]:
+        """All members deposit; returns {comm_rank: contribution}."""
+        key = self._next_key(op)
+        board = self.ctx.board
+        with board.cond:
+            slot = board.data.setdefault(key, {"vals": {}, "taken": 0})
+            slot["vals"][self.rank] = contribution
+            if len(slot["vals"]) == self.size:
+                board.cond.notify_all()
+            else:
+                board.cond.wait_for(
+                    lambda: len(slot["vals"]) == self.size or board.aborted
+                )
+                if len(slot["vals"]) != self.size:
+                    raise CommunicatorError(
+                        f"collective {op} aborted: a peer rank failed"
+                    )
+            vals = slot["vals"]
+            slot["taken"] += 1
+            if slot["taken"] == self.size:
+                del board.data[key]
+            return vals
+
+    # ------------------------------------------------------------------ collectives
+
+    def barrier(self) -> None:
+        self.ctx.barrier(self.ranks)
+
+    def _log_rounds(self) -> int:
+        return max(1, math.ceil(math.log2(max(self.size, 2))))
+
+    def bcast(self, obj, root: int = 0):
+        if self.size == 1:
+            return obj
+        self.barrier()
+        vals = self._exchange("bcast", obj if self.rank == root else None)
+        payload = vals[root]
+        nbytes = self.ctx.model_bytes(obj_nbytes(payload))
+        charge_net(self.ctx, nbytes, messages=self._log_rounds(), note="bcast")
+        if self.rank == root:
+            return obj
+        return _received_copy(payload)
+
+    def scatter(self, objs, root: int = 0):
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise CommunicatorError(
+                    f"scatter root needs {self.size} items, got "
+                    f"{None if objs is None else len(objs)}"
+                )
+        if self.size == 1:
+            return objs[0]
+        self.barrier()
+        vals = self._exchange("scatter", objs if self.rank == root else None)
+        mine = vals[root][self.rank]
+        if self.rank == root:
+            total = sum(obj_nbytes(o) for o in objs)
+            charge_net(
+                self.ctx, self.ctx.model_bytes(total),
+                messages=self.size - 1, note="scatter",
+            )
+            return mine
+        charge_net(
+            self.ctx, self.ctx.model_bytes(obj_nbytes(mine)),
+            messages=1, note="scatter",
+        )
+        return _received_copy(mine)
+
+    def gather(self, obj, root: int = 0):
+        if self.size == 1:
+            return [obj]
+        self.barrier()
+        vals = self._exchange("gather", obj)
+        if self.rank == root:
+            total = sum(obj_nbytes(v) for r, v in vals.items() if r != root)
+            charge_net(
+                self.ctx, self.ctx.model_bytes(total),
+                messages=self.size - 1, note="gather",
+            )
+            return [
+                vals[r] if r == root else _received_copy(vals[r])
+                for r in range(self.size)
+            ]
+        charge_net(
+            self.ctx, self.ctx.model_bytes(obj_nbytes(obj)),
+            messages=1, note="gather",
+        )
+        return None
+
+    def allgather(self, obj) -> list:
+        if self.size == 1:
+            return [obj]
+        self.barrier()
+        vals = self._exchange("allgather", obj)
+        total = sum(obj_nbytes(v) for v in vals.values())
+        charge_net(
+            self.ctx, self.ctx.model_bytes(total),
+            messages=self._log_rounds(), note="allgather",
+        )
+        return [
+            vals[r] if r == self.rank else _received_copy(vals[r])
+            for r in range(self.size)
+        ]
+
+    def alltoall(self, send: list) -> list:
+        """``send[i]`` goes to comm rank ``i``; returns what each sent us."""
+        if len(send) != self.size:
+            raise CommunicatorError(
+                f"alltoall needs {self.size} items, got {len(send)}"
+            )
+        if self.size == 1:
+            return [send[0]]
+        self.barrier()
+        vals = self._exchange("alltoall", send)
+        out = []
+        recv_bytes = 0
+        msgs = 0
+        for r in range(self.size):
+            item = vals[r][self.rank]
+            if r == self.rank:
+                out.append(item)
+            else:
+                out.append(_received_copy(item))
+                n = obj_nbytes(item)
+                recv_bytes += n
+                if n:
+                    msgs += 1
+        sent_bytes = sum(
+            obj_nbytes(send[r]) for r in range(self.size) if r != self.rank
+        )
+        msgs += sum(
+            1 for r in range(self.size)
+            if r != self.rank and obj_nbytes(send[r])
+        )
+        charge_net(
+            self.ctx,
+            self.ctx.model_bytes(sent_bytes + recv_bytes),
+            messages=msgs,
+            note="alltoall",
+        )
+        return out
+
+    def allreduce(self, array: np.ndarray, op=np.add) -> np.ndarray:
+        if self.size == 1:
+            return np.asarray(array).copy()
+        self.barrier()
+        vals = self._exchange("allreduce", np.asarray(array))
+        result = vals[0].copy()
+        for r in range(1, self.size):
+            result = op(result, vals[r])
+        rounds = self._log_rounds()
+        nbytes = self.ctx.model_bytes(obj_nbytes(np.asarray(array)))
+        charge_net(self.ctx, nbytes * rounds, messages=rounds, note="allreduce")
+        # the elementwise combine itself (memory-bound vector op)
+        charge_cpu(self.ctx, nbytes * rounds, 5.0, note="reduce")
+        return result
+
+    def reduce(self, array: np.ndarray, root: int = 0, op=np.add) -> np.ndarray | None:
+        """Rooted reduction; non-roots get None."""
+        if self.size == 1:
+            return np.asarray(array).copy()
+        self.barrier()
+        vals = self._exchange("reduce", np.asarray(array))
+        rounds = self._log_rounds()
+        nbytes = self.ctx.model_bytes(obj_nbytes(np.asarray(array)))
+        # tree reduction: every rank forwards ~once, root combines log P times
+        charge_net(self.ctx, nbytes, messages=1, note="reduce")
+        if self.rank != root:
+            return None
+        charge_net(self.ctx, nbytes * (rounds - 1), messages=rounds - 1,
+                   note="reduce")
+        charge_cpu(self.ctx, nbytes * rounds, 5.0, note="reduce")
+        result = vals[0].copy()
+        for r in range(1, self.size):
+            result = op(result, vals[r])
+        return result
+
+    def scan(self, array: np.ndarray, op=np.add, *, exclusive: bool = False) -> np.ndarray:
+        """Inclusive prefix reduction (MPI_Scan); ``exclusive=True`` gives
+        MPI_Exscan (rank 0 receives zeros)."""
+        arr = np.asarray(array)
+        if self.size == 1:
+            return np.zeros_like(arr) if exclusive else arr.copy()
+        self.barrier()
+        vals = self._exchange("scan", arr)
+        rounds = self._log_rounds()
+        nbytes = self.ctx.model_bytes(obj_nbytes(arr))
+        charge_net(self.ctx, nbytes * rounds, messages=rounds, note="scan")
+        charge_cpu(self.ctx, nbytes * rounds, 5.0, note="reduce")
+        upto = self.rank if exclusive else self.rank + 1
+        if upto == 0:
+            return np.zeros_like(arr)
+        result = vals[0].copy()
+        for r in range(1, upto):
+            result = op(result, vals[r])
+        return result
+
+    def exscan(self, array: np.ndarray, op=np.add) -> np.ndarray:
+        return self.scan(array, op, exclusive=True)
+
+    def gatherv(self, obj, root: int = 0) -> list | None:
+        """Variable-size gather (sizes need not match across ranks — the
+        charging already sizes per contribution)."""
+        return self.gather(obj, root)
+
+    def scatterv(self, objs, root: int = 0):
+        """Variable-size scatter."""
+        return self.scatter(objs, root)
+
+    # ------------------------------------------------------------------ point-to-point
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        """Rendezvous send (models MPI_Send's synchronization as a 2-party
+        barrier — documented over-synchronization)."""
+        self._p2p(dest, tag, obj, sending=True)
+
+    def recv(self, source: int, tag: int = 0):
+        return self._p2p(source, tag, None, sending=False)
+
+    def _p2p(self, peer: int, tag: int, obj, *, sending: bool):
+        if peer == self.rank or not (0 <= peer < self.size):
+            raise CommunicatorError(f"bad peer {peer}")
+        pair = tuple(sorted((self.ranks[self.rank], self.ranks[peer])))
+        self.ctx.barrier(pair)
+        board = self.ctx.board
+        lo = self.rank < peer
+        key = ("p2p", self.name, pair, tag, "lo2hi" if (sending == lo) else "hi2lo")
+        if sending:
+            with board.cond:
+                q = board.data.setdefault(key, [])
+                q.append(obj)
+                board.cond.notify_all()
+            charge_net(
+                self.ctx, self.ctx.model_bytes(obj_nbytes(obj)),
+                messages=1, note="send",
+            )
+            return None
+        with board.cond:
+            board.cond.wait_for(lambda: board.data.get(key) or board.aborted)
+            if not board.data.get(key):
+                raise CommunicatorError("recv aborted: peer rank failed")
+            q = board.data[key]
+            obj = q.pop(0)
+            if not q:
+                del board.data[key]
+        charge_net(
+            self.ctx, self.ctx.model_bytes(obj_nbytes(obj)),
+            messages=1, note="recv",
+        )
+        return _received_copy(obj)

@@ -1,0 +1,100 @@
+"""Subarray ↔ linear-file layout math (MPI_Type_create_subarray's job).
+
+A *block* subarray of a row-major global array flattens to a set of equal
+contiguous runs.  ``subarray_runs`` gives the (count, bytes-per-run) summary
+— what the charging model needs at paper scale without materializing
+millions of extents — and ``subarray_run_starts`` gives the actual start
+offsets for functional data movement at the scaled-down size.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import DimensionMismatchError
+
+
+def _validate(global_dims, offsets, local_dims) -> None:
+    if not (len(global_dims) == len(offsets) == len(local_dims)):
+        raise DimensionMismatchError(
+            f"rank mismatch: {global_dims} / {offsets} / {local_dims}"
+        )
+    for g, o, l in zip(global_dims, offsets, local_dims):
+        if l < 0 or o < 0 or o + l > g:
+            raise DimensionMismatchError(
+                f"subarray (offset {offsets}, dims {local_dims}) exceeds "
+                f"global {global_dims}"
+            )
+
+
+def _contig_depth(global_dims, offsets, local_dims) -> int:
+    """Index ``i`` of the outermost dimension folded into one run: dims
+    ``i..ndim-1`` contribute contiguous bytes (trailing dims fully spanned,
+    plus the first partial one)."""
+    i = len(global_dims) - 1
+    while i > 0 and local_dims[i] == global_dims[i] and offsets[i] == 0:
+        i -= 1
+    return i
+
+
+def subarray_runs(
+    global_dims, offsets, local_dims, itemsize: int
+) -> tuple[int, int]:
+    """(number of contiguous runs, bytes per run) for the block subarray."""
+    _validate(global_dims, offsets, local_dims)
+    if 0 in local_dims:
+        return 0, 0
+    i = _contig_depth(global_dims, offsets, local_dims)
+    run_elems = math.prod(local_dims[i:])
+    nruns = math.prod(local_dims[:i]) if i > 0 else 1
+    return nruns, run_elems * itemsize
+
+
+def subarray_run_starts(global_dims, offsets, local_dims, itemsize: int) -> np.ndarray:
+    """Byte offsets (into the linearized global array) of each run, in the
+    order the subarray's elements appear in C order.  Length equals the run
+    count from :func:`subarray_runs`."""
+    _validate(global_dims, offsets, local_dims)
+    if 0 in local_dims:
+        return np.empty(0, dtype=np.int64)
+    ndim = len(global_dims)
+    i = _contig_depth(global_dims, offsets, local_dims)
+    strides = np.ones(ndim, dtype=np.int64)
+    for d in range(ndim - 2, -1, -1):
+        strides[d] = strides[d + 1] * global_dims[d + 1]
+    base = sum(int(offsets[d]) * int(strides[d]) for d in range(ndim))
+    if i == 0:
+        return np.array([base * itemsize], dtype=np.int64)
+    # outer index grid over dims [0, i)
+    grids = np.indices(tuple(local_dims[:i]), dtype=np.int64)
+    starts = np.full(grids.shape[1:], base, dtype=np.int64)
+    for d in range(i):
+        starts = starts + grids[d] * strides[d]
+    return (starts.reshape(-1) * itemsize).astype(np.int64)
+
+
+def scatter_subarray(
+    global_flat: np.ndarray,
+    local: np.ndarray,
+    global_dims,
+    offsets,
+) -> None:
+    """Paste ``local`` (a block) into a flat byte/element view of the global
+    array — the functional half of a strided file write."""
+    g = np.asarray(global_flat).reshape(tuple(global_dims))
+    sl = tuple(slice(o, o + l) for o, l in zip(offsets, local.shape))
+    g[sl] = local
+
+
+def gather_subarray(
+    global_flat: np.ndarray,
+    global_dims,
+    offsets,
+    local_dims,
+) -> np.ndarray:
+    """Extract a block subarray from a flat view of the global array."""
+    g = np.asarray(global_flat).reshape(tuple(global_dims))
+    sl = tuple(slice(o, o + l) for o, l in zip(offsets, local_dims))
+    return np.ascontiguousarray(g[sl])

@@ -1,0 +1,243 @@
+"""MPI-IO over the simulated VFS: independent I/O and ROMIO-style two-phase
+collective buffering.
+
+The collective path is the heart of the NetCDF/pNetCDF cost story (paper
+§4.1): linearizing a 3-D decomposition into a contiguous file layout forces
+an all-to-all *data rearrangement* to aggregator ranks, which stage the
+bytes in DRAM and issue large merged POSIX writes.  pMEMCPY and ADIOS skip
+all of this by writing process-local data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidArgumentError
+from ..kernel.vfs import VFS, OpenFlags
+from ..mem.memcpy import charge_dram_copy
+from .comm import Communicator
+
+#: default number of collective-buffering aggregators (ROMIO cb_nodes);
+#: bounded by the communicator size at use.
+DEFAULT_CB_NODES = 16
+#: collective buffer stripe per aggregator per round (ROMIO cb_buffer_size)
+CB_ALIGN = 4096
+
+
+def merge_extents(pairs: list[tuple[int, np.ndarray]]) -> list[tuple[int, np.ndarray]]:
+    """Merge (offset, bytes) extents into maximal contiguous runs.
+    Overlaps resolve last-writer-wins in input order."""
+    if not pairs:
+        return []
+    indexed = sorted(range(len(pairs)), key=lambda i: (pairs[i][0], i))
+    out: list[tuple[int, int, list[int]]] = []  # (lo, hi, member indices)
+    for i in indexed:
+        off = pairs[i][0]
+        end = off + len(pairs[i][1])
+        if out and off <= out[-1][1]:
+            lo, hi, members = out[-1]
+            out[-1] = (lo, max(hi, end), members + [i])
+        else:
+            out.append((off, end, [i]))
+    merged: list[tuple[int, np.ndarray]] = []
+    for lo, hi, members in out:
+        buf = np.zeros(hi - lo, dtype=np.uint8)
+        members.sort()  # input order for last-writer-wins
+        for i in members:
+            off, data = pairs[i]
+            d = np.asarray(data).reshape(-1).view(np.uint8)
+            buf[off - lo : off - lo + d.size] = d
+        merged.append((lo, buf))
+    return merged
+
+
+class MPIFile:
+    """A collectively-opened file handle."""
+
+    def __init__(self, comm: Communicator, vfs: VFS, path: str, fd: int,
+                 cb_nodes: int):
+        self.comm = comm
+        self.vfs = vfs
+        self.path = path
+        self.fd = fd
+        self.cb_nodes = min(cb_nodes, comm.size)
+
+    @classmethod
+    def open(
+        cls,
+        ctx,
+        comm: Communicator,
+        vfs: VFS,
+        path: str,
+        flags: OpenFlags = OpenFlags.RDWR | OpenFlags.CREAT,
+        *,
+        cb_nodes: int = DEFAULT_CB_NODES,
+    ) -> "MPIFile":
+        """Collective open: rank 0 creates, everyone opens."""
+        if comm.rank == 0:
+            fd = vfs.open(ctx, path, flags)
+            comm.barrier()
+        else:
+            comm.barrier()
+            fd = vfs.open(ctx, path, flags & ~OpenFlags.TRUNC & ~OpenFlags.EXCL)
+        return cls(comm, vfs, path, fd, cb_nodes)
+
+    def close(self, ctx) -> None:
+        self.comm.barrier()
+        self.vfs.close(ctx, self.fd)
+
+    def sync(self, ctx) -> None:
+        self.vfs.fsync(ctx, self.fd)
+
+    def set_size(self, ctx, size: int) -> None:
+        """Collective resize (rank 0 acts)."""
+        if self.comm.rank == 0:
+            self.vfs.ftruncate(ctx, self.fd, size)
+        self.comm.barrier()
+
+    # ------------------------------------------------------------------ independent
+
+    def write_at(self, ctx, offset: int, data, *, model_bytes: float | None = None) -> int:
+        return self.vfs.pwrite(ctx, self.fd, data, offset, model_bytes=model_bytes)
+
+    def read_at(self, ctx, offset: int, size: int, *, model_bytes: float | None = None) -> np.ndarray:
+        return self.vfs.pread(ctx, self.fd, size, offset, model_bytes=model_bytes)
+
+    # ------------------------------------------------------------------ two-phase collective
+
+    def _file_domain(self, ctx, extents_span: tuple[int, int]) -> tuple[int, int, int]:
+        """Agree on [lo, hi) and the per-aggregator stripe size."""
+        lo_hi = self.comm.allreduce(
+            np.array([extents_span[0], -extents_span[1]], dtype=np.int64),
+            op=np.minimum,
+        )
+        lo, hi = int(lo_hi[0]), int(-lo_hi[1])
+        if hi <= lo:  # nobody has data this round
+            return 0, 0, CB_ALIGN
+        naggr = max(1, self.cb_nodes)
+        stripe = -(-(hi - lo) // naggr)
+        stripe = -(-stripe // CB_ALIGN) * CB_ALIGN
+        return lo, hi, stripe
+
+    def _split_by_aggregator(
+        self, lo: int, stripe: int, extents: list[tuple[int, np.ndarray]]
+    ) -> list[list[tuple[int, np.ndarray]]]:
+        """Partition extents (splitting at stripe boundaries) per aggregator."""
+        buckets: list[list[tuple[int, np.ndarray]]] = [
+            [] for _ in range(self.comm.size)
+        ]
+        naggr = max(1, self.cb_nodes)
+        for off, data in extents:
+            d = np.asarray(data).reshape(-1).view(np.uint8)
+            pos = 0
+            while pos < d.size:
+                a = (off + pos - lo) // stripe
+                a = min(int(a), naggr - 1)
+                stripe_end = lo + (a + 1) * stripe
+                take = min(d.size - pos, stripe_end - (off + pos))
+                buckets[a].append((off + pos, d[pos : pos + take]))
+                pos += take
+        return buckets
+
+    def write_at_all(self, ctx, extents: list[tuple[int, np.ndarray]]) -> int:
+        """Collective write of this rank's (offset, data) extents.
+
+        Two-phase: exchange extents to aggregator ranks (charged as the
+        rearrangement all-to-all), aggregators merge in DRAM collective
+        buffers and issue large writes.
+        """
+        total = sum(np.asarray(d).nbytes for _o, d in extents)
+        span = self._span(extents)
+        lo, hi, stripe = self._file_domain(ctx, span)
+        buckets = self._split_by_aggregator(lo, stripe, extents)
+        incoming = self.comm.alltoall(buckets)
+        written = 0
+        mine: list[tuple[int, np.ndarray]] = [
+            e for sublist in incoming for e in sublist
+        ]
+        if mine:
+            merged = merge_extents(mine)
+            for off, buf in merged:
+                # collective-buffer assembly is a DRAM staging copy
+                charge_dram_copy(
+                    ctx, ctx.model_bytes(buf.size), note="cb-assemble"
+                )
+                self.vfs.pwrite(
+                    ctx, self.fd, buf, off,
+                    model_bytes=ctx.model_bytes(buf.size),
+                )
+                written += buf.size
+        self.comm.barrier()
+        return total
+
+    def read_at_all(
+        self, ctx, requests: list[tuple[int, int]]
+    ) -> list[np.ndarray]:
+        """Collective read: aggregators read merged stripes and ship the
+        requested pieces back (two-phase in reverse)."""
+        span = self._span_req(requests)
+        lo, hi, stripe = self._file_domain(ctx, span)
+        naggr = max(1, self.cb_nodes)
+        # each rank tells each aggregator which (offset, size) it wants
+        want: list[list[tuple[int, int]]] = [[] for _ in range(self.comm.size)]
+        order: list[tuple[int, int, int]] = []  # (aggr, index within aggr req)
+        for off, size in requests:
+            pos = 0
+            while pos < size:
+                a = min(int((off + pos - lo) // stripe), naggr - 1)
+                stripe_end = lo + (a + 1) * stripe
+                take = min(size - pos, stripe_end - (off + pos))
+                order.append((a, len(want[a]), take))
+                want[a].append((off + pos, take))
+                pos += take
+        reqs_in = self.comm.alltoall(want)
+        # aggregator: one sieving read over the union of ALL ranks' requests
+        # in my file domain, then serve every requester from that buffer
+        all_reqs = [(o, s) for rr in reqs_in for (o, s) in rr]
+        replies: list[list[np.ndarray]] = [[] for _ in range(self.comm.size)]
+        if all_reqs:
+            lo_r = min(o for o, _s in all_reqs)
+            hi_r = max(o + s for o, s in all_reqs)
+            buf = self.vfs.pread(
+                ctx, self.fd, hi_r - lo_r, lo_r,
+                model_bytes=ctx.model_bytes(hi_r - lo_r),
+            )
+            charge_dram_copy(
+                ctx, ctx.model_bytes(buf.size), note="cb-assemble"
+            )
+            for r in range(self.comm.size):
+                for o, s in reqs_in[r]:
+                    replies[r].append(buf[o - lo_r : o - lo_r + s])
+        got = self.comm.alltoall(replies)
+        # reassemble this rank's requests in order
+        pieces: list[list[np.ndarray]] = [[] for _ in requests]
+        taken = [0] * self.comm.size
+        for i, (off, size) in enumerate(requests):
+            pos = 0
+            while pos < size:
+                a = min(int((off + pos - lo) // stripe), naggr - 1)
+                stripe_end = lo + (a + 1) * stripe
+                take = min(size - pos, stripe_end - (off + pos))
+                pieces[i].append(got[a][taken[a]])
+                taken[a] += 1
+                pos += take
+        self.comm.barrier()
+        return [
+            np.concatenate(ps) if len(ps) != 1 else ps[0] for ps in pieces
+        ]
+
+    @staticmethod
+    def _span(extents) -> tuple[int, int]:
+        if not extents:
+            return (2**62, -(2**62))
+        lo = min(off for off, _d in extents)
+        hi = max(off + np.asarray(d).nbytes for off, d in extents)
+        return lo, hi
+
+    @staticmethod
+    def _span_req(requests) -> tuple[int, int]:
+        if not requests:
+            return (2**62, -(2**62))
+        lo = min(off for off, _s in requests)
+        hi = max(off + s for off, s in requests)
+        return lo, hi

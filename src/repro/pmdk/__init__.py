@@ -1,0 +1,33 @@
+"""Emulated Persistent Memory Development Kit (libpmemobj-style).
+
+A real on-device byte layout over the DAX-mapped pool file:
+
+- :class:`PmemPool` — superblock, root pointer, heap, per-lane undo logs;
+- :mod:`~repro.pmdk.alloc` — boundary-tag persistent allocator whose
+  volatile free lists are rebuilt by scanning headers at open (as PMDK
+  rebuilds its runtime heap state);
+- :mod:`~repro.pmdk.tx` — undo-log transactions with crash recovery;
+- :class:`PmemHashmap` — the hashtable-with-chaining that pMEMCPY's flat
+  namespace uses (paper §3 "Data Layout");
+- :class:`PmemMutex` — robust persistent locks, cleared on pool open.
+
+Everything is crash-testable: run the pool on a ``crash_sim=True`` device,
+call ``device.crash()`` at any point, re-open the pool, and recovery must
+restore a consistent state.
+"""
+
+from .pool import PmemPool, POOL_HEADER_SIZE, RawRegion
+from .alloc import Heap
+from .tx import Transaction
+from .hashmap import PmemHashmap
+from .locks import PmemMutex
+
+__all__ = [
+    "PmemPool",
+    "POOL_HEADER_SIZE",
+    "RawRegion",
+    "Heap",
+    "Transaction",
+    "PmemHashmap",
+    "PmemMutex",
+]

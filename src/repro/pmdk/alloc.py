@@ -1,0 +1,266 @@
+"""Persistent heap: boundary-tag allocator with volatile free lists.
+
+On-device block format (all blocks 64-byte aligned)::
+
+    [ header 16B | user data ... | footer 8B ]
+
+    header:  size u64 (total block size)    status u32    magic u16  pad u16
+    footer:  size u64
+
+The *free lists are volatile* (a dict + sorted offset list in DRAM) and are
+rebuilt at pool open by walking the headers — exactly PMDK's strategy of
+reconstructing runtime heap state instead of persisting it.  Block headers
+and footers on the device are the durable truth.
+
+Crash consistency without a transaction relies on write ordering (remainder
+header persisted before the shrunken/used header; footers before headers on
+free/coalesce) plus the fact that a 16-byte header sits inside one cacheline
+at a 64-byte-aligned block start, so its persist is atomic under the
+cacheline store-buffer model.  With a transaction, header pre-images go to
+the undo log so an aborted/crashed transaction rolls the allocation back.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+import threading
+
+from ..errors import AllocationError, PoolCorruptError
+
+HEADER_SIZE = 16
+FOOTER_SIZE = 8
+ALIGN = 64
+#: smallest block we bother splitting off as a remainder
+MIN_BLOCK = 128
+
+STATUS_FREE = 0xF1EE0001
+STATUS_USED = 0xA1100001
+BLOCK_MAGIC = 0x504D  # "PM"
+
+_HDR = struct.Struct("<QIHH")
+_FTR = struct.Struct("<Q")
+
+
+def _align(n: int) -> int:
+    return -(-n // ALIGN) * ALIGN
+
+
+class Heap:
+    """Allocator over ``[heap_off, heap_off + heap_size)`` of a pool."""
+
+    def __init__(self, pool, heap_off: int, heap_size: int):
+        self.pool = pool
+        self.heap_off = heap_off
+        self.heap_size = heap_size // ALIGN * ALIGN
+        self.heap_end = heap_off + self.heap_size
+        self.lock = threading.RLock()
+        self._free: dict[int, int] = {}      # block off -> total size
+        self._free_sorted: list[int] = []    # offsets, ascending
+        self._used: dict[int, int] = {}      # block off -> total size
+
+    # ------------------------------------------------------------------ format/rebuild
+
+    @classmethod
+    def format(cls, ctx, pool, heap_off: int, heap_size: int) -> "Heap":
+        heap = cls(pool, heap_off, heap_size)
+        heap._write_block(ctx, heap_off, heap.heap_size, STATUS_FREE)
+        heap._insert_free(heap_off, heap.heap_size)
+        return heap
+
+    @classmethod
+    def rebuild(cls, ctx, pool, heap_off: int, heap_size: int) -> "Heap":
+        """Walk headers to reconstruct the volatile free/used maps."""
+        heap = cls(pool, heap_off, heap_size)
+        pos = heap_off
+        while pos < heap.heap_end:
+            size, status, magic = heap._read_header(ctx, pos)
+            if magic != BLOCK_MAGIC or size < ALIGN or size % ALIGN or \
+               pos + size > heap.heap_end:
+                raise PoolCorruptError(
+                    f"heap corrupt at {pos}: size={size} status={status:#x} "
+                    f"magic={magic:#x}"
+                )
+            if status == STATUS_FREE:
+                heap._insert_free(pos, size)
+            elif status == STATUS_USED:
+                heap._used[pos] = size
+            else:
+                raise PoolCorruptError(f"heap corrupt at {pos}: bad status")
+            pos += size
+        return heap
+
+    # ------------------------------------------------------------------ device structs
+
+    def _write_block(self, ctx, off: int, size: int, status: int) -> None:
+        """Write footer then header (see module docstring for ordering)."""
+        self.pool.write(ctx, off + size - FOOTER_SIZE, _FTR.pack(size))
+        self.pool.persist(ctx, off + size - FOOTER_SIZE, FOOTER_SIZE)
+        self.pool.write(ctx, off, _HDR.pack(size, status, BLOCK_MAGIC, 0))
+        self.pool.persist(ctx, off, HEADER_SIZE)
+
+    def _read_header(self, ctx, off: int) -> tuple[int, int, int]:
+        raw = bytes(self.pool.read(ctx, off, HEADER_SIZE))
+        size, status, magic, _pad = _HDR.unpack(raw)
+        return size, status, magic
+
+    def _read_footer_size(self, ctx, off: int) -> int:
+        raw = bytes(self.pool.read(ctx, off - FOOTER_SIZE, FOOTER_SIZE))
+        return _FTR.unpack(raw)[0]
+
+    # ------------------------------------------------------------------ volatile maps
+
+    def _insert_free(self, off: int, size: int) -> None:
+        self._free[off] = size
+        bisect.insort(self._free_sorted, off)
+
+    def _remove_free(self, off: int) -> int:
+        size = self._free.pop(off)
+        idx = bisect.bisect_left(self._free_sorted, off)
+        del self._free_sorted[idx]
+        return size
+
+    # ------------------------------------------------------------------ malloc/free
+
+    def malloc(self, ctx, size: int, tx=None) -> int:
+        """Allocate ``size`` user bytes; returns the *user* offset."""
+        if size <= 0:
+            raise AllocationError(f"invalid allocation size {size}")
+        total = _align(HEADER_SIZE + size + FOOTER_SIZE)
+        with self.lock:
+            block = None
+            for off in self._free_sorted:
+                if self._free[off] >= total:
+                    block = off
+                    break
+            if block is None:
+                raise AllocationError(
+                    f"out of pool memory: need {total} bytes "
+                    f"(free: {sum(self._free.values())})"
+                )
+            bsize = self._remove_free(block)
+            if tx is not None:
+                tx.add_range(block, HEADER_SIZE)
+                # the block's footer gets rewritten (as the remainder's or the
+                # used block's); log its pre-image so rollback restores the
+                # boundary tag exactly
+                tx.add_range(block + bsize - FOOTER_SIZE, FOOTER_SIZE)
+            remainder = bsize - total
+            if remainder >= MIN_BLOCK:
+                self._write_block(ctx, block + total, remainder, STATUS_FREE)
+                self._insert_free(block + total, remainder)
+            else:
+                total = bsize
+            self._write_block(ctx, block, total, STATUS_USED)
+            self._used[block] = total
+            if tx is not None:
+                # the undo log restores the device image on abort; these
+                # mirror that restoration in the volatile maps
+                final_total, final_rem = total, remainder
+                def _rollback_volatile():
+                    with self.lock:
+                        self._used.pop(block, None)
+                        if final_rem >= MIN_BLOCK and (block + final_total) in self._free:
+                            self._remove_free(block + final_total)
+                        self._insert_free(block, bsize)
+                tx.on_abort(_rollback_volatile)
+            return block + HEADER_SIZE
+
+    def free(self, ctx, user_off: int, tx=None) -> None:
+        block = user_off - HEADER_SIZE
+        with self.lock:
+            size = self._used.get(block)
+            if size is None:
+                raise AllocationError(f"free of unallocated offset {user_off}")
+            # sanity-check the on-device header
+            dsize, status, magic = self._read_header(ctx, block)
+            if (dsize, status, magic) != (size, STATUS_USED, BLOCK_MAGIC):
+                raise PoolCorruptError(
+                    f"header mismatch freeing {user_off}: device says "
+                    f"size={dsize} status={status:#x}"
+                )
+            if tx is not None:
+                tx.add_range(block, HEADER_SIZE)
+            del self._used[block]
+            start, total = block, size
+            # coalesce with next
+            nxt = block + size
+            if nxt < self.heap_end and nxt in self._free:
+                if tx is not None:
+                    tx.add_range(nxt, HEADER_SIZE)
+                total += self._remove_free(nxt)
+            # coalesce with previous
+            if start > self.heap_off:
+                prev_size = self._read_footer_size(ctx, start)
+                prev = start - prev_size
+                if prev in self._free:
+                    if tx is not None:
+                        tx.add_range(prev, HEADER_SIZE)
+                    self._remove_free(prev)
+                    start = prev
+                    total += prev_size
+            if tx is not None:
+                # final merged footer overwrites some block's old footer
+                tx.add_range(start + total - FOOTER_SIZE, FOOTER_SIZE)
+            self._write_block(ctx, start, total, STATUS_FREE)
+            self._insert_free(start, total)
+            if tx is not None:
+                snap_start, snap_total, snap_block, snap_size = start, total, block, size
+                def _rollback_volatile():
+                    with self.lock:
+                        if snap_start in self._free:
+                            self._remove_free(snap_start)
+                        # restore the freed block as used
+                        self._used[snap_block] = snap_size
+                        # restore neighbor free blocks exactly as they were
+                        if snap_start != snap_block:
+                            prev_sz = snap_block - snap_start
+                            self._insert_free(snap_start, prev_sz)
+                        tail = snap_block + snap_size
+                        if tail < snap_start + snap_total:
+                            self._insert_free(tail, snap_start + snap_total - tail)
+                tx.on_abort(_rollback_volatile)
+
+    def usable_size(self, user_off: int) -> int:
+        with self.lock:
+            size = self._used.get(user_off - HEADER_SIZE)
+            if size is None:
+                raise AllocationError(f"unallocated offset {user_off}")
+            return size - HEADER_SIZE - FOOTER_SIZE
+
+    # ------------------------------------------------------------------ stats
+
+    def free_bytes(self) -> int:
+        with self.lock:
+            return sum(self._free.values())
+
+    def used_bytes(self) -> int:
+        with self.lock:
+            return sum(self._used.values())
+
+    def n_free_blocks(self) -> int:
+        with self.lock:
+            return len(self._free)
+
+    def largest_free_block(self) -> int:
+        with self.lock:
+            return max(self._free.values(), default=0)
+
+    def check_invariants(self) -> None:
+        """Test helper: free/used blocks tile the heap exactly."""
+        with self.lock:
+            blocks = sorted(
+                [(o, s, "free") for o, s in self._free.items()]
+                + [(o, s, "used") for o, s in self._used.items()]
+            )
+            pos = self.heap_off
+            prev_kind = None
+            for off, size, kind in blocks:
+                if off != pos:
+                    raise AssertionError(f"gap/overlap at {pos} (next block {off})")
+                if kind == "free" and prev_kind == "free":
+                    raise AssertionError(f"uncoalesced free blocks at {off}")
+                pos = off + size
+                prev_kind = kind
+            if pos != self.heap_end:
+                raise AssertionError(f"heap ends at {pos}, expected {self.heap_end}")

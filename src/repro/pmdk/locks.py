@@ -1,0 +1,78 @@
+"""Persistent (robust) mutexes.
+
+A PMEM-resident lock is an 8-byte owner word.  Like PMDK's
+``pmemobj_mutex``, the persistent state exists so a *crashed* holder can be
+detected and the lock recovered at pool open: re-instantiating the mutex
+with ``recover=True`` (what :func:`PmemMutex.open` does) clears the owner
+word.  Intra-process mutual exclusion is delegated to a volatile
+``threading.Lock`` — also PMDK's strategy: the persistent word is never used
+for runtime arbitration.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import PmdkError
+
+#: modeled cost of an uncontended persistent-lock acquire/release pair
+LOCK_OVERHEAD_NS = 60.0
+
+
+class PmemMutex:
+    def __init__(self, pool, off: int, *, recover: bool = False, ctx=None):
+        self.pool = pool
+        self.off = off
+        self._vlock = threading.RLock()
+        if recover:
+            if ctx is None:
+                raise PmdkError("recover requires a ctx to charge the store")
+            pool.write_u64(ctx, off, 0)
+        pool.register_mutex(self)
+
+    @classmethod
+    def alloc(cls, ctx, pool) -> "PmemMutex":
+        """Allocate the owner word from the pool heap and return the mutex."""
+        off = pool.malloc(ctx, 8)
+        pool.write_u64(ctx, off, 0)
+        return cls(pool, off)
+
+    @classmethod
+    def open(cls, ctx, pool, off: int) -> "PmemMutex":
+        """Attach to an existing lock word, clearing any dead owner."""
+        return cls(pool, off, recover=True, ctx=ctx)
+
+    def acquire(self, ctx) -> None:
+        self._vlock.acquire()
+        self.pool.write_u64(ctx, self.off, ctx.rank + 1)
+        ctx.delay(LOCK_OVERHEAD_NS, note="pmem-lock")
+
+    def release(self, ctx) -> None:
+        owner = self.pool.read_u64(ctx, self.off)
+        if owner != ctx.rank + 1:
+            raise PmdkError(
+                f"rank {ctx.rank} releasing lock owned by "
+                f"{owner - 1 if owner else 'nobody'}"
+            )
+        self.pool.write_u64(ctx, self.off, 0)
+        self._vlock.release()
+
+    def holder(self, ctx) -> int | None:
+        owner = self.pool.read_u64(ctx, self.off)
+        return owner - 1 if owner else None
+
+    class _Guard:
+        def __init__(self, mutex, ctx):
+            self.mutex, self.ctx = mutex, ctx
+
+        def __enter__(self):
+            self.mutex.acquire(self.ctx)
+            return self.mutex
+
+        def __exit__(self, *exc):
+            self.mutex.release(self.ctx)
+            return False
+
+    def guard(self, ctx) -> "_Guard":
+        """``with mutex.guard(ctx): ...``"""
+        return PmemMutex._Guard(self, ctx)

@@ -1,0 +1,125 @@
+"""Persistent append-only log — the libpmemlog analog, and the §2.2 DStore
+pattern ("DStore uses PMEM to store the logs rather than as the main store,
+offering greater performance while still offering predictable consistency").
+
+On-device layout (inside a pool allocation)::
+
+    header (32B): magic u32 | pad u32 | capacity u64 | head u64 | pad u64
+    records:      len u32 | crc32 u32 | payload ...   (8-byte aligned)
+
+Append protocol: write the framed record at ``head``, persist it, *then*
+persist the new head — a crash leaves at worst a torn record beyond the
+committed head, which replay never sees.  The head update is an aligned
+8-byte store (crash-atomic under the cacheline model).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from ..errors import PmdkError, PoolCorruptError
+
+MAGIC = 0x504C4F47  # "PLOG"
+HEADER_SIZE = 32
+_HDR = struct.Struct("<IIQQQ")
+_REC = struct.Struct("<II")
+
+
+def _align8(n: int) -> int:
+    return -(-n // 8) * 8
+
+
+class PmemLog:
+    """Handle to a log living at ``base`` (a pool heap allocation)."""
+
+    def __init__(self, pool, base: int, capacity: int):
+        self.pool = pool
+        self.base = base
+        self.capacity = capacity
+
+    # ------------------------------------------------------------------ lifecycle
+
+    @classmethod
+    def create(cls, ctx, pool, *, capacity: int) -> "PmemLog":
+        """Allocate and format a log able to hold ``capacity`` payload
+        bytes (plus framing)."""
+        total = HEADER_SIZE + _align8(capacity)
+        base = pool.malloc(ctx, total)
+        log = cls(pool, base, total - HEADER_SIZE)
+        pool.write(ctx, base, _HDR.pack(MAGIC, 0, log.capacity, 0, 0))
+        pool.persist(ctx, base, HEADER_SIZE)
+        return log
+
+    @classmethod
+    def open(cls, ctx, pool, base: int) -> "PmemLog":
+        raw = bytes(pool.read(ctx, base, HEADER_SIZE))
+        magic, _pad, capacity, head, _pad2 = _HDR.unpack(raw)
+        if magic != MAGIC:
+            raise PoolCorruptError(f"not a pmemlog at {base}")
+        if head > capacity:
+            raise PoolCorruptError(f"log head {head} beyond capacity {capacity}")
+        return cls(pool, base, capacity)
+
+    # ------------------------------------------------------------------ state
+
+    def head(self, ctx) -> int:
+        return self.pool.read_u64(ctx, self.base + 16)
+
+    def _set_head(self, ctx, value: int) -> None:
+        self.pool.write_u64(ctx, self.base + 16, value)
+
+    def remaining(self, ctx) -> int:
+        return self.capacity - self.head(ctx)
+
+    # ------------------------------------------------------------------ append
+
+    def append(self, ctx, record: bytes) -> int:
+        """Append one record; returns its offset within the log.  Raises
+        :class:`PmdkError` when full (this log does not wrap — DStore-style
+        logs are truncated by checkpointing instead)."""
+        record = bytes(record)
+        framed = _align8(_REC.size + len(record))
+        head = self.head(ctx)
+        if head + framed > self.capacity:
+            raise PmdkError(
+                f"log full: {framed} bytes needed, {self.capacity - head} left"
+            )
+        at = self.base + HEADER_SIZE + head
+        self.pool.write(
+            ctx, at, _REC.pack(len(record), zlib.crc32(record)) + record
+        )
+        self.pool.persist(ctx, at, _REC.size + len(record))
+        # record durable before the head covers it
+        self._set_head(ctx, head + framed)
+        return head
+
+    # ------------------------------------------------------------------ replay
+
+    def records(self, ctx) -> list[bytes]:
+        """Replay the committed records in order, verifying checksums."""
+        out: list[bytes] = []
+        head = self.head(ctx)
+        pos = 0
+        while pos < head:
+            raw = bytes(self.pool.read(ctx, self.base + HEADER_SIZE + pos, _REC.size))
+            length, crc = _REC.unpack(raw)
+            if pos + _REC.size + length > head:
+                raise PoolCorruptError(
+                    f"log record at {pos} extends past committed head"
+                )
+            payload = bytes(self.pool.read(
+                ctx, self.base + HEADER_SIZE + pos + _REC.size, length
+            ))
+            if zlib.crc32(payload) != crc:
+                raise PoolCorruptError(f"log record at {pos} checksum mismatch")
+            out.append(payload)
+            pos += _align8(_REC.size + length)
+        return out
+
+    def truncate(self, ctx) -> None:
+        """Discard every record (after a checkpoint has captured them)."""
+        self._set_head(ctx, 0)
+
+    def free(self, ctx) -> None:
+        self.pool.free(ctx, self.base)

@@ -1,0 +1,25 @@
+"""pMEMCPY — the paper's contribution: a simple, lightweight, portable I/O
+library for storing data in persistent memory.
+
+The Python rendering of the Fig. 2 C++ API::
+
+    pmem = PMEM()                      # pmemcpy::PMEM pmem;
+    pmem.mmap(path, comm)              # pmem.mmap(filename, comm);
+    pmem.alloc("A", Dimensions(n), dtype=np.float64)
+    pmem.store("A", local, offsets=(off,))   # subarray store
+    pmem.store("x", value)                   # whole-object store
+    out = pmem.load("A", offsets=(off,), dims=(count,))
+    dims = pmem.load_dims("A")
+    pmem.munmap()
+
+Two layouts (§3 "Data Layout"): ``"hashtable"`` — a flat namespace in a
+PMDK pool's persistent hashtable; ``"hierarchical"`` — a directory tree on
+the DAX filesystem, one file per variable, directories created for every
+``/`` in the id.  Serializer and MAP_SYNC are configurable per §3.
+"""
+
+from .api import PMEM
+from .types import Dimensions
+from .dataset import Chunk, VariableMeta
+
+__all__ = ["PMEM", "Dimensions", "Chunk", "VariableMeta"]

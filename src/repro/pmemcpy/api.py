@@ -1,0 +1,378 @@
+"""The pMEMCPY public API (paper Fig. 2)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import (
+    DimensionMismatchError,
+    KeyNotFoundError,
+    NotMappedError,
+    PmemcpyError,
+)
+from ..serial import DramSink, DramSource, get_serializer
+from ..serial.filters import FilterPipeline
+from .dataset import Chunk, VariableMeta
+from .layout_fs import HierarchicalLayout
+from .layout_hash import HashtableLayout
+from .types import as_dims
+
+_LAYOUTS = {"hashtable": HashtableLayout, "hierarchical": HierarchicalLayout}
+
+
+class PMEM:
+    """A per-rank handle to a pMEMCPY store.
+
+    Mirrors the C++ object of Fig. 2: construct, ``mmap(path, comm)``,
+    ``alloc``/``store``/``load``/``load_dims``, ``munmap``.
+
+    Configuration (§3): ``serializer`` ∈ {bp4, cproto, cereal, raw/none},
+    ``layout`` ∈ {hashtable, hierarchical}, and ``map_sync`` toggling the
+    MAP_SYNC mapping flag (PMCPY-B in the paper's figures).
+    """
+
+    def __init__(
+        self,
+        *,
+        serializer: str = "bp4",
+        layout: str = "hashtable",
+        map_sync: bool = False,
+        pool_size: int | None = None,
+        nbuckets: int = 64,
+        filters: tuple | list = (),
+    ):
+        self.serializer = get_serializer(serializer)
+        if layout not in _LAYOUTS:
+            raise PmemcpyError(
+                f"unknown layout {layout!r}; choose from {sorted(_LAYOUTS)}"
+            )
+        if layout == "hashtable":
+            self.layout = HashtableLayout(map_sync=map_sync, nbuckets=nbuckets)
+        else:
+            self.layout = HierarchicalLayout(map_sync=map_sync)
+        self.map_sync = map_sync
+        self.pool_size = pool_size
+        # optional transform pipeline (§2.1-style operators).  Compression
+        # trades pMEMCPY's streaming direct-to-PMEM pack for one DRAM
+        # staging pass plus fewer PMEM bytes.
+        self.pipeline = FilterPipeline(filters) if filters else None
+        self._ctx = None
+        self._comm = None
+        self.path: str | None = None
+
+    @property
+    def _filters_token(self) -> str:
+        return ",".join(self.pipeline.names) if self.pipeline else ""
+
+    # ------------------------------------------------------------------ mapping
+
+    def mmap(self, path: str, comm) -> "PMEM":
+        """Collective: map the store at ``path`` on every rank of ``comm``."""
+        ctx = comm.ctx
+        if ctx.env is None:
+            raise PmemcpyError(
+                "PMEM needs a cluster environment: run under "
+                "Cluster.run(...) or run_spmd(..., env=cluster)"
+            )
+        pool_size = self.pool_size
+        if pool_size is None:
+            pool_size = ctx.env.device.capacity // 2
+        self.layout.setup(ctx, comm, path, pool_size=pool_size)
+        self._ctx = ctx
+        self._comm = comm
+        self.path = path
+        return self
+
+    def munmap(self) -> None:
+        self._require()
+        self.layout.teardown(self._ctx, self._comm)
+        self._ctx = None
+        self._comm = None
+        self.path = None
+
+    def _require(self):
+        if self._ctx is None:
+            raise NotMappedError("PMEM is not mapped — call mmap(path, comm)")
+
+    @property
+    def ctx(self):
+        self._require()
+        return self._ctx
+
+    # ------------------------------------------------------------------ alloc
+
+    def alloc(self, var_id: str, dims, dtype=np.float64) -> None:
+        """Declare the global dimensions of ``var_id`` (Fig. 2 lines 7-10).
+
+        Idempotent and safe to call from every rank (first caller creates;
+        later callers validate)."""
+        self._require()
+        ctx = self._ctx
+        gdims = as_dims(dims)
+        dt = np.dtype(dtype)
+        with self.layout.meta_lock(ctx):
+            meta = self.layout.get_meta(ctx, var_id)
+            if meta is None:
+                meta = VariableMeta(
+                    name=var_id, dtype=dt, global_dims=gdims,
+                    serializer=self.serializer.name,
+                    filters=self._filters_token,
+                )
+                self.layout.put_meta(ctx, meta)
+            else:
+                if tuple(meta.global_dims) != gdims or meta.dtype != dt:
+                    raise DimensionMismatchError(
+                        f"alloc({var_id!r}): existing dims "
+                        f"{tuple(meta.global_dims)}/{meta.dtype} != "
+                        f"requested {gdims}/{dt}"
+                    )
+
+    # ------------------------------------------------------------------ store
+
+    def store(self, var_id: str, data, offsets=None) -> None:
+        """Store a whole object (``store<T>(id, data)``) or a subarray of an
+        alloc'd variable (``store<T>(id, data, ndims, offsets, dimspp)``)."""
+        self._require()
+        ctx = self._ctx
+        array = np.asarray(data)
+        if offsets is None:
+            self._store_whole(ctx, var_id, array)
+        else:
+            self._store_sub(ctx, var_id, array, as_dims(offsets))
+
+    def _store_whole(self, ctx, var_id: str, array: np.ndarray) -> None:
+        gdims = tuple(array.shape)
+        offsets = tuple(0 for _ in gdims)
+        with self.layout.meta_lock(ctx):
+            meta = self.layout.get_meta(ctx, var_id)
+            if meta is None:
+                meta = VariableMeta(
+                    name=var_id, dtype=array.dtype, global_dims=gdims,
+                    serializer=self.serializer.name,
+                    filters=self._filters_token,
+                )
+            else:
+                # whole-store replaces previous contents
+                self._free_chunks(ctx, meta)
+                meta = VariableMeta(
+                    name=var_id, dtype=array.dtype, global_dims=gdims,
+                    serializer=self.serializer.name,
+                    filters=self._filters_token,
+                )
+            chunk = self._write_chunk(ctx, meta, array, offsets, index=0)
+            meta.chunks.append(chunk)
+            self.layout.put_meta(ctx, meta)
+
+    def _store_sub(self, ctx, var_id: str, array: np.ndarray, offsets) -> None:
+        with self.layout.meta_lock(ctx):
+            meta = self.layout.get_meta(ctx, var_id)
+            if meta is None:
+                raise KeyNotFoundError(
+                    f"store({var_id!r}, offsets=...): variable not alloc'd"
+                )
+            if array.dtype != meta.dtype:
+                raise DimensionMismatchError(
+                    f"{var_id}: storing {array.dtype} into {meta.dtype} variable"
+                )
+            meta.validate_subarray(offsets, array.shape)
+            chunk = self._write_chunk(
+                ctx, meta, array, offsets, index=len(meta.chunks)
+            )
+            meta.chunks.append(chunk)
+            self.layout.put_meta(ctx, meta)
+
+    def _write_chunk(self, ctx, meta, array, offsets, index: int) -> Chunk:
+        """Serialize ``array`` into PMEM; returns the chunk record.
+
+        Unfiltered: streamed directly into the mapped pool/chunk file (the
+        paper's zero-staging path).  Filtered: serialized into a DRAM
+        buffer, transformed, then written — a deliberate staging copy
+        bought back in PMEM bytes.
+        """
+        if self.pipeline is None:
+            size = self.serializer.packed_size(meta.name, array)
+            if isinstance(self.layout, HashtableLayout):
+                blob = self.layout.alloc_blob(ctx, size)
+                sink = self.layout.blob_sink(ctx, blob)
+                self.serializer.pack(ctx, meta.name, array, sink)
+                sink.persist()
+                return Chunk(tuple(offsets), tuple(array.shape), blob, size)
+            mapping = self.layout.create_chunk(ctx, meta.name, index, size)
+            sink = self.layout.chunk_sink(ctx, mapping)
+            self.serializer.pack(ctx, meta.name, array, sink)
+            sink.persist()
+            mapping.unmap(ctx)
+            return Chunk(tuple(offsets), tuple(array.shape), index, size)
+
+        stage = DramSink(ctx)
+        self.serializer.pack(ctx, meta.name, array, stage)
+        blob_bytes = self.pipeline.encode(ctx, stage.getvalue())
+        mb = ctx.model_bytes(len(blob_bytes))
+        if isinstance(self.layout, HashtableLayout):
+            blob = self.layout.alloc_blob(ctx, len(blob_bytes))
+            self.layout.pool.write(ctx, blob, blob_bytes, model_bytes=mb)
+            self.layout.pool.persist(ctx, blob, len(blob_bytes))
+            return Chunk(tuple(offsets), tuple(array.shape), blob, len(blob_bytes))
+        mapping = self.layout.create_chunk(ctx, meta.name, index, len(blob_bytes))
+        mapping.write(ctx, 0, blob_bytes, model_bytes=mb)
+        mapping.persist(ctx, 0, len(blob_bytes))
+        mapping.unmap(ctx)
+        return Chunk(tuple(offsets), tuple(array.shape), index, len(blob_bytes))
+
+    def _free_chunks(self, ctx, meta) -> None:
+        if isinstance(self.layout, HashtableLayout):
+            for c in meta.chunks:
+                self.layout.pool.free(ctx, c.blob_off)
+        else:
+            for k in range(len(meta.chunks)):
+                ctx.env.vfs.unlink(ctx, self.layout.chunk_path(ctx, meta.name, k))
+
+    # ------------------------------------------------------------------ load
+
+    def load(
+        self,
+        var_id: str,
+        offsets=None,
+        dims=None,
+        out: np.ndarray | None = None,
+        *,
+        require_full: bool = True,
+    ):
+        """Load a whole variable (``load<T>(id)``) or a subarray
+        (``load<T>(id, data, ndims, offsets, dimspp)``).
+
+        Deserializes each overlapping chunk directly from PMEM — the
+        zero-staging read path — and assembles the requested block.
+        Returns a scalar for 0-d variables.
+        """
+        self._require()
+        ctx = self._ctx
+        meta = self.layout.get_meta(ctx, var_id)
+        if meta is None:
+            raise KeyNotFoundError(f"load({var_id!r}): no such variable")
+        gdims = tuple(meta.global_dims)
+        if offsets is None and dims is None:
+            offsets = tuple(0 for _ in gdims)
+            dims = gdims
+        elif offsets is None or dims is None:
+            raise DimensionMismatchError(
+                "load: offsets and dims must be given together"
+            )
+        else:
+            offsets, dims = as_dims(offsets), as_dims(dims)
+            meta.validate_subarray(offsets, dims)
+
+        if out is None:
+            out = np.zeros(dims, dtype=meta.dtype)
+        elif tuple(out.shape) != tuple(dims) or out.dtype != meta.dtype:
+            raise DimensionMismatchError(
+                f"load({var_id!r}): out buffer {out.shape}/{out.dtype} vs "
+                f"requested {dims}/{meta.dtype}"
+            )
+
+        serializer = get_serializer(meta.serializer)
+        pipeline = FilterPipeline(meta.filters.split(",")) if meta.filters else None
+        covered = 0
+        for chunk in meta.covering_chunks(offsets, dims):
+            if pipeline is not None:
+                # filtered chunks: fetch the blob, reverse the transforms in
+                # DRAM, then deserialize from the staging buffer
+                if isinstance(self.layout, HashtableLayout):
+                    raw = bytes(self.layout.pool.read(
+                        ctx, chunk.blob_off, chunk.blob_len,
+                        model_bytes=ctx.model_bytes(chunk.blob_len),
+                    ))
+                else:
+                    mapping = self.layout.open_chunk(ctx, meta.name, chunk.blob_off)
+                    raw = bytes(mapping.read(
+                        ctx, 0, chunk.blob_len,
+                        model_bytes=ctx.model_bytes(chunk.blob_len),
+                    ))
+                    mapping.unmap(ctx)
+                decoded = pipeline.decode(ctx, raw)
+                source = DramSource(ctx, decoded)
+            elif isinstance(self.layout, HashtableLayout):
+                source = self.layout.blob_source(ctx, chunk)
+            else:
+                source = self.layout.chunk_source(ctx, meta.name, chunk)
+            _name, arr = serializer.unpack(ctx, source)
+            arr = arr.reshape(chunk.dims)
+            # intersection in global coordinates
+            lo = tuple(max(o, co) for o, co in zip(offsets, chunk.offsets))
+            hi = tuple(
+                min(o + d, co + cd)
+                for o, d, co, cd in zip(offsets, dims, chunk.offsets, chunk.dims)
+            )
+            src_sl = tuple(
+                slice(l - co, h - co) for l, h, co in zip(lo, hi, chunk.offsets)
+            )
+            dst_sl = tuple(
+                slice(l - o, h - o) for l, h, o in zip(lo, hi, offsets)
+            )
+            out[dst_sl] = arr[src_sl]
+            covered += math.prod(h - l for l, h in zip(lo, hi))
+
+        if require_full and covered < math.prod(dims):
+            raise DimensionMismatchError(
+                f"load({var_id!r}): requested block only partially stored "
+                f"({covered}/{math.prod(dims)} elements; pass "
+                f"require_full=False to accept zeros)"
+            )
+        if out.ndim == 0:
+            return out.item()
+        return out
+
+    def load_dims(self, var_id: str) -> tuple[int, ...]:
+        """``load_dims(id, &ndims, &dims)`` (Fig. 2 lines 18-19)."""
+        self._require()
+        meta = self.layout.get_meta(self._ctx, var_id)
+        if meta is None:
+            raise KeyNotFoundError(f"load_dims({var_id!r}): no such variable")
+        return tuple(meta.global_dims)
+
+    # ------------------------------------------------------------------ extras
+
+    def list_variables(self) -> list[str]:
+        self._require()
+        return self.layout.list_variables(self._ctx)
+
+    def delete(self, var_id: str) -> None:
+        self._require()
+        ctx = self._ctx
+        with self.layout.meta_lock(ctx):
+            meta = self.layout.get_meta(ctx, var_id)
+            if meta is None:
+                raise KeyNotFoundError(f"delete({var_id!r}): no such variable")
+            self.layout.delete_variable(ctx, meta)
+
+    def stats(self) -> dict:
+        """Store introspection (a ``du``-like view): per-variable chunk
+        counts and bytes, plus heap occupancy for the hashtable layout."""
+        self._require()
+        ctx = self._ctx
+        variables: dict[str, dict] = {}
+        for var_id in self.layout.list_variables(ctx):
+            meta = self.layout.get_meta(ctx, var_id)
+            logical = sum(c.nbytes(meta.dtype) for c in meta.chunks)
+            stored = sum(c.blob_len for c in meta.chunks)
+            variables[var_id] = {
+                "dtype": str(meta.dtype),
+                "global_dims": tuple(meta.global_dims),
+                "nchunks": len(meta.chunks),
+                "logical_bytes": logical,
+                "stored_bytes": stored,
+                "serializer": meta.serializer,
+                "filters": meta.filters,
+            }
+        out = {"variables": variables, "layout": self.layout.name}
+        if isinstance(self.layout, HashtableLayout):
+            heap = self.layout.pool.heap
+            out["heap"] = {
+                "used_bytes": heap.used_bytes(),
+                "free_bytes": heap.free_bytes(),
+                "free_blocks": heap.n_free_blocks(),
+                "largest_free_block": heap.largest_free_block(),
+            }
+        return out

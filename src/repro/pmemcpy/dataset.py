@@ -1,0 +1,133 @@
+"""Variable metadata records — the value behind each ``<id>#dims`` key.
+
+A variable is a global n-d array plus the set of stored *chunks*
+(per-process subarrays, kept in the format they were produced — the
+ADIOS-like, rearrangement-free layout the paper adopts).  Each chunk
+records where its serialized blob lives.
+
+The record is packed to a compact binary form for the hashtable value /
+metadata file::
+
+    magic u32 | ndims u16 | nchunks u16 | dtype_len u16 | ser_len u16
+    flt_len u16
+    global dims  ndims × u64
+    dtype token | serializer name | filter names (comma-joined)
+    per chunk: offsets ndims × u64 | dims ndims × u64 | blob u64 | len u64
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DimensionMismatchError, SerializationError
+from ..serial.base import dtype_from_token, dtype_to_token
+
+MAGIC = 0x504D5641  # "PMVA"
+_HDR = struct.Struct("<IHHHHH")
+
+
+@dataclass(frozen=True)
+class Chunk:
+    offsets: tuple[int, ...]
+    dims: tuple[int, ...]
+    blob_off: int
+    blob_len: int
+
+    def intersects(self, offsets, dims) -> bool:
+        for co, cd, o, d in zip(self.offsets, self.dims, offsets, dims):
+            if co + cd <= o or o + d <= co:
+                return False
+        return True
+
+    def nbytes(self, dtype) -> int:
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n * np.dtype(dtype).itemsize
+
+
+@dataclass
+class VariableMeta:
+    name: str
+    dtype: np.dtype
+    global_dims: tuple[int, ...]
+    serializer: str
+    chunks: list[Chunk] = field(default_factory=list)
+    #: comma-joined filter-pipeline names ("" = unfiltered)
+    filters: str = ""
+
+    def validate_subarray(self, offsets, dims) -> None:
+        if len(offsets) != len(self.global_dims) or len(dims) != len(self.global_dims):
+            raise DimensionMismatchError(
+                f"{self.name}: subarray rank {len(offsets)}/{len(dims)} vs "
+                f"variable rank {len(self.global_dims)}"
+            )
+        for o, d, g in zip(offsets, dims, self.global_dims):
+            if o < 0 or d < 0 or o + d > g:
+                raise DimensionMismatchError(
+                    f"{self.name}: subarray (offset {offsets}, dims {dims}) "
+                    f"outside global dims {self.global_dims}"
+                )
+
+    def covering_chunks(self, offsets, dims) -> list[Chunk]:
+        return [c for c in self.chunks if c.intersects(offsets, dims)]
+
+    # ------------------------------------------------------------------ packing
+
+    def pack(self) -> bytes:
+        dt = dtype_to_token(self.dtype).encode()
+        ser = self.serializer.encode()
+        flt = self.filters.encode()
+        ndims = len(self.global_dims)
+        parts = [
+            _HDR.pack(MAGIC, ndims, len(self.chunks), len(dt), len(ser), len(flt)),
+            struct.pack(f"<{ndims}Q", *self.global_dims),
+            dt,
+            ser,
+            flt,
+        ]
+        for c in self.chunks:
+            parts.append(struct.pack(f"<{ndims}Q", *c.offsets))
+            parts.append(struct.pack(f"<{ndims}Q", *c.dims))
+            parts.append(struct.pack("<QQ", c.blob_off, c.blob_len))
+        return b"".join(parts)
+
+    @classmethod
+    def unpack(cls, name: str, raw: bytes) -> "VariableMeta":
+        try:
+            magic, ndims, nchunks, dt_len, ser_len, flt_len = _HDR.unpack_from(raw, 0)
+        except struct.error as e:
+            raise SerializationError(f"truncated variable meta for {name!r}") from e
+        if magic != MAGIC:
+            raise SerializationError(f"bad variable-meta magic for {name!r}")
+        pos = _HDR.size
+        global_dims = struct.unpack_from(f"<{ndims}Q", raw, pos)
+        pos += 8 * ndims
+        dtype = dtype_from_token(raw[pos : pos + dt_len].decode())
+        pos += dt_len
+        serializer = raw[pos : pos + ser_len].decode()
+        pos += ser_len
+        filters = raw[pos : pos + flt_len].decode()
+        pos += flt_len
+        chunks = []
+        for _ in range(nchunks):
+            offsets = struct.unpack_from(f"<{ndims}Q", raw, pos)
+            pos += 8 * ndims
+            dims = struct.unpack_from(f"<{ndims}Q", raw, pos)
+            pos += 8 * ndims
+            blob_off, blob_len = struct.unpack_from("<QQ", raw, pos)
+            pos += 16
+            chunks.append(Chunk(offsets, dims, blob_off, blob_len))
+        return cls(
+            name=name, dtype=dtype, global_dims=global_dims,
+            serializer=serializer, chunks=chunks, filters=filters,
+        )
+
+
+def dims_key(var_id: str) -> bytes:
+    """The paper's convention: dimensions metadata lives under
+    ``<id>#dims`` (§3)."""
+    return f"{var_id}#dims".encode()

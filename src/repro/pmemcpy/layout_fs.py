@@ -1,0 +1,162 @@
+"""Hierarchical layout: one file per variable on the DAX filesystem (§3).
+
+``mmap(path)`` points at a root *directory*.  A variable ``fields/rho``
+becomes directory ``fields/`` plus files::
+
+    <root>/fields/rho#dims      packed VariableMeta
+    <root>/fields/rho#chunk<k>  serialized chunk blobs (DAX-mapped)
+
+mirroring the hashtable keys file-for-key.  Every ``/`` in the id creates a
+directory if it didn't exist.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import NotMappedError
+from ..kernel.dax import MapFlags
+from ..kernel.vfs import OpenFlags
+from ..pmdk.locks import LOCK_OVERHEAD_NS
+from ..serial.base import PmemSink, PmemSource
+from .dataset import VariableMeta
+
+
+class HierarchicalLayout:
+    name = "hierarchical"
+
+    def __init__(self, *, map_sync: bool = False):
+        self.map_sync = map_sync
+        self.root: str | None = None
+        self._ns_lock = threading.RLock()
+
+    @property
+    def _flags(self) -> MapFlags:
+        return MapFlags.SHARED | (MapFlags.SYNC if self.map_sync else 0)
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def setup(self, ctx, comm, path: str, *, pool_size: int) -> None:
+        env = ctx.env
+        if comm.rank == 0:
+            if not env.vfs.exists(path):
+                env.vfs.mkdir(ctx, path, parents=True)
+            # all ranks must share ONE namespace lock for metadata
+            # read-modify-write; publish it on the board
+            with ctx.board.lock:
+                key = ("pmemcpy-fs-lock", path)
+                if key not in ctx.board.data:
+                    ctx.board.data[key] = threading.RLock()
+        comm.barrier()
+        with ctx.board.lock:
+            self._ns_lock = ctx.board.data[("pmemcpy-fs-lock", path)]
+        self.root = path
+        comm.barrier()
+
+    def teardown(self, ctx, comm) -> None:
+        comm.barrier()
+
+    def _require(self):
+        if self.root is None:
+            raise NotMappedError("layout not set up — call PMEM.mmap first")
+
+    # ------------------------------------------------------------------ paths
+
+    def _var_path(self, ctx, var_id: str, *, create_dirs: bool = False) -> str:
+        self._require()
+        full = f"{self.root}/{var_id}"
+        if create_dirs and "/" in var_id:
+            parent = full.rsplit("/", 1)[0]
+            if not ctx.env.vfs.exists(parent):
+                ctx.env.vfs.mkdir(ctx, parent, parents=True)
+        return full
+
+    # ------------------------------------------------------------------ metadata
+
+    class _Guard:
+        def __init__(self, layout, ctx):
+            self.layout, self.ctx = layout, ctx
+
+        def __enter__(self):
+            self.layout._ns_lock.acquire()
+            self.ctx.delay(LOCK_OVERHEAD_NS, note="ns-lock")
+            return self
+
+        def __exit__(self, *exc):
+            self.layout._ns_lock.release()
+            return False
+
+    def meta_lock(self, ctx):
+        return HierarchicalLayout._Guard(self, ctx)
+
+    def get_meta(self, ctx, var_id: str) -> VariableMeta | None:
+        env = ctx.env
+        p = self._var_path(ctx, var_id) + "#dims"
+        if not env.vfs.exists(p):
+            return None
+        fd = env.vfs.open(ctx, p, OpenFlags.RDONLY)
+        size = env.vfs.fstat(ctx, fd)["size"]
+        raw = bytes(env.vfs.pread(ctx, fd, size, 0))
+        env.vfs.close(ctx, fd)
+        return VariableMeta.unpack(var_id, raw)
+
+    def put_meta(self, ctx, meta: VariableMeta) -> None:
+        env = ctx.env
+        p = self._var_path(ctx, meta.name, create_dirs=True) + "#dims"
+        fd = env.vfs.open(ctx, p, OpenFlags.CREAT | OpenFlags.RDWR | OpenFlags.TRUNC)
+        env.vfs.pwrite(ctx, fd, meta.pack(), 0)
+        env.vfs.close(ctx, fd)
+
+    def list_variables(self, ctx, subdir: str = "") -> list[str]:
+        self._require()
+        env = ctx.env
+        base = f"{self.root}/{subdir}".rstrip("/")
+        out = []
+        for name in env.vfs.listdir(ctx, base):
+            rel = f"{subdir}/{name}".lstrip("/")
+            if env.vfs.stat(ctx, f"{base}/{name}")["is_dir"]:
+                out.extend(self.list_variables(ctx, rel))
+            elif name.endswith("#dims"):
+                out.append(rel[: -len("#dims")])
+        return sorted(out)
+
+    def delete_variable(self, ctx, meta: VariableMeta) -> None:
+        env = ctx.env
+        base = self._var_path(ctx, meta.name)
+        for k in range(len(meta.chunks)):
+            env.vfs.unlink(ctx, f"{base}#chunk{k}")
+        env.vfs.unlink(ctx, f"{base}#dims")
+
+    # ------------------------------------------------------------------ blobs
+    #
+    # In this layout a chunk's ``blob_off`` field stores the chunk *index*;
+    # the payload lives in the variable's #chunk<idx> file.
+
+    def chunk_path(self, ctx, var_id: str, index: int) -> str:
+        return self._var_path(ctx, var_id) + f"#chunk{index}"
+
+    def create_chunk(self, ctx, var_id: str, index: int, size: int):
+        """Create + contiguously preallocate the chunk file; returns its
+        DAX mapping."""
+        env = ctx.env
+        p = self._var_path(ctx, var_id, create_dirs=True) + f"#chunk{index}"
+        fd = env.vfs.open(ctx, p, OpenFlags.CREAT | OpenFlags.RDWR)
+        env.vfs.fallocate(ctx, fd, max(size, 1), contiguous=True)
+        mapping = env.vfs.mmap(ctx, fd, self._flags)
+        env.vfs.close(ctx, fd)
+        return mapping
+
+    def open_chunk(self, ctx, var_id: str, index: int):
+        env = ctx.env
+        p = self.chunk_path(ctx, var_id, index)
+        fd = env.vfs.open(ctx, p, OpenFlags.RDONLY)
+        mapping = env.vfs.mmap(ctx, fd, self._flags)
+        env.vfs.close(ctx, fd)
+        return mapping
+
+    def chunk_sink(self, ctx, mapping) -> PmemSink:
+        return PmemSink(ctx, mapping, base=0)
+
+    def chunk_source(self, ctx, var_id: str, chunk) -> PmemSource:
+        mapping = self.open_chunk(ctx, var_id, chunk.blob_off)
+        return PmemSource(ctx, mapping, base=0, size=chunk.blob_len)

@@ -1,0 +1,170 @@
+"""Hashtable layout: the default §3 data layout.
+
+All variables live in one PMDK pool file.  Metadata is the persistent
+hashtable (flat namespace, keys ``<id>#dims``); chunk payloads are
+pool-allocated blobs serialized *directly into the DAX-mapped pool* — the
+zero-staging write path.
+
+Pool-file layout root (pool root object, 16B)::
+
+    hashmap header offset u64 | namespace mutex offset u64
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import NotMappedError
+from ..kernel.dax import MapFlags
+from ..kernel.vfs import OpenFlags
+from ..pmdk import PmemHashmap, PmemMutex, PmemPool
+from ..serial.base import PmemSink, PmemSource
+from .dataset import VariableMeta, dims_key
+
+#: lanes sized for up to 48 concurrent ranks with room for resize logs
+POOL_NLANES = 64
+POOL_LANE_LOG = 32 * 1024
+
+
+class HashtableLayout:
+    name = "hashtable"
+
+    def __init__(self, *, map_sync: bool = False, nbuckets: int = 64):
+        self.map_sync = map_sync
+        self.nbuckets = nbuckets
+        self.pool: PmemPool | None = None
+        self.map: PmemHashmap | None = None
+        self.mutex: PmemMutex | None = None
+        self._mapping = None
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def setup(self, ctx, comm, path: str, *, pool_size: int) -> None:
+        """Collective: rank 0 creates/opens the pool file, everyone maps it."""
+        env = ctx.env
+        flags = MapFlags.SHARED | (MapFlags.SYNC if self.map_sync else 0)
+        if comm.rank == 0:
+            fresh = not env.vfs.exists(path)
+            fd = env.vfs.open(ctx, path, OpenFlags.CREAT | OpenFlags.RDWR)
+            if fresh:
+                env.vfs.fallocate(ctx, fd, pool_size, contiguous=True)
+            mapping = env.vfs.mmap(ctx, fd, flags)
+            pool = env.pools.get(path)
+            if pool is None:
+                if fresh:
+                    pool = PmemPool.create(
+                        ctx, mapping, size=pool_size,
+                        nlanes=POOL_NLANES, lane_log_size=POOL_LANE_LOG,
+                    )
+                    hmap = PmemHashmap.create(ctx, pool, nbuckets=self.nbuckets)
+                    mutex = PmemMutex.alloc(ctx, pool)
+                    root = pool.malloc(ctx, 16)
+                    pool.write(ctx, root, struct.pack("<QQ", hmap.hdr_off, mutex.off))
+                    pool.persist(ctx, root, 16)
+                    pool.set_root(ctx, root)
+                else:
+                    pool = PmemPool.open(ctx, mapping, size=pool_size)
+                env.pools[path] = pool
+            # refresh the access paths: a previous run's mappings were unmapped
+            pool._default_region = mapping
+            pool.attach(ctx, mapping)
+            root = pool.root()
+            raw = bytes(pool.read(ctx, root, 16))
+            hmap_off, mutex_off = struct.unpack("<QQ", raw)
+            self.pool = pool
+            self.map = PmemHashmap.open(pool, hmap_off)
+            self.mutex = PmemMutex.open(ctx, pool, mutex_off)
+            with ctx.board.lock:
+                ctx.board.data[("pmemcpy", path)] = (pool, self.map, self.mutex)
+            comm.barrier()
+        else:
+            comm.barrier()
+            fd = env.vfs.open(ctx, path, OpenFlags.RDWR)
+            mapping = env.vfs.mmap(ctx, fd, flags)
+            with ctx.board.lock:
+                self.pool, self.map, self.mutex = ctx.board.data[("pmemcpy", path)]
+            self.pool.attach(ctx, mapping)
+        self._mapping = mapping
+        comm.barrier()
+
+    def teardown(self, ctx, comm) -> None:
+        if self._mapping is not None:
+            self._mapping.unmap(ctx)
+            self._mapping = None
+        comm.barrier()
+
+    def _require(self):
+        if self.pool is None:
+            raise NotMappedError("layout not set up — call PMEM.mmap first")
+
+    # ------------------------------------------------------------------ metadata
+
+    def meta_lock(self, ctx):
+        self._require()
+        return self.mutex.guard(ctx)
+
+    def get_meta(self, ctx, var_id: str) -> VariableMeta | None:
+        self._require()
+        raw = self.map.get(ctx, dims_key(var_id))
+        if raw is None:
+            return None
+        return VariableMeta.unpack(var_id, raw)
+
+    def put_meta(self, ctx, meta: VariableMeta) -> None:
+        self._require()
+        self.map.put(ctx, dims_key(meta.name), meta.pack())
+
+    def list_variables(self, ctx) -> list[str]:
+        self._require()
+        suffix = b"#dims"
+        return sorted(
+            k[: -len(suffix)].decode()
+            for k in self.map.keys(ctx)
+            if k.endswith(suffix)
+        )
+
+    def delete_variable(self, ctx, meta: VariableMeta) -> None:
+        self._require()
+        for chunk in meta.chunks:
+            self.pool.free(ctx, chunk.blob_off)
+        self.map.delete(ctx, dims_key(meta.name))
+
+    # ------------------------------------------------------------------ blobs
+
+    def alloc_blob(self, ctx, size: int) -> int:
+        self._require()
+        return self.pool.malloc(ctx, size)
+
+    def blob_sink(self, ctx, blob_off: int) -> PmemSink:
+        return PmemSink(ctx, self.pool, base=blob_off)
+
+    def blob_source(self, ctx, chunk) -> PmemSource:
+        # read through *this rank's* mapping so another rank's munmap can't
+        # invalidate an in-flight load
+        return PmemSource(
+            ctx, _RankPoolRegion(self.pool, ctx),
+            base=chunk.blob_off, size=chunk.blob_len,
+        )
+
+
+class _RankPoolRegion:
+    """Pool-access adapter bound to one rank's attached region."""
+
+    def __init__(self, pool: PmemPool, ctx):
+        self.pool = pool
+        self.ctx = ctx
+
+    def view(self, off: int, size: int):
+        return self.pool.region(self.ctx).view(off, size)
+
+    def touch(self, ctx, off: int, size: int) -> None:
+        self.pool.touch(ctx, off, size)
+
+    def write(self, ctx, off: int, data, *, model_bytes=None):
+        return self.pool.region(ctx).write(ctx, off, data, model_bytes=model_bytes)
+
+    def read(self, ctx, off: int, size: int, *, model_bytes=None):
+        return self.pool.region(ctx).read(ctx, off, size, model_bytes=model_bytes)
+
+    def persist(self, ctx, off: int, size: int) -> None:
+        self.pool.region(ctx).persist(ctx, off, size)

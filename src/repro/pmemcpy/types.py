@@ -1,0 +1,67 @@
+"""Small public value types for the pMEMCPY API."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import DimensionMismatchError
+
+
+class Dimensions:
+    """``pmemcpy::Dimensions`` (Fig. 2, line 10): an n-d shape.
+
+    Accepts ``Dimensions(100, 200)``, ``Dimensions((100, 200))``, or another
+    Dimensions.
+    """
+
+    def __init__(self, *dims):
+        if len(dims) == 1 and isinstance(dims[0], (tuple, list, Dimensions)):
+            dims = tuple(dims[0])
+        if not dims:
+            raise DimensionMismatchError("Dimensions needs at least one dim")
+        bad = [d for d in dims if int(d) != d or d < 0]
+        if bad:
+            raise DimensionMismatchError(f"invalid dimensions {dims}")
+        self._dims = tuple(int(d) for d in dims)
+
+    @property
+    def ndims(self) -> int:
+        return len(self._dims)
+
+    @property
+    def nelems(self) -> int:
+        return math.prod(self._dims)
+
+    def nbytes(self, dtype) -> int:
+        return self.nelems * np.dtype(dtype).itemsize
+
+    def __iter__(self):
+        return iter(self._dims)
+
+    def __len__(self) -> int:
+        return len(self._dims)
+
+    def __getitem__(self, i):
+        return self._dims[i]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (Dimensions, tuple, list)):
+            return self._dims == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._dims)
+
+    def __repr__(self) -> str:
+        return f"Dimensions{self._dims}"
+
+
+def as_dims(value) -> tuple[int, ...]:
+    """Normalize a shape-like (int, tuple, Dimensions) to a tuple."""
+    if isinstance(value, Dimensions):
+        return tuple(value)
+    if isinstance(value, (int, np.integer)):
+        return (int(value),)
+    return tuple(int(d) for d in value)

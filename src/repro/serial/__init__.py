@@ -1,0 +1,38 @@
+"""Pluggable serializers and charged pack/unpack sinks/sources.
+
+The paper's core optimization (§3 "Data Transfer and Serialization") is that
+pMEMCPY *serializes directly into PMEM* instead of staging in DRAM.  The
+sink/source abstraction makes that a one-line choice:
+
+- :class:`PmemSink` / :class:`PmemSource` — pack into / unpack from a pool
+  region or DAX mapping (PMEM bandwidth, no staging copy);
+- :class:`DramSink` / :class:`DramSource` — pack into / unpack from a DRAM
+  staging buffer (what ADIOS/NetCDF do before their POSIX write).
+
+Four formats, mirroring the paper's list: ``bp4`` (ADIOS BP4-like, with
+min/max characteristics), ``cproto`` (Cap'n-Proto-like segments), ``cereal``
+(TLV), ``raw`` (serialization disabled — a bare memcpy with a fixed header).
+"""
+
+from .base import DramSink, DramSource, PmemSink, PmemSource, Serializer, Sink, Source
+from .bp4 import BP4Serializer
+from .cproto import CProtoSerializer
+from .cereal import CerealSerializer
+from .raw import RawSerializer
+from .registry import available_serializers, get_serializer
+
+__all__ = [
+    "Serializer",
+    "Sink",
+    "Source",
+    "DramSink",
+    "DramSource",
+    "PmemSink",
+    "PmemSource",
+    "BP4Serializer",
+    "CProtoSerializer",
+    "CerealSerializer",
+    "RawSerializer",
+    "available_serializers",
+    "get_serializer",
+]

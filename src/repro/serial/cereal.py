@@ -1,0 +1,91 @@
+"""cereal-like serializer: a stream of tag-length-value records, ending with
+an END tag.  Flexible (records in any order) at the cost of per-record
+framing overhead.
+
+Records::
+
+    tag u8 | length u64 | value bytes
+
+    NAME(1)  utf-8 name
+    DTYPE(2) dtype token
+    SHAPE(3) ndims × u64
+    DATA(4)  payload
+    END(255) empty
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..errors import SerializationError
+from .base import (
+    Serializer,
+    Sink,
+    Source,
+    array_from_bytes,
+    dtype_from_token,
+    dtype_to_token,
+    payload_view,
+)
+
+TAG_NAME = 1
+TAG_DTYPE = 2
+TAG_SHAPE = 3
+TAG_DATA = 4
+TAG_END = 255
+_REC = struct.Struct("<BQ")
+
+
+class CerealSerializer(Serializer):
+    name = "cereal"
+    cpu_pack_bw = 2.4
+    cpu_unpack_bw = 2.8
+
+    def packed_size(self, name: str, array: np.ndarray) -> int:
+        nb, dt = len(name.encode()), len(dtype_to_token(array.dtype).encode())
+        return (
+            _REC.size * 5 + nb + dt + 8 * array.ndim + array.nbytes
+        )
+
+    def pack(self, ctx, name: str, array: np.ndarray, sink: Sink) -> int:
+        n = 0
+        nb = name.encode()
+        n += sink.write(_REC.pack(TAG_NAME, len(nb)) + nb)
+        dt = dtype_to_token(array.dtype).encode()
+        n += sink.write(_REC.pack(TAG_DTYPE, len(dt)) + dt)
+        shape = struct.pack(f"<{array.ndim}Q", *array.shape)
+        n += sink.write(_REC.pack(TAG_SHAPE, len(shape)) + shape)
+        n += sink.write(_REC.pack(TAG_DATA, array.nbytes))
+        n += sink.write(payload_view(array), payload=True)
+        n += sink.write(_REC.pack(TAG_END, 0))
+        self._charge_pack_cpu(ctx, array.nbytes)
+        return n
+
+    def unpack(self, ctx, source: Source) -> tuple[str, np.ndarray]:
+        name = None
+        dtype = None
+        shape = None
+        payload = None
+        for _ in range(16):  # bounded: malformed streams terminate
+            tag, length = _REC.unpack(bytes(source.read(_REC.size)))
+            if tag == TAG_END:
+                break
+            if tag == TAG_NAME:
+                name = bytes(source.read(length)).decode()
+            elif tag == TAG_DTYPE:
+                dtype = dtype_from_token(bytes(source.read(length)).decode())
+            elif tag == TAG_SHAPE:
+                shape = struct.unpack(f"<{length // 8}Q", bytes(source.read(length)))
+            elif tag == TAG_DATA:
+                payload = source.read(length, payload=True)
+            else:
+                raise SerializationError(f"unknown cereal tag {tag}")
+        else:
+            raise SerializationError("unterminated cereal stream")
+        if name is None or dtype is None or shape is None or payload is None:
+            raise SerializationError("incomplete cereal record set")
+        array = array_from_bytes(payload, dtype, shape)
+        self._charge_unpack_cpu(ctx, array.nbytes)
+        return name, array

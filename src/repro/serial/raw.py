@@ -1,0 +1,72 @@
+"""Raw serializer — "serialization completely disabled" (§3): a bare memcpy
+behind a fixed 64-byte header.  The variable's name is *not* stored; the
+key-value key carries identity (``unpack`` returns ``""``).
+
+Header (64B)::
+
+    magic u32 | ndims u32 | dtype_len u32 | pad u32 |
+    dims 4 × u64 | dtype token (<= 16B inline) or overflow length
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..errors import SerializationError
+from .base import (
+    Serializer,
+    Sink,
+    Source,
+    array_from_bytes,
+    dtype_from_token,
+    dtype_to_token,
+    payload_view,
+)
+
+MAGIC = 0x52415721  # "RAW!"
+MAX_INLINE_DTYPE = 16
+MAX_DIMS = 4
+_HDR = struct.Struct("<IIII4Q")
+
+
+class RawSerializer(Serializer):
+    name = "raw"
+    cpu_pack_bw = 4.5    # effectively memcpy speed
+    cpu_unpack_bw = 5.0
+
+    def _header(self, array: np.ndarray) -> bytes:
+        if array.ndim > MAX_DIMS:
+            raise SerializationError(f"raw format supports <= {MAX_DIMS} dims")
+        dt = dtype_to_token(array.dtype).encode()
+        dims = list(array.shape) + [0] * (MAX_DIMS - array.ndim)
+        hdr = _HDR.pack(MAGIC, array.ndim, len(dt), 0, *dims)
+        if len(dt) <= MAX_INLINE_DTYPE:
+            return hdr + dt + bytes(MAX_INLINE_DTYPE - len(dt))
+        # long (structured) dtypes spill past the fixed header
+        return hdr + dt
+
+    def packed_size(self, name: str, array: np.ndarray) -> int:
+        return len(self._header(array)) + array.nbytes
+
+    def pack(self, ctx, name: str, array: np.ndarray, sink: Sink) -> int:
+        n = sink.write(self._header(array))
+        n += sink.write(payload_view(array), payload=True)
+        self._charge_pack_cpu(ctx, array.nbytes)
+        return n
+
+    def unpack(self, ctx, source: Source) -> tuple[str, np.ndarray]:
+        raw = bytes(source.read(_HDR.size))
+        magic, ndims, dt_len, _pad, *dims = _HDR.unpack(raw)
+        if magic != MAGIC:
+            raise SerializationError(f"bad raw magic {magic:#x}")
+        take = max(dt_len, MAX_INLINE_DTYPE) if dt_len <= MAX_INLINE_DTYPE else dt_len
+        dt_raw = bytes(source.read(take))[:dt_len]
+        dtype = dtype_from_token(dt_raw.decode())
+        shape = tuple(dims[:ndims])
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        payload = source.read(nbytes, payload=True)
+        array = array_from_bytes(payload, dtype, shape)
+        self._charge_unpack_cpu(ctx, array.nbytes)
+        return "", array

@@ -1,0 +1,36 @@
+"""Serializer registry: look up by name, list what's available."""
+
+from __future__ import annotations
+
+from ..errors import SerializationError
+from .base import Serializer
+from .bp4 import BP4Serializer
+from .cereal import CerealSerializer
+from .cproto import CProtoSerializer
+from .raw import RawSerializer
+
+_REGISTRY: dict[str, Serializer] = {}
+
+
+def register(serializer: Serializer) -> None:
+    _REGISTRY[serializer.name] = serializer
+
+
+register(BP4Serializer())
+register(CProtoSerializer())
+register(CerealSerializer())
+register(RawSerializer())
+_REGISTRY["none"] = _REGISTRY["raw"]  # "serialization can be disabled" (§3)
+
+
+def get_serializer(name: str) -> Serializer:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SerializationError(
+            f"unknown serializer {name!r}; available: {available_serializers()}"
+        ) from None
+
+
+def available_serializers() -> list[str]:
+    return sorted(_REGISTRY)

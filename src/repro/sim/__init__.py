@@ -1,0 +1,37 @@
+"""Trace-driven timing simulation.
+
+The stack runs in two passes (DESIGN.md §6):
+
+1. a *functional* pass where every rank is a thread operating on real
+   (scaled-down) NumPy buffers, recording a per-rank trace of costed
+   operations; and
+2. a *timing* pass where :class:`~repro.sim.fluid.FluidSimulator` replays the
+   traces under max-min fair resource sharing, producing deterministic
+   paper-scale wall-clock numbers.
+"""
+
+from .trace import Barrier, Delay, Transfer, TraceOp, RankTrace
+from .resources import Resource, ResourceSet, build_standard_resources
+from .fluid import FluidSimulator, FluidResult
+from .engine import Context, SpmdResult, run_spmd
+from .stats import PhaseBreakdown, Utilization, summarize, utilization
+
+__all__ = [
+    "Barrier",
+    "Delay",
+    "Transfer",
+    "TraceOp",
+    "RankTrace",
+    "Resource",
+    "ResourceSet",
+    "build_standard_resources",
+    "FluidSimulator",
+    "FluidResult",
+    "Context",
+    "SpmdResult",
+    "run_spmd",
+    "PhaseBreakdown",
+    "Utilization",
+    "summarize",
+    "utilization",
+]

@@ -1,0 +1,282 @@
+"""SPMD functional-pass engine.
+
+``run_spmd(nprocs, fn)`` launches one OS thread per rank, each executing
+``fn(ctx)`` against real (scaled-down) buffers.  The :class:`Context` is the
+single funnel through which every substrate records costs:
+
+- ``ctx.delay(ns)`` / ``ctx.transfer(resource, amount, cap)`` append trace ops;
+- ``ctx.model_bytes(n)`` converts functional-pass byte counts to paper-scale
+  modeled bytes;
+- ``ctx.barrier()`` both synchronizes the threads *and* records a Barrier op;
+- ``ctx.phase(name)`` labels subsequent ops for breakdown reporting;
+- ``ctx.board`` is a shared rendezvous board the MPI layer builds
+  collectives on.
+
+Determinism: each rank appends only to its own trace, and trace contents
+depend only on the rank's logical execution, so the timing pass is
+reproducible — up to one caveat: where ranks contend on shared *functional*
+state (e.g. hashtable chains whose order reflects insertion interleaving),
+metadata-traversal costs can jitter by microseconds between runs.  Data-path
+costs, which dominate every reported figure, are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..config import DEFAULT_MACHINE, MachineSpec
+from ..errors import RankFailedError
+from .fluid import FluidResult, FluidSimulator
+from .resources import ResourceSet, build_standard_resources
+from .trace import Barrier, Delay, RankTrace, Transfer
+
+
+class SharedBoard:
+    """A lock-protected blackboard shared by all ranks of a run.
+
+    The MPI layer uses it to exchange object references for collectives; the
+    engine uses it for functional barriers.  Keys are arbitrary hashables.
+    """
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        self.data: dict[Any, Any] = {}
+        self._barriers: dict[tuple, threading.Barrier] = {}
+        self._aborted = False
+
+    def functional_barrier(self, participants: tuple[int, ...]) -> threading.Barrier:
+        key = ("barrier", participants)
+        with self.lock:
+            b = self._barriers.get(key)
+            if b is None:
+                b = threading.Barrier(len(participants))
+                if self._aborted:
+                    # a rank already failed; poison new barriers too so
+                    # latecomers can't block forever
+                    b.abort()
+                self._barriers[key] = b
+            return b
+
+    @property
+    def aborted(self) -> bool:
+        return self._aborted
+
+    def abort_all_barriers(self) -> None:
+        with self.lock:
+            self._aborted = True
+            for b in self._barriers.values():
+                b.abort()
+            self.cond.notify_all()
+
+
+class Context:
+    """Per-rank handle passed to the SPMD function."""
+
+    def __init__(
+        self,
+        rank: int,
+        nprocs: int,
+        *,
+        machine: MachineSpec,
+        scale: int,
+        board: SharedBoard,
+        trace: RankTrace,
+        env=None,
+    ):
+        self.rank = rank
+        self.nprocs = nprocs
+        self.machine = machine
+        self.scale = scale
+        self.board = board
+        self.trace = trace
+        #: experiment environment (e.g. a repro.cluster.Cluster) giving the
+        #: rank access to the node's devices and filesystems
+        self.env = env
+        self._phase_stack: list[str] = [""]
+        self._barrier_counts: dict[tuple[int, ...], int] = {}
+
+    # -- cost recording -------------------------------------------------------
+
+    @property
+    def current_phase(self) -> str:
+        return self._phase_stack[-1]
+
+    @contextmanager
+    def phase(self, name: str):
+        self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    def model_bytes(self, real_bytes: int | float) -> float:
+        """Scale a functional-pass byte count up to paper scale."""
+        return float(real_bytes) * self.scale
+
+    def delay(self, ns: float, note: str = "") -> None:
+        """Record a fixed latency.  Adjacent same-phase delays are merged —
+        sequential delays sum, so this is semantically exact and keeps
+        metadata-heavy traces small."""
+        if ns <= 0:
+            return
+        ops = self.trace.ops
+        if ops:
+            last = ops[-1]
+            if (
+                isinstance(last, Delay)
+                and last.phase == self.current_phase
+                and last.note == note
+            ):
+                ops[-1] = Delay(ns=last.ns + ns, phase=last.phase, note=last.note)
+                return
+        ops.append(Delay(ns=ns, phase=self.current_phase, note=note))
+
+    def transfer(
+        self, resource: str, amount: float, stream_cap: float, note: str = ""
+    ) -> None:
+        """Record a resource transfer.  Adjacent same-phase transfers with the
+        same resource and stream cap are merged — a stream's max-min rate
+        depends only on the concurrently active set, so back-to-back
+        transfers of the same stream are exactly equivalent to their sum."""
+        if amount <= 0:
+            return
+        ops = self.trace.ops
+        if ops:
+            last = ops[-1]
+            if (
+                isinstance(last, Transfer)
+                and last.phase == self.current_phase
+                and last.resource == resource
+                and last.stream_cap == stream_cap
+                and last.note == note
+            ):
+                ops[-1] = Transfer(
+                    resource=resource,
+                    amount=last.amount + amount,
+                    stream_cap=stream_cap,
+                    phase=last.phase,
+                    note=last.note,
+                )
+                return
+        ops.append(
+            Transfer(
+                resource=resource,
+                amount=amount,
+                stream_cap=stream_cap,
+                phase=self.current_phase,
+                note=note,
+            )
+        )
+
+    # -- synchronization -------------------------------------------------------
+
+    def barrier(self, participants: tuple[int, ...] | None = None) -> None:
+        """Rendezvous functionally and record a Barrier op.
+
+        The barrier id is the rank-local count of barriers on this
+        participant set: SPMD determinism guarantees matching ids match
+        matching rendezvous.
+        """
+        if participants is None:
+            participants = tuple(range(self.nprocs))
+        seq = self._barrier_counts.get(participants, 0)
+        self._barrier_counts[participants] = seq + 1
+        self.trace.append(
+            Barrier(
+                barrier_id=seq,
+                participants=participants,
+                phase=self.current_phase,
+            )
+        )
+        self.board.functional_barrier(participants).wait()
+
+
+@dataclass
+class SpmdResult:
+    """Everything a finished functional pass produced."""
+
+    nprocs: int
+    machine: MachineSpec
+    scale: int
+    traces: list[RankTrace]
+    returns: list[Any]
+    _timing: FluidResult | None = field(default=None, repr=False)
+
+    def time(self, resources: ResourceSet | None = None) -> FluidResult:
+        """Run (and cache) the timing pass over the recorded traces."""
+        if self._timing is None or resources is not None:
+            rs = resources or build_standard_resources(self.machine)
+            self._timing = FluidSimulator(rs).run(self.traces)
+        return self._timing
+
+    @property
+    def makespan_ns(self) -> float:
+        return self.time().makespan_ns
+
+    @property
+    def makespan_s(self) -> float:
+        return self.time().makespan_ns / 1e9
+
+
+def run_spmd(
+    nprocs: int,
+    fn: Callable[[Context], Any],
+    *,
+    machine: MachineSpec = DEFAULT_MACHINE,
+    scale: int = 1,
+    thread_name: str = "rank",
+    env=None,
+) -> SpmdResult:
+    """Run ``fn`` on ``nprocs`` ranks; gather traces and return values.
+
+    Any rank exception aborts all functional barriers (so peers unblock) and
+    re-raises as :class:`RankFailedError` carrying the original.
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    board = SharedBoard()
+    traces = [RankTrace(rank=r) for r in range(nprocs)]
+    returns: list[Any] = [None] * nprocs
+    failures: list[tuple[int, BaseException]] = []
+    flock = threading.Lock()
+
+    def runner(r: int) -> None:
+        ctx = Context(
+            r, nprocs, machine=machine, scale=scale, board=board,
+            trace=traces[r], env=env,
+        )
+        try:
+            returns[r] = fn(ctx)
+        except BaseException as exc:  # noqa: BLE001 - must unblock peers
+            with flock:
+                failures.append((r, exc))
+            board.abort_all_barriers()
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"{thread_name}-{r}")
+        for r in range(nprocs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if failures:
+        failures.sort()
+        rank, exc = failures[0]
+        if isinstance(exc, threading.BrokenBarrierError):
+            # Secondary casualty of an abort; look for the root cause.
+            for r2, e2 in failures:
+                if not isinstance(e2, threading.BrokenBarrierError):
+                    rank, exc = r2, e2
+                    break
+        raise RankFailedError(rank, exc) from exc
+
+    return SpmdResult(
+        nprocs=nprocs, machine=machine, scale=scale,
+        traces=traces, returns=returns,
+    )

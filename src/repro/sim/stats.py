@@ -1,0 +1,89 @@
+"""Result summarization: phase/resource breakdowns and tabular rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..units import fmt_time
+from .fluid import FluidResult
+
+
+@dataclass
+class PhaseBreakdown:
+    """Aggregated view of a :class:`FluidResult`."""
+
+    makespan_ns: float
+    #: phase -> critical-path ns (max over ranks of that rank's time in phase)
+    phases: dict[str, float] = field(default_factory=dict)
+    #: (phase, bucket) -> mean-over-ranks ns
+    detail: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def to_rows(self) -> list[tuple[str, str, str]]:
+        rows = []
+        for phase in sorted(self.phases, key=lambda p: -self.phases[p]):
+            pct = 100.0 * self.phases[phase] / self.makespan_ns if self.makespan_ns else 0
+            rows.append((phase or "(untagged)", fmt_time(self.phases[phase]), f"{pct:.1f}%"))
+        return rows
+
+    def render(self, title: str = "phase breakdown") -> str:
+        lines = [f"== {title} (makespan {fmt_time(self.makespan_ns)}) =="]
+        for name, t, pct in self.to_rows():
+            lines.append(f"  {name:<24} {t:>12} {pct:>7}")
+        return "\n".join(lines)
+
+
+def summarize(result: FluidResult) -> PhaseBreakdown:
+    nranks = len(result.finish_ns) or 1
+    detail: dict[tuple[str, str], float] = {}
+    for (_rank, phase, bucket), ns in result.breakdown.items():
+        key = (phase, bucket)
+        detail[key] = detail.get(key, 0.0) + ns / nranks
+    return PhaseBreakdown(
+        makespan_ns=result.makespan_ns,
+        phases=result.phase_totals(),
+        detail=detail,
+    )
+
+
+@dataclass
+class Utilization:
+    """How much of each resource's capacity the run actually used."""
+
+    makespan_ns: float
+    #: resource -> (total units moved, mean fraction of capacity consumed)
+    per_resource: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    def render(self, title: str = "resource utilization") -> str:
+        lines = [f"== {title} (makespan {fmt_time(self.makespan_ns)}) =="]
+        for name in sorted(
+            self.per_resource, key=lambda n: -self.per_resource[n][1]
+        ):
+            amount, frac = self.per_resource[name]
+            bar = "#" * round(30 * min(frac, 1.0))
+            lines.append(
+                f"  {name:<12} {frac * 100:5.1f}% {bar:<30} "
+                f"({amount:.3g} units)"
+            )
+        return "\n".join(lines)
+
+
+def utilization(traces, result: FluidResult, resources) -> Utilization:
+    """Aggregate per-resource demand from ``traces`` against each resource's
+    capacity over the run's makespan.  A resource near 100% is the
+    bottleneck; one near 0% is idle — the Fig. 6 story in one table
+    (pMEMCPY saturates ``pmem_write``; NetCDF splits time across ``net``
+    and ``dram`` instead)."""
+    from .trace import Transfer
+
+    totals: dict[str, float] = {}
+    for t in traces:
+        for op in t.ops:
+            if isinstance(op, Transfer):
+                totals[op.resource] = totals.get(op.resource, 0.0) + op.amount
+    span = result.makespan_ns or 1.0
+    nranks = max(len(traces), 1)
+    out: dict[str, tuple[float, float]] = {}
+    for name, amount in totals.items():
+        cap = resources[name].capacity(nranks)
+        out[name] = (amount, amount / (cap * span))
+    return Utilization(makespan_ns=result.makespan_ns, per_resource=out)

@@ -1,0 +1,86 @@
+"""Trace operation types recorded by the functional pass.
+
+A trace is, per rank, an ordered list of ops.  Three kinds exist:
+
+- :class:`Delay` — a fixed latency (syscall entry, page fault, msync commit);
+- :class:`Transfer` — ``amount`` abstract units moved through one named
+  resource, rate-limited by a per-stream cap and by the resource's max-min
+  fair share (bytes for devices, core-nanoseconds for the CPU);
+- :class:`Barrier` — a rendezvous among a set of ranks; completes for all
+  participants when the last one arrives.
+
+Ops carry a ``phase`` label so results can be broken down into the paper's
+copy-path stages (generate / rearrange / serialize / kernel / device...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Delay:
+    ns: float
+    phase: str = ""
+    note: str = ""
+
+    def __post_init__(self):
+        if self.ns < 0:
+            raise ValueError(f"negative delay: {self.ns}")
+
+
+@dataclass(frozen=True)
+class Transfer:
+    resource: str
+    amount: float          # abstract units (bytes, or core-ns for "cpu")
+    stream_cap: float      # units per ns this stream can draw at most
+    phase: str = ""
+    note: str = ""
+
+    def __post_init__(self):
+        if self.amount < 0:
+            raise ValueError(f"negative transfer amount: {self.amount}")
+        if self.stream_cap <= 0:
+            raise ValueError(f"non-positive stream cap: {self.stream_cap}")
+
+
+@dataclass(frozen=True)
+class Barrier:
+    #: barriers with the same id and participant set rendezvous together.
+    barrier_id: int
+    participants: tuple[int, ...]
+    phase: str = ""
+
+
+TraceOp = Delay | Transfer | Barrier
+
+
+@dataclass
+class RankTrace:
+    """The ordered op list of a single rank."""
+
+    rank: int
+    ops: list[TraceOp] = field(default_factory=list)
+
+    def append(self, op: TraceOp) -> None:
+        self.ops.append(op)
+
+    # -- analytic helpers (used by tests and sanity checks) ------------------
+
+    def total_delay_ns(self) -> float:
+        return sum(op.ns for op in self.ops if isinstance(op, Delay))
+
+    def total_amount(self, resource: str) -> float:
+        return sum(
+            op.amount
+            for op in self.ops
+            if isinstance(op, Transfer) and op.resource == resource
+        )
+
+    def lower_bound_ns(self) -> float:
+        """Uncontended lower bound: every transfer at its stream cap."""
+        t = self.total_delay_ns()
+        for op in self.ops:
+            if isinstance(op, Transfer):
+                t += op.amount / op.stream_cap
+        return t

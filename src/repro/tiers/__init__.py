@@ -1,0 +1,25 @@
+"""Hermes-style multi-tier buffering (§2.1: "HDF5 introduced a multi-tiered
+buffer management system, Hermes, that allows users to manage the complexity
+of heterogeneous, multi-tiered storage environments without changing
+application code"; §1's storage-hierarchy works [5, 21, 34])."""
+
+from .manager import Blob, Tier, TierManager, TierStats
+from .policy import (
+    BandwidthAwarePolicy,
+    CapacityAwarePolicy,
+    PerformanceFirstPolicy,
+    PlacementPolicy,
+    get_policy,
+)
+
+__all__ = [
+    "Blob",
+    "Tier",
+    "TierManager",
+    "TierStats",
+    "PlacementPolicy",
+    "PerformanceFirstPolicy",
+    "CapacityAwarePolicy",
+    "BandwidthAwarePolicy",
+    "get_policy",
+]

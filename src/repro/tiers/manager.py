@@ -1,0 +1,255 @@
+"""The tier manager: a key-value buffering layer over a storage hierarchy.
+
+A :class:`TierManager` owns an ordered list of :class:`Tier`\\ s (fastest
+first — typically PMEM > NVMe > PFS).  ``put`` places a blob according to
+the placement policy; when the chosen tier lacks room, colder blobs are
+demoted down the hierarchy (LRU) to make space — exactly the buffering/
+eviction dance Hermes automates.  ``get`` fetches from wherever the blob
+currently lives; ``drain`` pushes everything to the bottom tier (the
+burst-buffer flush).
+
+Functionally real: blob bytes live in per-tier stores and survive
+promotion/demotion byte-exact.  Every movement is charged against the
+owning device's resources.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..config import DEFAULT_MACHINE, MachineSpec
+from ..errors import OutOfSpaceError, ReproError
+
+
+@dataclass
+class Blob:
+    key: str
+    size: int
+    tier: "Tier"
+    #: monotone counter value of the last access (LRU bookkeeping)
+    last_access: int = 0
+
+
+@dataclass
+class TierStats:
+    puts: int = 0
+    gets: int = 0
+    promotions: int = 0
+    demotions: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+
+class Tier:
+    """One rung: a capacity-tracked blob store charged at its device's
+    rates."""
+
+    def __init__(self, name: str, *, capacity: int,
+                 read_resource: str, write_resource: str,
+                 stream_read_bw: float, stream_write_bw: float,
+                 read_latency_ns: float, write_latency_ns: float):
+        self.name = name
+        self.capacity = capacity
+        self.read_resource = read_resource
+        self.write_resource = write_resource
+        self.stream_read_bw = stream_read_bw
+        self.stream_write_bw = stream_write_bw
+        self.read_latency_ns = read_latency_ns
+        self.write_latency_ns = write_latency_ns
+        self.used = 0
+        self._data: dict[str, bytes] = {}
+        self.stats = TierStats()
+
+    @classmethod
+    def from_spec(cls, spec, *, resource_prefix: str,
+                  capacity: int | None = None) -> "Tier":
+        return cls(
+            spec.name,
+            capacity=capacity if capacity is not None else spec.capacity,
+            read_resource=f"{resource_prefix}_read",
+            write_resource=f"{resource_prefix}_write",
+            stream_read_bw=spec.stream_read_bw,
+            stream_write_bw=spec.stream_write_bw,
+            read_latency_ns=spec.read_latency_ns,
+            write_latency_ns=spec.write_latency_ns,
+        )
+
+    def fits(self, size: int) -> bool:
+        return self.used + size <= self.capacity
+
+    def free_bytes(self) -> int:
+        return self.capacity - self.used
+
+    # -- charged blob movement ------------------------------------------------
+
+    def write_blob(self, ctx, key: str, data: bytes) -> None:
+        ctx.delay(self.write_latency_ns, note=f"{self.name}-write")
+        ctx.transfer(
+            self.write_resource, ctx.model_bytes(len(data)),
+            self.stream_write_bw, note=f"{self.name}-write",
+        )
+        if key not in self._data:
+            self.used += len(data)
+        else:
+            self.used += len(data) - len(self._data[key])
+        self._data[key] = bytes(data)
+        self.stats.bytes_written += len(data)
+
+    def read_blob(self, ctx, key: str) -> bytes:
+        ctx.delay(self.read_latency_ns, note=f"{self.name}-read")
+        data = self._data[key]
+        ctx.transfer(
+            self.read_resource, ctx.model_bytes(len(data)),
+            self.stream_read_bw, note=f"{self.name}-read",
+        )
+        self.stats.bytes_read += len(data)
+        return data
+
+    def drop_blob(self, key: str) -> None:
+        data = self._data.pop(key)
+        self.used -= len(data)
+
+
+class TierManager:
+    """The buffering layer itself.  Thread-safe (one lock; rank concurrency
+    in virtual time is unaffected — resource contention is modeled by the
+    fluid pass)."""
+
+    def __init__(self, tiers: list[Tier], policy, *,
+                 machine: MachineSpec = DEFAULT_MACHINE):
+        if not tiers:
+            raise ReproError("need at least one tier")
+        self.tiers = tiers
+        self.policy = policy
+        self.machine = machine
+        self.blobs: dict[str, Blob] = {}
+        self._clock = 0
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ api
+
+    def put(self, ctx, key: str, data: bytes) -> str:
+        """Store/replace a blob; returns the name of the tier it landed in."""
+        data = bytes(data)
+        with self._lock:
+            self._clock += 1
+            old = self.blobs.pop(key, None)
+            if old is not None:
+                old.tier.drop_blob(key)
+            tier = self.policy.choose(self, len(data))
+            if tier is None or not self._make_room(ctx, tier, len(data)):
+                raise OutOfSpaceError(
+                    f"no tier can hold {len(data)} bytes (even after eviction)"
+                )
+            tier.write_blob(ctx, key, data)
+            tier.stats.puts += 1
+            self.blobs[key] = Blob(key, len(data), tier, self._clock)
+            return tier.name
+
+    def get(self, ctx, key: str, *, promote: bool = True) -> bytes:
+        """Fetch a blob from wherever it lives; hot blobs found in slow
+        tiers are promoted back up (Hermes' caching behavior)."""
+        with self._lock:
+            self._clock += 1
+            blob = self.blobs.get(key)
+            if blob is None:
+                raise KeyError(key)
+            blob.last_access = self._clock
+            data = blob.tier.read_blob(ctx, key)
+            blob.tier.stats.gets += 1
+            if promote and blob.tier is not self.tiers[0]:
+                self._try_promote(ctx, blob, data)
+            return data
+
+    def where(self, key: str) -> str:
+        with self._lock:
+            return self.blobs[key].tier.name
+
+    def drain(self, ctx) -> int:
+        """Flush everything to the bottom tier; returns bytes moved."""
+        bottom = self.tiers[-1]
+        moved = 0
+        with self._lock:
+            for blob in list(self.blobs.values()):
+                if blob.tier is bottom:
+                    continue
+                data = blob.tier.read_blob(ctx, blob.key)
+                blob.tier.drop_blob(blob.key)
+                blob.tier.stats.demotions += 1
+                bottom.write_blob(ctx, blob.key, data)
+                blob.tier = bottom
+                moved += len(data)
+        return moved
+
+    def usage(self) -> dict[str, tuple[int, int]]:
+        """{tier: (used, capacity)}."""
+        return {t.name: (t.used, t.capacity) for t in self.tiers}
+
+    # ------------------------------------------------------------------ internals
+
+    def _tier_below(self, tier: Tier) -> Tier | None:
+        i = self.tiers.index(tier)
+        return self.tiers[i + 1] if i + 1 < len(self.tiers) else None
+
+    def _make_room(self, ctx, tier: Tier, size: int) -> bool:
+        """Demote LRU blobs out of ``tier`` until ``size`` fits.  Cascades
+        recursively down the hierarchy; False if space cannot be made."""
+        if size > tier.capacity:
+            below = self._tier_below(tier)
+            return self._make_room(ctx, below, size) if below else False
+        while not tier.fits(size):
+            victim = min(
+                (b for b in self.blobs.values() if b.tier is tier),
+                key=lambda b: b.last_access,
+                default=None,
+            )
+            if victim is None:
+                return False
+            below = self._tier_below(tier)
+            if below is None:
+                return False
+            if not self._make_room(ctx, below, victim.size):
+                return False
+            data = tier.read_blob(ctx, victim.key)
+            tier.drop_blob(victim.key)
+            tier.stats.demotions += 1
+            below.write_blob(ctx, victim.key, data)
+            victim.tier = below
+        return True
+
+    def _try_promote(self, ctx, blob: Blob, data: bytes) -> None:
+        """Move a hot blob up one rung if space can be made cheaply (no
+        cascaded demotion — promotion must never thrash)."""
+        i = self.tiers.index(blob.tier)
+        target = self.tiers[i - 1]
+        if not target.fits(blob.size):
+            return
+        blob.tier.drop_blob(blob.key)
+        target.write_blob(ctx, blob.key, data)
+        target.stats.promotions += 1
+        blob.tier = target
+
+    # ------------------------------------------------------------------ factory
+
+    @classmethod
+    def standard(
+        cls,
+        policy,
+        *,
+        machine: MachineSpec = DEFAULT_MACHINE,
+        pmem_capacity: int,
+        nvme_capacity: int,
+        pfs_capacity: int | None = None,
+    ) -> "TierManager":
+        """The paper's Fig. 1 hierarchy: node-local PMEM, node-local NVMe,
+        shared PFS."""
+        tiers = [
+            Tier.from_spec(machine.pmem, resource_prefix="pmem",
+                           capacity=pmem_capacity),
+            Tier.from_spec(machine.nvme, resource_prefix="nvme",
+                           capacity=nvme_capacity),
+            Tier.from_spec(machine.pfs, resource_prefix="pfs",
+                           capacity=pfs_capacity or machine.pfs.capacity),
+        ]
+        return cls(tiers, policy, machine=machine)

@@ -1,0 +1,100 @@
+"""Placement policies: where should a new blob land in the hierarchy?
+
+The trade is between absorbing bursts at full speed (fill the fastest tier
+and evict later) and avoiding eviction storms (spread proactively).  These
+mirror the policy knobs of multi-tier buffering systems like Hermes [21]
+and the burst-buffer draining literature [34].
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..errors import ReproError
+
+
+class PlacementPolicy(ABC):
+    name = "abstract"
+
+    @abstractmethod
+    def choose(self, manager, size: int):
+        """Pick the tier a ``size``-byte blob should be written to (the
+        manager handles eviction if it doesn't currently fit).  None if no
+        tier can ever hold it."""
+
+
+class PerformanceFirstPolicy(PlacementPolicy):
+    """Always target the fastest tier; rely on LRU demotion for overflow.
+    Best burst absorption, worst eviction storms."""
+
+    name = "performance"
+
+    def choose(self, manager, size: int):
+        for t in manager.tiers:
+            if size <= t.capacity:
+                return t
+        return None
+
+
+class CapacityAwarePolicy(PlacementPolicy):
+    """Target the fastest tier that can take the blob *without* eviction
+    (keeping ``headroom`` of it free); overflow goes down the hierarchy
+    proactively.  No demotion traffic, lower peak ingest rate."""
+
+    name = "capacity"
+
+    def __init__(self, headroom: float = 0.1):
+        if not 0 <= headroom < 1:
+            raise ReproError("headroom must be in [0, 1)")
+        self.headroom = headroom
+
+    def choose(self, manager, size: int):
+        for t in manager.tiers:
+            reserve = int(t.capacity * self.headroom)
+            if t.used + size <= t.capacity - reserve:
+                return t
+        # nothing has free room: fall back to the bottom (manager evicts)
+        for t in reversed(manager.tiers):
+            if size <= t.capacity:
+                return t
+        return None
+
+
+class BandwidthAwarePolicy(PlacementPolicy):
+    """Stripe blobs across tiers proportionally to their write bandwidth
+    (Hermes' data-placement-engine flavor): the hierarchy's tiers absorb
+    the burst in parallel instead of serially."""
+
+    name = "bandwidth"
+
+    def choose(self, manager, size: int):
+        candidates = [t for t in manager.tiers if t.fits(size)]
+        if not candidates:
+            # fall back: fastest tier that can ever hold it (evictions)
+            for t in manager.tiers:
+                if size <= t.capacity:
+                    return t
+            return None
+        # pick the candidate with the largest remaining bandwidth budget:
+        # bytes already routed there divided by its bandwidth = busy time;
+        # choose the tier that would finish this blob earliest
+        def finish_time(t):
+            return (t.stats.bytes_written + size) / t.stream_write_bw
+
+        return min(candidates, key=finish_time)
+
+
+_POLICIES = {
+    "performance": PerformanceFirstPolicy,
+    "capacity": CapacityAwarePolicy,
+    "bandwidth": BandwidthAwarePolicy,
+}
+
+
+def get_policy(name: str, **kw) -> PlacementPolicy:
+    try:
+        return _POLICIES[name](**kw)
+    except KeyError:
+        raise ReproError(
+            f"unknown placement policy {name!r}; available: {sorted(_POLICIES)}"
+        ) from None

@@ -1,0 +1,12 @@
+"""Configuration auto-tuning (extension; §1 cites auto-tuning frameworks
+[3,4,6,7] as the conventional answer to PIO complexity — pMEMCPY's small
+knob space makes exhaustive/greedy tuning actually tractable)."""
+
+from .autotune import TuneResult, autotune_pmemcpy, coordinate_descent, grid_search
+
+__all__ = [
+    "TuneResult",
+    "autotune_pmemcpy",
+    "grid_search",
+    "coordinate_descent",
+]

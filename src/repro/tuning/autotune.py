@@ -1,0 +1,143 @@
+"""Auto-tuners over pMEMCPY's configuration space.
+
+The knobs (§3): serializer, layout, MAP_SYNC, filter pipeline.  The
+objective is modeled write+read time of a given workload at a given scale —
+evaluated through the same two-pass simulator as the benchmarks, so a
+tuning *trial* is cheap and deterministic.
+
+Two strategies, mirroring the black-box-tuning literature the paper cites:
+
+- :func:`grid_search` — exhaustive (the space is only tens of points);
+- :func:`coordinate_descent` — greedy one-knob-at-a-time, evaluating a
+  fraction of the grid (the practical approach when trials are real runs).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..harness.experiment import run_io_experiment
+from ..workloads import Domain3D
+
+#: the §3 knob space
+DEFAULT_SPACE: dict[str, tuple] = {
+    "serializer": ("bp4", "cproto", "cereal", "raw"),
+    "layout": ("hashtable", "hierarchical"),
+    "map_sync": (False, True),
+    "filters": ((), ("rle",), ("shuffle:8", "deflate:1")),
+}
+
+
+@dataclass
+class TuneResult:
+    best: dict
+    best_seconds: float
+    trials: list[tuple[dict, float]] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    def render(self) -> str:
+        lines = [f"== autotune: {self.n_trials} trials =="]
+        for cfg, secs in sorted(self.trials, key=lambda t: t[1])[:5]:
+            mark = " <= best" if cfg == self.best else ""
+            lines.append(f"  {secs:8.3f}s  {_fmt(cfg)}{mark}")
+        return "\n".join(lines)
+
+
+def _fmt(cfg: dict) -> str:
+    return ", ".join(f"{k}={v}" for k, v in sorted(cfg.items()))
+
+
+def make_objective(
+    workload: Domain3D | None = None,
+    nprocs: int = 24,
+    directions: tuple[str, ...] = ("write", "read"),
+) -> Callable[[dict], float]:
+    """Objective: total modeled seconds of the workload under a config."""
+    workload = workload or Domain3D()
+
+    def objective(cfg: dict) -> float:
+        results = run_io_experiment(
+            "tuned", nprocs, workload,
+            directions=directions,
+            driver_override=("pmemcpy", dict(cfg)),
+        )
+        return sum(r.seconds for r in results)
+
+    return objective
+
+
+def grid_search(
+    objective: Callable[[dict], float],
+    space: dict[str, tuple] | None = None,
+) -> TuneResult:
+    """Evaluate every point of the space."""
+    space = space or DEFAULT_SPACE
+    keys = sorted(space)
+    trials: list[tuple[dict, float]] = []
+    for values in itertools.product(*(space[k] for k in keys)):
+        cfg = dict(zip(keys, values))
+        trials.append((cfg, objective(cfg)))
+    best, best_s = min(trials, key=lambda t: t[1])
+    return TuneResult(best=best, best_seconds=best_s, trials=trials)
+
+
+def coordinate_descent(
+    objective: Callable[[dict], float],
+    space: dict[str, tuple] | None = None,
+    *,
+    start: dict | None = None,
+    max_rounds: int = 3,
+) -> TuneResult:
+    """Greedy: sweep one knob at a time, keep the best, repeat until a
+    full round changes nothing."""
+    space = space or DEFAULT_SPACE
+    keys = sorted(space)
+    current = dict(start) if start else {k: space[k][0] for k in keys}
+    trials: list[tuple[dict, float]] = []
+    cache: dict[tuple, float] = {}
+
+    def eval_cached(cfg: dict) -> float:
+        key = tuple(cfg[k] for k in keys)
+        if key not in cache:
+            cache[key] = objective(cfg)
+            trials.append((dict(cfg), cache[key]))
+        return cache[key]
+
+    best_s = eval_cached(current)
+    for _round in range(max_rounds):
+        changed = False
+        for k in keys:
+            for v in space[k]:
+                if v == current[k]:
+                    continue
+                cand = dict(current)
+                cand[k] = v
+                s = eval_cached(cand)
+                if s < best_s:
+                    current, best_s = cand, s
+                    changed = True
+        if not changed:
+            break
+    return TuneResult(best=current, best_seconds=best_s, trials=trials)
+
+
+def autotune_pmemcpy(
+    workload: Domain3D | None = None,
+    nprocs: int = 24,
+    *,
+    strategy: str = "greedy",
+    space: dict[str, tuple] | None = None,
+    directions: tuple[str, ...] = ("write", "read"),
+) -> TuneResult:
+    """Tune pMEMCPY for a workload; strategy ∈ {"grid", "greedy"}."""
+    objective = make_objective(workload, nprocs, directions)
+    if strategy == "grid":
+        return grid_search(objective, space)
+    if strategy == "greedy":
+        return coordinate_descent(objective, space)
+    raise ValueError(f"unknown strategy {strategy!r}")

@@ -1,0 +1,79 @@
+"""Driver-agnostic write/read jobs — the §4.1 experiment bodies.
+
+The paper measures "wall-clock time from the point at which the file is
+opened/mmapped to when it is closed"; data generation is therefore
+performed *uncharged* (it contributes no virtual time), and every charged
+operation sits between open and close under a phase label so the
+copy-path-breakdown ablation (E7) can attribute it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines import get_driver
+from ..errors import BaselineError
+from ..mpi import Communicator
+from .domain3d import Domain3D
+
+
+def write_job(
+    ctx,
+    workload: Domain3D,
+    driver_name: str,
+    path: str,
+    driver_kw: dict | None = None,
+) -> None:
+    """SPMD body: every rank writes its block of every variable."""
+    comm = Communicator.world(ctx)
+    offsets, dims = workload.block_for(comm.size, comm.rank)
+    # generation is outside the timed open..close window: no charges
+    blocks = [
+        workload.generate(v, offsets, dims) for v in range(workload.nvars)
+    ]
+    comm.barrier()
+    d = get_driver(driver_name, **(driver_kw or {}))
+    with ctx.phase("open"):
+        d.open(ctx, comm, path, "w")
+    with ctx.phase("define"):
+        for v in range(workload.nvars):
+            d.def_var(
+                ctx, workload.var_name(v), workload.functional_dims,
+                workload.dtype,
+            )
+    with ctx.phase("write"):
+        for v, block in enumerate(blocks):
+            d.write(ctx, workload.var_name(v), block, offsets)
+    with ctx.phase("close"):
+        d.close(ctx)
+
+
+def read_job(
+    ctx,
+    workload: Domain3D,
+    driver_name: str,
+    path: str,
+    driver_kw: dict | None = None,
+    *,
+    verify: bool = True,
+) -> None:
+    """SPMD body: the symmetric read-back — "each process reads the same
+    data that had been written" (§4.1)."""
+    comm = Communicator.world(ctx)
+    offsets, dims = workload.block_for(comm.size, comm.rank)
+    d = get_driver(driver_name, **(driver_kw or {}))
+    with ctx.phase("open"):
+        d.open(ctx, comm, path, "r")
+    blocks = []
+    with ctx.phase("read"):
+        for v in range(workload.nvars):
+            blocks.append(d.read(ctx, workload.var_name(v), offsets, dims))
+    with ctx.phase("close"):
+        d.close(ctx)
+    if verify:
+        for v, block in enumerate(blocks):
+            if not workload.verify(v, offsets, np.asarray(block)):
+                raise BaselineError(
+                    f"{driver_name}: rank {comm.rank} read bad data for "
+                    f"{workload.var_name(v)}"
+                )

@@ -1,0 +1,83 @@
+"""Block decomposition math (the MPI_Dims_create / MPI_Cart_coords jobs).
+
+The paper's Fig. 6/7 shape partly comes from this: the 3-D process grid for
+P ∈ {8, 16, 24, 32, 48} changes aspect ratio (2×2×2, 4×2×2, 4×3×2, 4×4×2,
+4×4×3), which changes both each rank's block dims and the strided-run counts
+NetCDF's linearization produces ("the performance differences were largely
+due to differences in the dimensions of the cube being read" — §4.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import DimensionMismatchError
+
+
+def factor3(p: int) -> tuple[int, int, int]:
+    """Factor ``p`` into a balanced 3-factor grid, largest first
+    (MPI_Dims_create-style)."""
+    if p < 1:
+        raise DimensionMismatchError("process count must be >= 1")
+    best: tuple[int, int, int] | None = None
+    best_score = None
+    for a in range(1, int(p ** (1 / 3)) + 2):
+        if p % a:
+            continue
+        q = p // a
+        for b in range(a, int(math.isqrt(q)) + 1):
+            if q % b:
+                continue
+            c = q // b
+            dims = (c, b, a)  # descending
+            score = (c - a, c + b + a)  # prefer balanced, then compact
+            if best is None or score < best_score:
+                best, best_score = dims, score
+    if best is None:
+        best = (p, 1, 1)
+    return best
+
+
+def proc_grid(nprocs: int, ndims: int = 3) -> tuple[int, ...]:
+    """Balanced grid for ``nprocs`` ranks in ``ndims`` dimensions."""
+    if ndims == 3:
+        return factor3(nprocs)
+    if ndims == 2:
+        a = int(math.isqrt(nprocs))
+        while nprocs % a:
+            a -= 1
+        return (nprocs // a, a)
+    if ndims == 1:
+        return (nprocs,)
+    raise DimensionMismatchError(f"unsupported grid rank {ndims}")
+
+
+def coords_of(rank: int, grid: tuple[int, ...]) -> tuple[int, ...]:
+    """Row-major coordinates of ``rank`` in ``grid``."""
+    out = []
+    for g in reversed(grid):
+        out.append(rank % g)
+        rank //= g
+    if rank:
+        raise DimensionMismatchError("rank outside grid")
+    return tuple(reversed(out))
+
+
+def block_decompose(
+    global_dims, nprocs: int, rank: int
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """(offsets, local_dims) of ``rank``'s block.  Remainder elements go to
+    the lowest-coordinate blocks along each axis (standard block
+    distribution)."""
+    global_dims = tuple(int(d) for d in global_dims)
+    grid = proc_grid(nprocs, len(global_dims))
+    coords = coords_of(rank, grid)
+    offsets = []
+    dims = []
+    for g, n, c in zip(global_dims, grid, coords):
+        base, extra = divmod(g, n)
+        size = base + (1 if c < extra else 0)
+        off = c * base + min(c, extra)
+        offsets.append(off)
+        dims.append(size)
+    return tuple(offsets), tuple(dims)

@@ -1,0 +1,68 @@
+"""Tests for the ADIOS N:M aggregation transport."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import get_driver
+from repro.cluster import Cluster
+from repro.mpi import Communicator
+from repro.sim.trace import Transfer
+from repro.units import MiB
+
+
+def roundtrip(nprocs, aggregation):
+    cl = Cluster(pmem_capacity=64 * MiB)
+
+    def writer(ctx):
+        comm = Communicator.world(ctx)
+        d = get_driver("adios", aggregation=aggregation)
+        d.open(ctx, comm, "/pmem/agg", "w")
+        d.def_var(ctx, "v", (8 * comm.size,), np.float64)
+        d.write(ctx, "v", np.full(8, float(comm.rank)), (8 * comm.rank,))
+        d.close(ctx)
+
+    res_w = cl.run(nprocs, writer)
+
+    def reader(ctx):
+        comm = Communicator.world(ctx)
+        d = get_driver("adios")
+        d.open(ctx, comm, "/pmem/agg", "r")
+        out = d.read(ctx, "v", (8 * comm.rank,), (8,))
+        d.close(ctx)
+        return bool(np.all(out == comm.rank))
+
+    return res_w, cl.run(nprocs, reader).returns
+
+
+class TestAggregation:
+    @pytest.mark.parametrize("aggregation", [None, 1, 2, 3, 4])
+    def test_roundtrip_any_aggregation(self, aggregation):
+        _w, oks = roundtrip(6, aggregation)
+        assert oks == [True] * 6
+
+    def test_aggregation_ge_size_is_per_process(self):
+        _w, oks = roundtrip(4, 8)
+        assert oks == [True] * 4
+
+    def test_only_leaders_write_data(self):
+        res, _oks = roundtrip(6, 2)
+        writers = [
+            t.rank for t in res.traces
+            if any(
+                isinstance(op, Transfer) and op.resource == "pmem_write"
+                and op.note == "dax-write" and op.amount > 300
+                for op in t.ops
+            )
+        ]
+        assert writers == [0, 3]  # group leaders of (0,1,2) and (3,4,5)
+
+    def test_aggregation_ships_pgs_over_network(self):
+        res, _oks = roundtrip(6, 2)
+        net = sum(
+            op.amount
+            for t in res.traces
+            for op in t.ops
+            if isinstance(op, Transfer) and op.resource == "net"
+            and op.note == "alltoall"
+        )
+        assert net > 0

@@ -1,0 +1,393 @@
+"""Tests for the baseline PIO libraries and the uniform driver interface."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import available_drivers, get_driver
+from repro.cluster import Cluster
+from repro.errors import BaselineError
+from repro.mpi import Communicator
+from repro.sim.trace import Transfer
+from repro.units import MiB
+
+ALL_DRIVERS = ["posix", "adios", "hdf5", "netcdf4", "pnetcdf", "pmemcpy"]
+
+
+def cluster(**kw):
+    kw.setdefault("pmem_capacity", 128 * MiB)
+    return Cluster(**kw)
+
+
+def write_read_cycle(driver_name, nprocs=4, gdims=(8, 8, 8), driver_kw=None):
+    """Write a decomposed cube with one driver, read it back symmetric."""
+    cl = cluster()
+    driver_kw = driver_kw or {}
+
+    def decomp(rank):
+        # 2x2x1 grid for 4 ranks, 1x1x1 for 1
+        if nprocs == 1:
+            return (0, 0, 0), gdims
+        px, py = rank // 2, rank % 2
+        ld = (gdims[0] // 2, gdims[1] // 2, gdims[2])
+        return (px * ld[0], py * ld[1], 0), ld
+
+    def writer(ctx):
+        comm = Communicator.world(ctx)
+        d = get_driver(driver_name, **driver_kw)
+        d.open(ctx, comm, "/pmem/cycle", "w")
+        d.def_var(ctx, "cube", gdims, np.float64)
+        offs, ld = decomp(comm.rank)
+        local = np.full(ld, float(comm.rank + 1))
+        d.write(ctx, "cube", local, offs)
+        d.close(ctx)
+
+    cl.run(nprocs, writer)
+
+    def reader(ctx):
+        comm = Communicator.world(ctx)
+        d = get_driver(driver_name, **driver_kw)
+        d.open(ctx, comm, "/pmem/cycle", "r")
+        offs, ld = decomp(comm.rank)
+        out = d.read(ctx, "cube", offs, ld)
+        d.close(ctx)
+        return bool(np.all(out == comm.rank + 1))
+
+    return cl.run(nprocs, reader).returns
+
+
+class TestDriverRegistry:
+    def test_all_registered(self):
+        names = available_drivers()
+        for n in ALL_DRIVERS:
+            assert n in names
+
+    def test_unknown(self):
+        with pytest.raises(BaselineError):
+            get_driver("romio")
+
+
+@pytest.mark.parametrize("name", ALL_DRIVERS)
+class TestConformance:
+    """Every library must functionally round-trip the same workloads."""
+
+    def test_parallel_cube_roundtrip(self, name):
+        assert write_read_cycle(name) == [True] * 4
+
+    def test_single_rank_roundtrip(self, name):
+        assert write_read_cycle(name, nprocs=1) == [True]
+
+    def test_cross_block_read(self, name):
+        """Read a region spanning multiple writers' blocks."""
+        cl = cluster()
+        g = (4, 8)
+
+        def writer(ctx):
+            comm = Communicator.world(ctx)
+            d = get_driver(name)
+            d.open(ctx, comm, "/pmem/x", "w")
+            d.def_var(ctx, "v", g, np.float64)
+            # each of 2 ranks owns half the columns
+            offs = (0, comm.rank * 4)
+            local = np.full((4, 4), float(comm.rank))
+            d.write(ctx, "v", local, offs)
+            d.close(ctx)
+
+        cl.run(2, writer)
+
+        def reader(ctx):
+            comm = Communicator.world(ctx)
+            d = get_driver(name)
+            d.open(ctx, comm, "/pmem/x", "r")
+            row = d.read(ctx, "v", (0, 0), (1, 8))
+            d.close(ctx)
+            return row.reshape(-1).tolist()
+
+        out = cl.run(2, reader).returns[0]
+        assert out == [0.0] * 4 + [1.0] * 4
+
+
+class TestCopyPathSignatures:
+    """The cost *structure* of each library — the paper's whole argument."""
+
+    def run_write(self, name, driver_kw=None):
+        # paper-scale payloads (scale ~4k) so fixed setup costs (pool
+        # formatting, syscalls) are noise relative to the data path,
+        # as in the real 40 GB experiment
+        cl = cluster(scale=4096)
+
+        def writer(ctx):
+            comm = Communicator.world(ctx)
+            d = get_driver(name, **(driver_kw or {}))
+            d.open(ctx, comm, "/pmem/sig", "w")
+            d.def_var(ctx, "v", (32, 32, 32), np.float64)
+            px, py = comm.rank // 2, comm.rank % 2
+            local = np.ones((16, 16, 32))
+            d.write(ctx, "v", local, (px * 16, py * 16, 0))
+            d.close(ctx)
+
+        return cl.run(4, writer)
+
+    @staticmethod
+    def resource_notes(res, resource):
+        return {
+            op.note
+            for t in res.traces
+            for op in t.ops
+            if isinstance(op, Transfer) and op.resource == resource
+        }
+
+    def test_pmemcpy_has_no_staging_or_rearrangement(self):
+        res = self.run_write("pmemcpy")
+        dram_notes = self.resource_notes(res, "dram")
+        assert "stage-copy" not in dram_notes
+        assert "cb-assemble" not in dram_notes
+        net = self.resource_notes(res, "net")
+        assert "alltoall" not in net
+
+    def test_adios_stages_but_does_not_rearrange(self):
+        res = self.run_write("adios")
+        assert "stage-copy" in self.resource_notes(res, "dram")
+        assert "alltoall" not in self.resource_notes(res, "net")
+
+    def test_netcdf_stages_and_rearranges(self):
+        res = self.run_write("netcdf4")
+        dram = self.resource_notes(res, "dram")
+        assert "stage-copy" in dram
+        assert "cb-assemble" in dram
+        assert "alltoall" in self.resource_notes(res, "net")
+
+    def test_pnetcdf_rearranges(self):
+        res = self.run_write("pnetcdf")
+        assert "alltoall" in self.resource_notes(res, "net")
+
+    def test_write_time_ordering_matches_paper(self):
+        """pMEMCPY < ADIOS < {NetCDF4, pNetCDF} on the write path."""
+        times = {
+            name: self.run_write(name).makespan_ns
+            for name in ("pmemcpy", "adios", "netcdf4", "pnetcdf")
+        }
+        assert times["pmemcpy"] < times["adios"]
+        assert times["adios"] < times["netcdf4"]
+        assert times["adios"] < times["pnetcdf"]
+
+    def test_map_sync_slows_pmemcpy(self):
+        a = self.run_write("pmemcpy").makespan_ns
+        b = self.run_write("pmemcpy", {"map_sync": True}).makespan_ns
+        assert b > a
+
+
+class TestHDF5Specifics:
+    def test_dataspace_validation(self):
+        from repro.baselines import Dataspace
+
+        with pytest.raises(BaselineError):
+            Dataspace((4, 4)).select_hyperslab((3, 0), (2, 4))
+        with pytest.raises(BaselineError):
+            Dataspace((4, 4)).select_hyperslab((0,), (4,))
+
+    def test_compact_layout(self):
+        from repro.baselines import Dataspace, H5File
+
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = H5File.create(ctx, comm, "/pmem/h5c")
+            ds = f.create_dataset(
+                "small", np.int32, Dataspace((16,)), layout="compact"
+            )
+            if comm.rank == 0:
+                ds.write(ctx, np.arange(16, dtype=np.int32))
+            comm.barrier()
+            f.close()
+            f2 = H5File.open(ctx, comm, "/pmem/h5c")
+            out = f2.dataset("small").read(ctx)
+            f2.close()
+            return out.tolist()
+
+        res = cl.run(1, fn)
+        assert res.returns[0] == list(range(16))
+
+    def test_compact_size_limit(self):
+        from repro.baselines import Dataspace, H5File
+
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = H5File.create(ctx, comm, "/pmem/h5l")
+            with pytest.raises(BaselineError):
+                f.create_dataset(
+                    "big", np.float64, Dataspace((100_000,)), layout="compact"
+                )
+            f.close()
+
+        cl.run(1, fn)
+
+    def test_chunked_layout_roundtrip(self):
+        from repro.baselines import Dataspace, H5File
+
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = H5File.create(ctx, comm, "/pmem/h5k")
+            ds = f.create_dataset(
+                "m", np.float64, Dataspace((8, 8)),
+                layout="chunked", chunk_dims=(4, 4),
+            )
+            # rank writes its quadrant == exactly one chunk
+            px, py = comm.rank // 2, comm.rank % 2
+            fs = Dataspace((8, 8)).select_hyperslab((px * 4, py * 4), (4, 4))
+            ds.write(ctx, np.full((4, 4), float(comm.rank)), fs)
+            f.close()
+            f2 = H5File.open(ctx, comm, "/pmem/h5k")
+            whole = f2.dataset("m").read(ctx)
+            f2.close()
+            return whole
+
+        res = cl.run(4, fn)
+        out = res.returns[0]
+        assert out[0, 0] == 0 and out[0, 7] == 1
+        assert out[7, 0] == 2 and out[7, 7] == 3
+
+    def test_chunked_partial_write_rmw(self):
+        from repro.baselines import Dataspace, H5File
+
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = H5File.create(ctx, comm, "/pmem/h5p")
+            ds = f.create_dataset(
+                "m", np.float64, Dataspace((8,)),
+                layout="chunked", chunk_dims=(8,),
+            )
+            ds.write(ctx, np.ones(4), Dataspace((8,)).select_hyperslab((0,), (4,)))
+            ds.write(ctx, np.full(4, 2.0), Dataspace((8,)).select_hyperslab((4,), (4,)))
+            out = ds.read(ctx)
+            f.close()
+            return out.tolist()
+
+        assert cl.run(1, fn).returns[0] == [1.0] * 4 + [2.0] * 4
+
+    def test_fill_writes_pattern(self):
+        from repro.baselines import Dataspace, H5File
+
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = H5File.create(ctx, comm, "/pmem/h5f")
+            f.create_dataset("v", np.float64, Dataspace((32,)), fill=7.5)
+            f.close()
+            f2 = H5File.open(ctx, comm, "/pmem/h5f")
+            out = f2.dataset("v").read(ctx)
+            f2.close()
+            return out
+
+        out = cl.run(2, fn).returns[0]
+        np.testing.assert_array_equal(out, np.full(32, 7.5))
+
+    def test_bad_signature(self):
+        from repro.baselines import H5File
+        from repro.errors import FormatError, RankFailedError
+        from repro.kernel.vfs import OpenFlags
+
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            fd = ctx.env.vfs.open(ctx, "/pmem/junk", OpenFlags.CREAT | OpenFlags.RDWR)
+            ctx.env.vfs.pwrite(ctx, fd, b"not hdf5" + bytes(120), 0)
+            ctx.env.vfs.close(ctx, fd)
+            H5File.open(ctx, comm, "/pmem/junk")
+
+        with pytest.raises(RankFailedError) as ei:
+            cl.run(1, fn)
+        assert isinstance(ei.value.original, FormatError)
+
+
+class TestNetCDFSpecifics:
+    def test_fill_ablation_costs_more(self):
+        def run(fill_mode):
+            cl = cluster()
+
+            def writer(ctx):
+                comm = Communicator.world(ctx)
+                d = get_driver("netcdf4", fill_mode=fill_mode)
+                d.open(ctx, comm, "/pmem/ncf", "w")
+                d.def_var(ctx, "v", (16, 16, 16), np.float64)
+                px, py = comm.rank // 2, comm.rank % 2
+                d.write(ctx, "v", np.ones((8, 8, 16)), (px * 8, py * 8, 0))
+                d.close(ctx)
+
+            return cl.run(4, writer).makespan_ns
+
+        assert run("fill") > run("nofill")
+
+    def test_dim_redefinition_rejected(self):
+        cl = cluster()
+
+        def fn(ctx):
+            from repro.baselines import NetCDFFile
+            comm = Communicator.world(ctx)
+            nc = NetCDFFile(ctx, comm, "/pmem/ncd", "w")
+            nc.def_dim("x", 10)
+            with pytest.raises(BaselineError):
+                nc.def_dim("x", 20)
+            nc.close()
+
+        cl.run(1, fn)
+
+
+class TestPnetcdfSpecifics:
+    def test_define_mode_enforced(self):
+        cl = cluster()
+
+        def fn(ctx):
+            from repro.baselines import PnetcdfFile
+            comm = Communicator.world(ctx)
+            f = PnetcdfFile(ctx, comm, "/pmem/pn", "w")
+            f.def_dim("x", 8)
+            f.def_var("v", np.float64, ("x",))
+            with pytest.raises(BaselineError):
+                f.put_vara_all(ctx, "v", (0,), (8,), np.zeros(8))
+            f.enddef(ctx)
+            with pytest.raises(BaselineError):
+                f.def_dim("y", 4)
+            f.put_vara_all(ctx, "v", (0,), (8,), np.arange(8.0))
+            out = f.get_vara_all(ctx, "v", (2,), (3,))
+            f.close(ctx)
+            return out.tolist()
+
+        assert cl.run(1, fn).returns[0] == [2.0, 3.0, 4.0]
+
+    def test_header_roundtrip_across_runs(self):
+        cl = cluster()
+
+        def writer(ctx):
+            from repro.baselines import PnetcdfFile
+            comm = Communicator.world(ctx)
+            f = PnetcdfFile(ctx, comm, "/pmem/pn2", "w")
+            f.def_dim("x", 16)
+            f.def_var("v", np.int64, ("x",))
+            f.enddef(ctx)
+            per = 16 // comm.size
+            f.put_vara_all(
+                ctx, "v", (comm.rank * per,), (per,),
+                np.arange(per) + comm.rank * per,
+            )
+            f.close(ctx)
+
+        cl.run(4, writer)
+
+        def reader(ctx):
+            from repro.baselines import PnetcdfFile
+            comm = Communicator.world(ctx)
+            f = PnetcdfFile(ctx, comm, "/pmem/pn2", "r")
+            out = f.get_vara_all(ctx, "v", (0,), (16,))
+            f.close(ctx)
+            return out.tolist()
+
+        assert cl.run(2, reader).returns[0] == list(range(16))

@@ -1,0 +1,168 @@
+"""Tests for the versioned checkpoint manager."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import KeyNotFoundError, PmemcpyError, RankFailedError
+from repro.mem.device import CrashInjected
+from repro.mpi import Communicator
+from repro.pmemcpy import PMEM
+from repro.units import MiB
+from repro.workloads.ckpt_manager import CheckpointManager
+
+
+def cluster(**kw):
+    kw.setdefault("pmem_capacity", 64 * MiB)
+    return Cluster(**kw)
+
+
+def with_mgr(cl, fn, nprocs=2, keep=2):
+    def body(ctx):
+        comm = Communicator.world(ctx)
+        pmem = PMEM()
+        pmem.mmap("/pmem/ckpt", comm)
+        mgr = CheckpointManager(pmem, comm, keep=keep)
+        out = fn(ctx, comm, mgr)
+        pmem.munmap()
+        return out
+
+    return cl.run(nprocs, body)
+
+
+class TestSaveRestore:
+    def test_roundtrip(self):
+        cl = cluster()
+
+        def fn(ctx, comm, mgr):
+            local = np.full(10, float(comm.rank))
+            mgr.save(1, {"u": (local, (10 * comm.rank,), (10 * comm.size,))})
+            return mgr.restore("u", offsets=(10 * comm.rank,), dims=(10,))
+
+        res = with_mgr(cl, fn)
+        for r, out in enumerate(res.returns):
+            np.testing.assert_array_equal(out, np.full(10, float(r)))
+
+    def test_latest_none_initially(self):
+        cl = cluster()
+
+        def fn(ctx, comm, mgr):
+            return mgr.latest()
+
+        assert with_mgr(cl, fn).returns == [None, None]
+
+    def test_restore_without_checkpoint_raises(self):
+        cl = cluster()
+
+        def fn(ctx, comm, mgr):
+            with pytest.raises(KeyNotFoundError):
+                mgr.restore("u")
+
+        with_mgr(cl, fn)
+
+    def test_scalar_rank0_variables(self):
+        cl = cluster()
+
+        def fn(ctx, comm, mgr):
+            mgr.save(3, {
+                "u": (np.ones(4), (4 * comm.rank,), (4 * comm.size,)),
+                "time": (np.asarray(12.5), None, None),
+            })
+            return mgr.restore("time"), mgr.variables(3)
+
+        t, names = with_mgr(cl, fn).returns[0]
+        assert t == 12.5
+        assert names == ["time", "u"]
+
+    def test_restore_specific_version(self):
+        cl = cluster()
+
+        def fn(ctx, comm, mgr):
+            for v in (1, 2):
+                mgr.save(v, {
+                    "u": (np.full(4, float(v)), (4 * comm.rank,),
+                          (4 * comm.size,)),
+                })
+            old = mgr.restore("u", version=1,
+                              offsets=(4 * comm.rank,), dims=(4,))
+            new = mgr.restore("u", offsets=(4 * comm.rank,), dims=(4,))
+            return float(old[0]), float(new[0]), mgr.latest()
+
+        out = with_mgr(cl, fn).returns[0]
+        assert out == (1.0, 2.0, 2)
+
+    def test_keep_validation(self):
+        cl = cluster()
+
+        def fn(ctx, comm, mgr):
+            with pytest.raises(PmemcpyError):
+                CheckpointManager(mgr.pmem, comm, keep=0)
+
+        with_mgr(cl, fn)
+
+
+class TestRetention:
+    def test_old_versions_retired(self):
+        cl = cluster()
+
+        def fn(ctx, comm, mgr):
+            for v in range(1, 5):
+                mgr.save(v, {
+                    "u": (np.zeros(4), (4 * comm.rank,), (4 * comm.size,)),
+                })
+            return mgr.versions(), mgr.latest()
+
+        versions, latest = with_mgr(cl, fn, keep=2).returns[0]
+        assert versions == [3, 4]
+        assert latest == 4
+
+    def test_keep_all_with_large_window(self):
+        cl = cluster()
+
+        def fn(ctx, comm, mgr):
+            for v in (1, 2, 3):
+                mgr.save(v, {
+                    "u": (np.zeros(4), (4 * comm.rank,), (4 * comm.size,)),
+                })
+            return mgr.versions()
+
+        assert with_mgr(cl, fn, keep=10).returns[0] == [1, 2, 3]
+
+
+class TestCrashSafety:
+    def test_interrupted_save_keeps_previous_pointer(self):
+        """Power-fail mid-way through writing version 2: after recovery the
+        latest pointer still names version 1, and its data is intact."""
+        cl = cluster(crash_sim=True)
+
+        def writer(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM()
+            pmem.mmap("/pmem/ckpt", comm)
+            mgr = CheckpointManager(pmem, comm, keep=3)
+            mgr.save(1, {"u": (np.full(8, 1.0), (0,), (8,))})
+            cl.device.inject_crash_after(40)  # dies inside version 2
+            try:
+                mgr.save(2, {"u": (np.full(8, 2.0), (0,), (8,))})
+            except CrashInjected:
+                pass
+
+        try:
+            cl.run(1, writer)
+        except RankFailedError:
+            pass
+        cl.device.inject_crash_after(None)
+        cl.crash()
+
+        def reader(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM()
+            pmem.mmap("/pmem/ckpt", comm)
+            mgr = CheckpointManager(pmem, comm)
+            latest = mgr.latest()
+            data = mgr.restore("u")
+            return latest, data
+
+        latest, data = cl.run(1, reader).returns[0]
+        assert latest == 1
+        np.testing.assert_array_equal(data, np.full(8, 1.0))

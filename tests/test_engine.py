@@ -1,0 +1,146 @@
+"""Tests for the SPMD functional-pass engine."""
+
+import pytest
+
+from repro.config import DEFAULT_MACHINE
+from repro.errors import RankFailedError
+from repro.sim import run_spmd
+from repro.sim.trace import Barrier, Delay, Transfer
+
+
+class TestRunSpmd:
+    def test_returns_collected_in_rank_order(self):
+        res = run_spmd(4, lambda ctx: ctx.rank * 10)
+        assert res.returns == [0, 10, 20, 30]
+
+    def test_traces_one_per_rank(self):
+        res = run_spmd(3, lambda ctx: ctx.delay(5.0))
+        assert [t.rank for t in res.traces] == [0, 1, 2]
+        assert all(len(t.ops) == 1 for t in res.traces)
+
+    def test_nprocs_validation(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda ctx: None)
+
+    def test_rank_exception_propagates(self):
+        def fn(ctx):
+            if ctx.rank == 2:
+                raise ValueError("boom")
+            ctx.barrier()
+
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(4, fn)
+        assert ei.value.rank == 2
+        assert isinstance(ei.value.original, ValueError)
+
+    def test_single_rank(self):
+        res = run_spmd(1, lambda ctx: ctx.nprocs)
+        assert res.returns == [1]
+
+
+class TestContext:
+    def test_model_bytes_scales(self):
+        res = run_spmd(1, lambda ctx: ctx.model_bytes(100), scale=1024)
+        assert res.returns[0] == 102400.0
+
+    def test_phase_labels_ops(self):
+        def fn(ctx):
+            with ctx.phase("alpha"):
+                ctx.delay(1.0)
+                with ctx.phase("beta"):
+                    ctx.transfer("pmem_write", 10.0, 1.0)
+            ctx.delay(2.0)
+
+        res = run_spmd(1, fn)
+        ops = res.traces[0].ops
+        assert ops[0].phase == "alpha"
+        assert ops[1].phase == "beta"
+        assert ops[2].phase == ""
+
+    def test_zero_cost_ops_not_recorded(self):
+        def fn(ctx):
+            ctx.delay(0.0)
+            ctx.transfer("pmem_write", 0.0, 1.0)
+
+        res = run_spmd(1, fn)
+        assert res.traces[0].ops == []
+
+    def test_barrier_records_matching_ids(self):
+        def fn(ctx):
+            ctx.barrier()
+            ctx.barrier()
+
+        res = run_spmd(3, fn)
+        for t in res.traces:
+            ids = [op.barrier_id for op in t.ops if isinstance(op, Barrier)]
+            assert ids == [0, 1]
+            assert all(op.participants == (0, 1, 2) for op in t.ops)
+
+    def test_subset_barrier(self):
+        def fn(ctx):
+            if ctx.rank < 2:
+                ctx.barrier(participants=(0, 1))
+
+        res = run_spmd(4, fn)
+        assert len(res.traces[0].ops) == 1
+        assert len(res.traces[3].ops) == 0
+
+    def test_barrier_functionally_synchronizes(self):
+        # Rank 0 publishes before the barrier; others must observe it after.
+        def fn(ctx):
+            if ctx.rank == 0:
+                with ctx.board.lock:
+                    ctx.board.data["x"] = 42
+            ctx.barrier()
+            with ctx.board.lock:
+                return ctx.board.data["x"]
+
+        res = run_spmd(8, fn)
+        assert res.returns == [42] * 8
+
+
+class TestTiming:
+    def test_time_runs_fluid_on_traces(self):
+        def fn(ctx):
+            ctx.transfer(
+                "pmem_write", 1e9, DEFAULT_MACHINE.pmem.stream_write_bw
+            )
+
+        res = run_spmd(2, fn)
+        t = res.time()
+        # 2 streams * 0.55 GB/s, 1 GB each -> 1/0.55 s
+        assert t.makespan_ns == pytest.approx(1e9 / 0.55, rel=1e-6)
+        assert res.makespan_s == pytest.approx(t.makespan_ns / 1e9)
+
+    def test_time_is_cached(self):
+        res = run_spmd(1, lambda ctx: ctx.delay(10.0))
+        assert res.time() is res.time()
+
+    def test_determinism_across_runs(self):
+        def fn(ctx):
+            with ctx.phase("p"):
+                ctx.transfer("dram", 1000.0 * (ctx.rank + 1), 1.0)
+            ctx.barrier()
+            ctx.delay(3.0)
+
+        a = run_spmd(6, fn).time()
+        b = run_spmd(6, fn).time()
+        assert a.finish_ns == b.finish_ns
+        assert a.breakdown == b.breakdown
+
+
+class TestSummarize:
+    def test_render_contains_phases(self):
+        from repro.sim import summarize
+
+        def fn(ctx):
+            with ctx.phase("serialize"):
+                ctx.transfer("cpu", 1e6, 1.0)
+            with ctx.phase("device"):
+                ctx.transfer("pmem_write", 1e6, 0.5)
+
+        pb = summarize(run_spmd(2, fn).time())
+        text = pb.render("t")
+        assert "serialize" in text
+        assert "device" in text
+        assert pb.makespan_ns > 0

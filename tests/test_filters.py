@@ -1,0 +1,315 @@
+"""Tests for data filters (compression/shuffle operators, §2.1) and their
+integration into HDF5 chunked datasets and pMEMCPY."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster
+from repro.errors import BaselineError, SerializationError
+from repro.mpi import Communicator
+from repro.serial.filters import (
+    DeflateFilter,
+    FilterPipeline,
+    RLEFilter,
+    ShuffleFilter,
+    make_filter,
+)
+from repro.sim import run_spmd
+from repro.sim.trace import Transfer
+from repro.units import MiB
+
+ALL_FILTERS = ["deflate", "shuffle", "rle"]
+
+
+class TestFilterPrimitives:
+    @pytest.mark.parametrize("name", ALL_FILTERS)
+    def test_roundtrip_text(self, name):
+        f = make_filter(name)
+        data = b"hello world " * 50
+        assert f.decode(f.encode(data)) == data
+
+    @pytest.mark.parametrize("name", ALL_FILTERS)
+    @given(payload=st.binary(min_size=0, max_size=2000))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, name, payload):
+        f = make_filter(name)
+        assert f.decode(f.encode(payload)) == payload
+
+    def test_deflate_compresses_redundancy(self):
+        f = DeflateFilter()
+        data = bytes(10_000)
+        assert len(f.encode(data)) < 200
+
+    def test_rle_compresses_runs(self):
+        f = RLEFilter()
+        data = b"\x00" * 1000 + b"\x01" * 1000
+        assert len(f.encode(data)) <= 16
+
+    def test_rle_rejects_odd_stream(self):
+        with pytest.raises(SerializationError):
+            RLEFilter().decode(b"\x01\x02\x03")
+
+    def test_shuffle_is_permutation(self):
+        f = ShuffleFilter(itemsize=8)
+        data = np.arange(100, dtype=np.float64).tobytes()
+        out = f.encode(data)
+        assert len(out) == len(data)
+        assert sorted(out) == sorted(data)
+
+    def test_shuffle_helps_deflate_on_floats(self):
+        smooth = (np.linspace(0, 1, 4096) + 1e9).tobytes()
+        plain = len(DeflateFilter().encode(smooth))
+        shuffled = len(DeflateFilter().encode(ShuffleFilter(8).encode(smooth)))
+        assert shuffled < plain
+
+    def test_make_filter_with_arg(self):
+        f = make_filter("deflate:9")
+        assert f.level == 9
+        f2 = make_filter("shuffle:4")
+        assert f2.itemsize == 4
+
+    def test_make_filter_unknown(self):
+        with pytest.raises(SerializationError):
+            make_filter("zstd")
+
+    def test_make_filter_passthrough_instance(self):
+        f = RLEFilter()
+        assert make_filter(f) is f
+
+    def test_deflate_bad_level(self):
+        with pytest.raises(SerializationError):
+            DeflateFilter(level=11)
+
+    def test_corrupt_deflate_detected(self):
+        f = DeflateFilter()
+        blob = bytearray(f.encode(b"payload payload payload"))
+        blob[4] ^= 0xFF
+        with pytest.raises(SerializationError):
+            f.decode(bytes(blob))
+
+
+class TestFilterPipeline:
+    def test_roundtrip_charged(self):
+        pipe = FilterPipeline(["shuffle:8", "deflate"])
+        data = np.linspace(0, 1, 1000).tobytes()
+
+        def fn(ctx):
+            blob = pipe.encode(ctx, data)
+            assert len(blob) < len(data)
+            return pipe.decode(ctx, blob)
+
+        assert run_spmd(1, fn).returns[0] == data
+
+    def test_pipeline_mismatch_detected(self):
+        a = FilterPipeline(["deflate"])
+        b = FilterPipeline(["rle"])
+
+        def fn(ctx):
+            blob = a.encode(ctx, b"x" * 100)
+            with pytest.raises(SerializationError, match="mismatch"):
+                b.decode(ctx, blob)
+
+        run_spmd(1, fn)
+
+    def test_not_a_filtered_blob(self):
+        pipe = FilterPipeline(["deflate"])
+
+        def fn(ctx):
+            with pytest.raises(SerializationError):
+                pipe.decode(ctx, b"\x00" * 64)
+
+        run_spmd(1, fn)
+
+    def test_cpu_charged(self):
+        pipe = FilterPipeline(["deflate"])
+
+        def fn(ctx):
+            pipe.encode(ctx, bytes(100_000))
+
+        res = run_spmd(1, fn)
+        cpu = [op for op in res.traces[0].ops
+               if isinstance(op, Transfer) and op.resource == "cpu"]
+        assert cpu and cpu[0].amount > 0
+
+
+class TestHDF5ChunkedFilters:
+    def make(self):
+        return Cluster(pmem_capacity=64 * MiB)
+
+    def test_filters_require_chunked(self):
+        from repro.baselines import Dataspace, H5File
+
+        cl = self.make()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = H5File.create(ctx, comm, "/pmem/h5nf")
+            with pytest.raises(BaselineError, match="chunked"):
+                f.create_dataset(
+                    "v", np.float64, Dataspace((16,)), filters=["deflate"]
+                )
+            f.close()
+
+        cl.run(1, fn)
+
+    def test_filtered_roundtrip_across_open(self):
+        from repro.baselines import Dataspace, H5File
+
+        cl = self.make()
+        data = np.linspace(0, 1, 64).reshape(8, 8)
+
+        def writer(ctx):
+            comm = Communicator.world(ctx)
+            f = H5File.create(ctx, comm, "/pmem/h5flt")
+            ds = f.create_dataset(
+                "m", np.float64, Dataspace((8, 8)),
+                layout="chunked", chunk_dims=(4, 4),
+                filters=["shuffle:8", "deflate"],
+            )
+            ds.write(ctx, data)
+            f.close()
+
+        cl.run(1, writer)
+
+        def reader(ctx):
+            comm = Communicator.world(ctx)
+            f = H5File.open(ctx, comm, "/pmem/h5flt")
+            out = f.dataset("m").read(ctx)
+            f.close()
+            return out
+
+        np.testing.assert_array_equal(cl.run(1, reader).returns[0], data)
+
+    def test_filtered_partial_rmw(self):
+        from repro.baselines import Dataspace, H5File
+
+        cl = self.make()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = H5File.create(ctx, comm, "/pmem/h5rmw")
+            ds = f.create_dataset(
+                "v", np.float64, Dataspace((8,)),
+                layout="chunked", chunk_dims=(8,), filters=["deflate"],
+            )
+            ds.write(ctx, np.ones(4), Dataspace((8,)).select_hyperslab((0,), (4,)))
+            ds.write(ctx, np.full(4, 2.0), Dataspace((8,)).select_hyperslab((4,), (4,)))
+            out = ds.read(ctx)
+            f.close()
+            return out.tolist()
+
+        assert cl.run(1, fn).returns[0] == [1.0] * 4 + [2.0] * 4
+
+    def test_parallel_filtered_chunks(self):
+        from repro.baselines import Dataspace, H5File
+
+        cl = self.make()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = H5File.create(ctx, comm, "/pmem/h5pf")
+            ds = f.create_dataset(
+                "m", np.float64, Dataspace((8, 8)),
+                layout="chunked", chunk_dims=(4, 4), filters=["rle"],
+            )
+            px, py = comm.rank // 2, comm.rank % 2
+            fs = Dataspace((8, 8)).select_hyperslab((px * 4, py * 4), (4, 4))
+            ds.write(ctx, np.full((4, 4), float(comm.rank)), fs)
+            out = ds.read(ctx)
+            f.close()
+            return out
+
+        out = cl.run(4, fn).returns[0]
+        assert out[0, 0] == 0 and out[7, 7] == 3
+
+
+class TestPmemcpyFilters:
+    def make(self):
+        return Cluster(pmem_capacity=64 * MiB)
+
+    @pytest.mark.parametrize("layout", ["hashtable", "hierarchical"])
+    def test_filtered_roundtrip(self, layout):
+        from repro.pmemcpy import PMEM
+
+        cl = self.make()
+        data = np.linspace(0, 1, 512)
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout=layout, filters=("shuffle:8", "deflate"))
+            pmem.mmap("/pmem/flt", comm)
+            pmem.store("x", data)
+            out = pmem.load("x")
+            pmem.munmap()
+            return out
+
+        np.testing.assert_array_equal(cl.run(1, fn).returns[0], data)
+
+    def test_reader_without_filters_configured_still_decodes(self):
+        """The filter names travel in the variable metadata, so a plain
+        PMEM() reader can load filtered data."""
+        from repro.pmemcpy import PMEM
+
+        cl = self.make()
+        data = np.zeros(1000)
+
+        def writer(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(filters=("deflate",))
+            pmem.mmap("/pmem/f2", comm)
+            pmem.store("z", data)
+            pmem.munmap()
+
+        cl.run(1, writer)
+
+        def reader(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM()  # no filters configured
+            pmem.mmap("/pmem/f2", comm)
+            out = pmem.load("z")
+            pmem.munmap()
+            return out
+
+        np.testing.assert_array_equal(cl.run(1, reader).returns[0], data)
+
+    def test_compression_reduces_pmem_bytes(self):
+        from repro.pmemcpy import PMEM
+
+        def run(filters):
+            cl = self.make()
+
+            def fn(ctx):
+                comm = Communicator.world(ctx)
+                pmem = PMEM(filters=filters)
+                pmem.mmap("/pmem/cmp", comm)
+                pmem.store("zeros", np.zeros(100_000))
+                pmem.munmap()
+
+            res = cl.run(1, fn)
+            return sum(
+                op.amount for op in res.traces[0].ops
+                if isinstance(op, Transfer) and op.resource == "pmem_write"
+            )
+
+        assert run(("rle",)) < run(()) / 10
+
+    def test_subarray_store_load_with_filters(self):
+        from repro.pmemcpy import PMEM
+
+        cl = self.make()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(filters=("deflate",))
+            pmem.mmap("/pmem/sub", comm)
+            pmem.alloc("A", (40,))
+            pmem.store(
+                "A", np.full(10, float(comm.rank)),
+                offsets=(10 * comm.rank,),
+            )
+            comm.barrier()
+            return pmem.load("A")
+
+        out = cl.run(4, fn).returns[0]
+        np.testing.assert_array_equal(out, np.repeat(np.arange(4.0), 10))

@@ -1,0 +1,179 @@
+"""Tests for HDF5 groups + attributes and NetCDF attributes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Dataspace, H5File, NetCDFFile
+from repro.baselines.hdf5 import _pack_attrs, _unpack_attrs
+from repro.cluster import Cluster
+from repro.errors import BaselineError, FormatError
+from repro.mpi import Communicator
+from repro.units import MiB
+
+
+def cluster():
+    return Cluster(pmem_capacity=64 * MiB)
+
+
+class TestAttrCodec:
+    def test_roundtrip_all_kinds(self):
+        attrs = {
+            "title": "simulation",
+            "steps": 42,
+            "dt": 0.125,
+            "origin": np.array([1.0, 2.0, 3.0]),
+        }
+        raw = _pack_attrs(attrs)
+        out, pos = _unpack_attrs(raw, 0)
+        assert pos == len(raw)
+        assert out["title"] == "simulation"
+        assert out["steps"] == 42
+        assert out["dt"] == 0.125
+        np.testing.assert_array_equal(out["origin"], attrs["origin"])
+
+    def test_empty(self):
+        out, pos = _unpack_attrs(_pack_attrs({}), 0)
+        assert out == {} and pos == 2
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(BaselineError):
+            _pack_attrs({"bad": object()})
+
+
+class TestGroups:
+    def test_group_hierarchy_roundtrip(self):
+        cl = cluster()
+
+        def writer(ctx):
+            comm = Communicator.world(ctx)
+            f = H5File.create(ctx, comm, "/pmem/grp")
+            g = f.create_group("fields/velocity")
+            ds = g.create_dataset("u", np.float64, Dataspace((8,)))
+            ds.write(ctx, np.arange(8.0))
+            ds.attrs["units"] = "m/s"
+            g.attrs["staggered"] = 1
+            f.attrs["title"] = "demo"
+            f.close()
+
+        cl.run(1, writer)
+
+        def reader(ctx):
+            comm = Communicator.world(ctx)
+            f = H5File.open(ctx, comm, "/pmem/grp")
+            g = f.group("fields/velocity")
+            ds = g.dataset("u")
+            out = ds.read(ctx)
+            result = (
+                out.tolist(), ds.attrs["units"], g.attrs["staggered"],
+                f.attrs["title"], f.group("fields").keys(),
+            )
+            f.close()
+            return result
+
+        data, units, stag, title, kids = cl.run(1, reader).returns[0]
+        assert data == list(range(8))
+        assert units == "m/s"
+        assert stag == 1
+        assert title == "demo"
+        assert kids == ["velocity"]
+
+    def test_intermediate_groups_spring_into_existence(self):
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = H5File.create(ctx, comm, "/pmem/mid")
+            f.create_dataset("a/b/c", np.int32, Dataspace((4,)))
+            names = sorted(f.groups)
+            f.close()
+            return names
+
+        assert cl.run(1, fn).returns[0] == ["a", "a/b"]
+
+    def test_root_group_keys(self):
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = H5File.create(ctx, comm, "/pmem/rk")
+            f.create_dataset("top", np.int32, Dataspace((4,)))
+            f.create_group("g1")
+            keys = f.root_group.keys()
+            f.close()
+            return keys
+
+        assert cl.run(1, fn).returns[0] == ["g1", "top"]
+
+    def test_missing_group_raises(self):
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = H5File.create(ctx, comm, "/pmem/mg")
+            with pytest.raises(FormatError):
+                f.group("nope")
+            f.close()
+
+        cl.run(1, fn)
+
+    def test_cannot_recreate_root(self):
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = H5File.create(ctx, comm, "/pmem/rr")
+            with pytest.raises(BaselineError):
+                f.create_group("/")
+            f.close()
+
+        cl.run(1, fn)
+
+
+class TestNetCDFAttributes:
+    def test_var_and_global_attrs_roundtrip(self):
+        cl = cluster()
+
+        def writer(ctx):
+            comm = Communicator.world(ctx)
+            nc = NetCDFFile(ctx, comm, "/pmem/ncat", "w", fill_mode="nofill")
+            nc.def_dim("x", 8)
+            nc.def_var("temp", np.float64, ("x",))
+            nc.put_att("temp", "units", "K")
+            nc.put_att("temp", "valid_range", np.array([0.0, 400.0]))
+            nc.put_att(None, "institution", "repro")
+            nc.put_vara(ctx, "temp", (0,), (8,), np.ones(8))
+            nc.close()
+
+        cl.run(1, writer)
+
+        def reader(ctx):
+            comm = Communicator.world(ctx)
+            nc = NetCDFFile(ctx, comm, "/pmem/ncat", "r")
+            out = (
+                nc.get_att("temp", "units"),
+                nc.get_att("temp", "valid_range").tolist(),
+                nc.get_att(None, "institution"),
+                nc.att_names("temp"),
+            )
+            nc.close()
+            return out
+
+        units, vrange, inst, names = cl.run(1, reader).returns[0]
+        assert units == "K"
+        assert vrange == [0.0, 400.0]
+        assert inst == "repro"
+        assert names == ["units", "valid_range"]
+
+    def test_missing_att_raises(self):
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            nc = NetCDFFile(ctx, comm, "/pmem/nm", "w", fill_mode="nofill")
+            nc.def_dim("x", 4)
+            nc.def_var("v", np.float64, ("x",))
+            with pytest.raises(BaselineError):
+                nc.get_att("v", "ghost")
+            nc.close()
+
+        cl.run(1, fn)

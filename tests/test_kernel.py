@@ -1,0 +1,477 @@
+"""Tests for the simulated kernel: DAX filesystem, VFS, mmap fault model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    BadAddressError,
+    BadFileDescriptorError,
+    FileExistsError_,
+    InvalidArgumentError,
+    NoSpaceError,
+    NoSuchFileError,
+    NotEmptyError,
+)
+from repro.kernel import DaxFS, MapFlags, OpenFlags, VFS
+from repro.mem import PMEMDevice
+from repro.sim import run_spmd
+from repro.sim.trace import Delay, Transfer
+from repro.units import MiB
+
+
+def make_fs(capacity=8 * MiB, block_size=4096):
+    return DaxFS(PMEMDevice(capacity), block_size=block_size)
+
+
+def with_ctx(fn, nprocs=1, **kw):
+    """Run fn(ctx) on one rank and return (result, trace)."""
+    res = run_spmd(nprocs, fn, **kw)
+    return res.returns[0], res.traces[0]
+
+
+class TestDaxFSNamespace:
+    def test_create_and_lookup(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            fs.create(ctx, "/a")
+            return fs.lookup("/a").ino
+
+        ino, _ = with_ctx(fn)
+        assert ino >= 2
+
+    def test_create_duplicate_raises(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            fs.create(ctx, "/a")
+            with pytest.raises(FileExistsError_):
+                fs.create(ctx, "/a")
+            fs.create(ctx, "/a", exist_ok=True)  # ok
+
+        with_ctx(fn)
+
+    def test_mkdir_nested(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            fs.mkdir(ctx, "/d")
+            fs.mkdir(ctx, "/d/e")
+            fs.create(ctx, "/d/e/f")
+            return fs.listdir("/d/e")
+
+        names, _ = with_ctx(fn)
+        assert names == ["f"]
+
+    def test_mkdir_parents(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            fs.mkdir(ctx, "/x/y/z", parents=True)
+            return fs.exists("/x/y/z")
+
+        ok, _ = with_ctx(fn)
+        assert ok
+
+    def test_lookup_missing_raises(self):
+        fs = make_fs()
+        with pytest.raises(NoSuchFileError):
+            fs.lookup("/nope")
+
+    def test_unlink_frees_blocks(self):
+        fs = make_fs()
+        before = fs.free_blocks_count()
+
+        def fn(ctx):
+            node = fs.create(ctx, "/f")
+            fs.fallocate(ctx, node, 64 * 1024)
+            assert fs.free_blocks_count() < before
+            fs.unlink(ctx, "/f")
+
+        with_ctx(fn)
+        assert fs.free_blocks_count() == before
+
+    def test_unlink_nonempty_dir_raises(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            fs.mkdir(ctx, "/d")
+            fs.create(ctx, "/d/f")
+            with pytest.raises(NotEmptyError):
+                fs.unlink(ctx, "/d")
+
+        with_ctx(fn)
+
+    def test_dotdot_rejected(self):
+        fs = make_fs()
+        with pytest.raises(InvalidArgumentError):
+            fs.lookup("/a/../b")
+
+
+class TestDaxFSData:
+    def test_write_read_roundtrip(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            node = fs.create(ctx, "/f")
+            fs.write_file(ctx, node, 0, b"hello world")
+            return bytes(fs.read_file(ctx, node, 0, 11))
+
+        out, _ = with_ctx(fn)
+        assert out == b"hello world"
+
+    def test_write_at_offset_spanning_blocks(self):
+        fs = make_fs(block_size=4096)
+        payload = bytes(range(256)) * 64  # 16 KiB
+
+        def fn(ctx):
+            node = fs.create(ctx, "/f")
+            fs.write_file(ctx, node, 1000, payload)
+            assert node.size == 1000 + len(payload)
+            return bytes(fs.read_file(ctx, node, 1000, len(payload)))
+
+        out, _ = with_ctx(fn)
+        assert out == payload
+
+    def test_read_past_eof_truncated(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            node = fs.create(ctx, "/f")
+            fs.write_file(ctx, node, 0, b"abc")
+            return bytes(fs.read_file(ctx, node, 0, 100))
+
+        out, _ = with_ctx(fn)
+        assert out == b"abc"
+
+    def test_sparse_read_raises(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            node = fs.create(ctx, "/f")
+            fs.write_file(ctx, node, 0, b"abc")
+            node.size = 10_000_000  # lie about size; extents missing
+            with pytest.raises(BadAddressError):
+                fs.read_file(ctx, node, 0, 10_000_000)
+
+        with_ctx(fn)
+
+    def test_fallocate_contiguous_single_extent(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            node = fs.create(ctx, "/pool")
+            fs.fallocate(ctx, node, 1 * MiB, contiguous=True)
+            return len(node.extents)
+
+        n, _ = with_ctx(fn)
+        assert n == 1
+
+    def test_fallocate_contiguous_nonempty_raises(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            node = fs.create(ctx, "/f")
+            fs.write_file(ctx, node, 0, b"x")
+            with pytest.raises(InvalidArgumentError):
+                fs.fallocate(ctx, node, 1 * MiB, contiguous=True)
+
+        with_ctx(fn)
+
+    def test_out_of_space(self):
+        fs = make_fs(capacity=64 * 1024)
+
+        def fn(ctx):
+            node = fs.create(ctx, "/f")
+            with pytest.raises(NoSpaceError):
+                fs.fallocate(ctx, node, 10 * MiB)
+
+        with_ctx(fn)
+
+    def test_truncate_shrink_then_grow(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            node = fs.create(ctx, "/f")
+            fs.write_file(ctx, node, 0, bytes(20_000))
+            free_mid = fs.free_blocks_count()
+            fs.truncate(ctx, node, 4096)
+            assert fs.free_blocks_count() > free_mid
+            fs.truncate(ctx, node, 40_000)
+            fs.write_file(ctx, node, 0, b"y" * 40_000)
+            return bytes(fs.read_file(ctx, node, 39_990, 10))
+
+        out, _ = with_ctx(fn)
+        assert out == b"y" * 10
+
+    def test_write_charges_pmem_write(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            node = fs.create(ctx, "/f")
+            fs.write_file(ctx, node, 0, b"x" * 100, model_bytes=100 * 1024.0)
+
+        _, trace = with_ctx(fn)
+        xfers = [op for op in trace.ops if isinstance(op, Transfer)
+                 and op.resource == "pmem_write" and op.note == "dax-write"]
+        assert len(xfers) == 1
+        assert xfers[0].amount == 100 * 1024.0
+        # kernel copy path is less efficient than a userspace nt-store
+        from repro.config import DEFAULT_MACHINE
+        assert xfers[0].stream_cap < DEFAULT_MACHINE.pmem.stream_write_bw
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_multiwrite_roundtrip_property(self, data):
+        fs = make_fs(capacity=2 * MiB, block_size=1024)
+        n_writes = data.draw(st.integers(1, 8))
+        writes = []
+        for _ in range(n_writes):
+            off = data.draw(st.integers(0, 100_000))
+            payload = data.draw(st.binary(min_size=1, max_size=5000))
+            writes.append((off, payload))
+
+        def fn(ctx):
+            node = fs.create(ctx, "/f")
+            ref = np.zeros(200_000, dtype=np.uint8)
+            hi = 0
+            for off, payload in writes:
+                fs.write_file(ctx, node, off, payload)
+                ref[off : off + len(payload)] = np.frombuffer(payload, np.uint8)
+                hi = max(hi, off + len(payload))
+            got = fs.read_file(ctx, node, 0, hi)
+            np.testing.assert_array_equal(got, ref[:hi])
+
+        with_ctx(fn)
+
+
+class TestDaxMapping:
+    def test_mmap_write_read(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            node = fs.create(ctx, "/f")
+            m = fs.mmap(ctx, node)
+            m.write(ctx, 0, b"direct access")
+            return bytes(m.read(ctx, 0, 13))
+
+        out, _ = with_ctx(fn)
+        assert out == b"direct access"
+
+    def test_mmap_store_full_stream_cap(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            node = fs.create(ctx, "/f")
+            m = fs.mmap(ctx, node)
+            m.write(ctx, 0, b"z" * 64)
+
+        _, trace = with_ctx(fn)
+        from repro.config import DEFAULT_MACHINE
+        xfer = [op for op in trace.ops if isinstance(op, Transfer)
+                and op.note == "mmap-store"][0]
+        assert xfer.stream_cap == DEFAULT_MACHINE.pmem.stream_write_bw
+
+    def test_faults_charged_once_per_page(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            node = fs.create(ctx, "/f")
+            m = fs.mmap(ctx, node)
+            m.write(ctx, 0, b"a" * 100)
+            first = [op for op in ctx.trace.ops
+                     if isinstance(op, Delay) and op.note == "page-fault"]
+            m.write(ctx, 0, b"b" * 100)  # same page: no new fault
+            second = [op for op in ctx.trace.ops
+                      if isinstance(op, Delay) and op.note == "page-fault"]
+            return len(first), len(second)
+
+        (n1, n2), _ = with_ctx(fn)
+        assert n1 == 1
+        assert n2 == 1
+
+    def test_map_sync_adds_commit_delay(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            node = fs.create(ctx, "/f")
+            m = fs.mmap(ctx, node, MapFlags.SHARED | MapFlags.SYNC)
+            m.write(ctx, 0, b"a" * 100)
+
+        _, trace = with_ctx(fn)
+        commits = [op for op in trace.ops
+                   if isinstance(op, Delay) and op.note == "map-sync-commit"]
+        assert len(commits) == 1
+        assert commits[0].ns > 0
+
+    def test_no_commit_without_map_sync(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            node = fs.create(ctx, "/f")
+            m = fs.mmap(ctx, node)
+            m.write(ctx, 0, b"a" * 100)
+
+        _, trace = with_ctx(fn)
+        assert not any(
+            isinstance(op, Delay) and op.note == "map-sync-commit"
+            for op in trace.ops
+        )
+
+    def test_view_zero_copy_on_contiguous_file(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            node = fs.create(ctx, "/pool")
+            fs.fallocate(ctx, node, 64 * 1024, contiguous=True)
+            m = fs.mmap(ctx, node)
+            m.write(ctx, 100, b"zero-copy")
+            return bytes(m.view(100, 9))
+
+        out, _ = with_ctx(fn)
+        assert out == b"zero-copy"
+
+    def test_use_after_unmap_raises(self):
+        fs = make_fs()
+
+        def fn(ctx):
+            node = fs.create(ctx, "/f")
+            m = fs.mmap(ctx, node)
+            m.write(ctx, 0, b"x")
+            m.unmap(ctx)
+            with pytest.raises(InvalidArgumentError):
+                m.read(ctx, 0, 1)
+
+        with_ctx(fn)
+
+    def test_scale_shrinks_real_page(self):
+        def fn(ctx, fs):
+            node = fs.create(ctx, "/f")
+            m = fs.mmap(ctx, node)
+            return m._real_page
+
+        fs1 = make_fs()
+        out, _ = with_ctx(lambda ctx: fn(ctx, fs1), nprocs=1)
+        # default scale=1: real page == model page (2 MiB)
+        assert out == 2 * MiB
+        fs2 = make_fs()
+        res = run_spmd(1, lambda ctx: fn(ctx, fs2), scale=1024)
+        assert res.returns[0] == 2 * MiB // 1024
+
+
+class TestVFS:
+    def make_vfs(self):
+        vfs = VFS()
+        vfs.mount("/pmem", make_fs())
+        return vfs
+
+    def test_open_write_read_close(self):
+        vfs = self.make_vfs()
+
+        def fn(ctx):
+            fd = vfs.open(ctx, "/pmem/data", OpenFlags.CREAT | OpenFlags.RDWR)
+            vfs.write(ctx, fd, b"hello")
+            vfs.lseek(ctx, fd, 0)
+            out = bytes(vfs.read(ctx, fd, 5))
+            vfs.close(ctx, fd)
+            return out
+
+        out, _ = with_ctx(fn)
+        assert out == b"hello"
+
+    def test_pread_pwrite(self):
+        vfs = self.make_vfs()
+
+        def fn(ctx):
+            fd = vfs.open(ctx, "/pmem/f", OpenFlags.CREAT | OpenFlags.RDWR)
+            vfs.pwrite(ctx, fd, b"abcdef", 10)
+            return bytes(vfs.pread(ctx, fd, 3, 12))
+
+        out, _ = with_ctx(fn)
+        assert out == b"cde"
+
+    def test_bad_fd(self):
+        vfs = self.make_vfs()
+
+        def fn(ctx):
+            with pytest.raises(BadFileDescriptorError):
+                vfs.pread(ctx, 42, 1, 0)
+
+        with_ctx(fn)
+
+    def test_fds_are_per_rank(self):
+        vfs = self.make_vfs()
+
+        def fn(ctx):
+            fd = vfs.open(
+                ctx, f"/pmem/file{ctx.rank}", OpenFlags.CREAT | OpenFlags.RDWR
+            )
+            vfs.pwrite(ctx, fd, bytes([ctx.rank]) * 4, 0)
+            ctx.barrier()
+            # same fd *number* on every rank refers to that rank's file
+            return bytes(vfs.pread(ctx, fd, 4, 0))
+
+        res = run_spmd(4, fn)
+        assert res.returns == [bytes([r]) * 4 for r in range(4)]
+
+    def test_trunc_flag(self):
+        vfs = self.make_vfs()
+
+        def fn(ctx):
+            fd = vfs.open(ctx, "/pmem/f", OpenFlags.CREAT | OpenFlags.RDWR)
+            vfs.pwrite(ctx, fd, b"xxxx", 0)
+            vfs.close(ctx, fd)
+            fd = vfs.open(ctx, "/pmem/f", OpenFlags.RDWR | OpenFlags.TRUNC)
+            st = vfs.fstat(ctx, fd)
+            return st["size"]
+
+        size, _ = with_ctx(fn)
+        assert size == 0
+
+    def test_mount_resolution(self):
+        vfs = VFS()
+        fs1, fs2 = make_fs(), make_fs()
+        vfs.mount("/a", fs1)
+        vfs.mount("/a/b", fs2)
+        assert vfs.resolve("/a/x")[0] is fs1
+        assert vfs.resolve("/a/b/x")[0] is fs2
+
+    def test_relative_path_rejected(self):
+        vfs = self.make_vfs()
+        with pytest.raises(InvalidArgumentError):
+            vfs.resolve("pmem/f")
+
+    def test_unmounted_path(self):
+        vfs = self.make_vfs()
+        with pytest.raises(NoSuchFileError):
+            vfs.resolve("/other/f")
+
+    def test_mkdir_listdir_unlink(self):
+        vfs = self.make_vfs()
+
+        def fn(ctx):
+            vfs.mkdir(ctx, "/pmem/d")
+            fd = vfs.open(ctx, "/pmem/d/f", OpenFlags.CREAT)
+            vfs.close(ctx, fd)
+            names = vfs.listdir(ctx, "/pmem/d")
+            vfs.unlink(ctx, "/pmem/d/f")
+            return names, vfs.listdir(ctx, "/pmem/d")
+
+        (before, after), _ = with_ctx(fn)
+        assert before == ["f"]
+        assert after == []
+
+    def test_syscalls_charged(self):
+        vfs = self.make_vfs()
+
+        def fn(ctx):
+            fd = vfs.open(ctx, "/pmem/f", OpenFlags.CREAT | OpenFlags.RDWR)
+            vfs.pwrite(ctx, fd, b"x", 0)
+            vfs.close(ctx, fd)
+
+        _, trace = with_ctx(fn)
+        sys_delays = [op for op in trace.ops
+                      if isinstance(op, Delay)
+                      and op.note in ("open", "pwrite", "close")]
+        assert len(sys_delays) == 3

@@ -1,0 +1,247 @@
+"""Tests for the emulated memory layer: shadow store buffer, device, and
+charged memcpy primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BadAddressError
+from repro.mem import PMEMDevice, ShadowPMEM
+from repro.mem.memcpy import (
+    charge_cpu,
+    charge_net,
+    memcpy_dram_to_pmem,
+    memcpy_pmem_to_dram,
+)
+from repro.sim import run_spmd
+from repro.sim.trace import Transfer
+from repro.units import CACHELINE
+
+
+class TestShadowPMEM:
+    def test_capacity_must_be_line_multiple(self):
+        with pytest.raises(ValueError):
+            ShadowPMEM(100)
+        with pytest.raises(ValueError):
+            ShadowPMEM(0)
+
+    def test_write_then_read(self):
+        s = ShadowPMEM(1024)
+        s.write(10, b"hello")
+        assert bytes(s.read(10, 5)) == b"hello"
+
+    def test_unflushed_write_lost_on_crash(self):
+        s = ShadowPMEM(1024)
+        s.write(0, b"data")
+        s.crash()
+        assert bytes(s.read(0, 4)) == b"\x00\x00\x00\x00"
+
+    def test_flushed_write_survives_crash(self):
+        s = ShadowPMEM(1024)
+        s.write(0, b"data")
+        s.flush(0, 4)
+        s.crash()
+        assert bytes(s.read(0, 4)) == b"data"
+
+    def test_flush_is_line_granular(self):
+        s = ShadowPMEM(1024)
+        # two writes on the SAME cacheline; flushing one persists both
+        s.write(0, b"aaaa")
+        s.write(32, b"bbbb")
+        s.flush(0, 1)
+        s.crash()
+        assert bytes(s.read(0, 4)) == b"aaaa"
+        assert bytes(s.read(32, 4)) == b"bbbb"
+
+    def test_flush_does_not_persist_other_lines(self):
+        s = ShadowPMEM(1024)
+        s.write(0, b"aaaa")
+        s.write(CACHELINE, b"bbbb")
+        s.flush(0, 4)
+        s.crash()
+        assert bytes(s.read(0, 4)) == b"aaaa"
+        assert bytes(s.read(CACHELINE, 4)) == b"\x00" * 4
+
+    def test_flush_returns_dirty_line_count(self):
+        s = ShadowPMEM(1024)
+        s.write(0, bytes(CACHELINE * 3))
+        assert s.flush(0, CACHELINE * 3) == 3
+        assert s.flush(0, CACHELINE * 3) == 0
+
+    def test_drain_flushes_everything(self):
+        s = ShadowPMEM(1024)
+        s.write(0, b"x")
+        s.write(512, b"y")
+        assert s.drain() == 2
+        s.crash()
+        assert bytes(s.read(0, 1)) == b"x"
+        assert bytes(s.read(512, 1)) == b"y"
+
+    def test_out_of_bounds(self):
+        s = ShadowPMEM(128)
+        with pytest.raises(BadAddressError):
+            s.write(120, b"123456789")
+        with pytest.raises(BadAddressError):
+            s.read(-1, 4)
+
+    def test_view_is_readonly(self):
+        s = ShadowPMEM(128)
+        v = s.view(0, 16)
+        with pytest.raises(ValueError):
+            v[0] = 1
+
+    @given(st.data())
+    @settings(max_examples=80)
+    def test_crash_matches_reference_model(self, data):
+        """Model-based check: a pure-python reference with identical
+        write/flush/crash semantics must agree with ShadowPMEM exactly."""
+        cap = 2048
+        s = ShadowPMEM(cap)
+        ref_vol = np.zeros(cap, dtype=np.uint8)
+        ref_dur = np.zeros(cap, dtype=np.uint8)
+        for _ in range(data.draw(st.integers(1, 15))):
+            action = data.draw(st.sampled_from(["write", "flush", "drain"]))
+            if action == "write":
+                off = data.draw(st.integers(0, cap - 48))
+                payload = data.draw(st.binary(min_size=1, max_size=48))
+                s.write(off, payload)
+                ref_vol[off : off + len(payload)] = np.frombuffer(payload, np.uint8)
+            elif action == "flush":
+                off = data.draw(st.integers(0, cap - 1))
+                size = data.draw(st.integers(1, min(256, cap - off)))
+                s.flush(off, size)
+                lo = (off // CACHELINE) * CACHELINE
+                hi = -(-(off + size) // CACHELINE) * CACHELINE
+                ref_dur[lo:hi] = ref_vol[lo:hi]
+            else:
+                s.drain()
+                ref_dur[:] = ref_vol
+        # live image always matches the volatile model
+        np.testing.assert_array_equal(s.read(0, cap), ref_vol)
+        s.crash()
+        np.testing.assert_array_equal(s.read(0, cap), ref_dur)
+
+
+class TestPMEMDevice:
+    def test_store_load_roundtrip(self):
+        d = PMEMDevice(4096)
+        d.store(100, b"abcdef")
+        assert bytes(d.load(100, 6)) == b"abcdef"
+
+    def test_store_numpy_array(self):
+        d = PMEMDevice(4096)
+        arr = np.arange(10, dtype=np.float64)
+        d.store(0, arr)
+        out = d.load(0, 80).view(np.float64)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_store_noncontiguous_array(self):
+        d = PMEMDevice(4096)
+        arr = np.arange(20, dtype=np.int32)[::2]
+        d.store(0, arr)
+        out = d.load(0, arr.nbytes).view(np.int32)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_view_zero_copy_readonly(self):
+        d = PMEMDevice(4096)
+        d.store(0, b"zz")
+        v = d.view(0, 2)
+        assert bytes(v) == b"zz"
+        with pytest.raises(ValueError):
+            v[0] = 0
+
+    def test_capacity_rounded_to_cacheline(self):
+        d = PMEMDevice(100)
+        assert d.capacity == 128
+
+    def test_bounds_checked(self):
+        d = PMEMDevice(128)
+        with pytest.raises(BadAddressError):
+            d.store(125, b"xxxx")
+
+    def test_crash_requires_crash_sim(self):
+        with pytest.raises(RuntimeError):
+            PMEMDevice(128).crash()
+
+    def test_crash_sim_semantics(self):
+        d = PMEMDevice(4096, crash_sim=True)
+        d.store(0, b"keep")
+        d.persist(0, 4)
+        d.store(64, b"lose")
+        d.crash()
+        assert bytes(d.load(0, 4)) == b"keep"
+        assert bytes(d.load(64, 4)) == b"\x00" * 4
+
+    def test_persist_noop_without_crash_sim(self):
+        d = PMEMDevice(128)
+        d.store(0, b"x")
+        assert d.persist(0, 1) == 0
+
+
+class TestChargedMemcpy:
+    def test_dram_to_pmem_moves_and_charges(self):
+        d = PMEMDevice(4096)
+
+        def fn(ctx):
+            memcpy_dram_to_pmem(ctx, d, 0, b"payload", model_bytes=7 * 1024.0)
+
+        res = run_spmd(1, fn)
+        assert bytes(d.load(0, 7)) == b"payload"
+        xfers = [op for op in res.traces[0].ops if isinstance(op, Transfer)]
+        assert len(xfers) == 1
+        assert xfers[0].resource == "pmem_write"
+        assert xfers[0].amount == 7 * 1024.0
+
+    def test_pmem_to_dram_roundtrip(self):
+        d = PMEMDevice(4096)
+        d.store(8, b"hello")
+
+        def fn(ctx):
+            return bytes(memcpy_pmem_to_dram(ctx, d, 8, 5))
+
+        res = run_spmd(1, fn)
+        assert res.returns[0] == b"hello"
+        xfers = [op for op in res.traces[0].ops if isinstance(op, Transfer)]
+        assert xfers[0].resource == "pmem_read"
+        assert xfers[0].amount == 5.0
+
+    def test_default_model_bytes_is_real_length(self):
+        d = PMEMDevice(4096)
+
+        def fn(ctx):
+            memcpy_dram_to_pmem(ctx, d, 0, b"abcd")
+
+        res = run_spmd(1, fn)
+        xfer = [op for op in res.traces[0].ops if isinstance(op, Transfer)][0]
+        assert xfer.amount == 4.0
+
+    def test_charge_cpu_units(self):
+        def fn(ctx):
+            charge_cpu(ctx, 1000.0, per_core_bw=2.0)
+
+        res = run_spmd(1, fn)
+        xfer = [op for op in res.traces[0].ops if isinstance(op, Transfer)][0]
+        assert xfer.resource == "cpu"
+        assert xfer.amount == 500.0
+        assert xfer.stream_cap == 1.0
+
+    def test_charge_cpu_zero_noop(self):
+        res = run_spmd(1, lambda ctx: charge_cpu(ctx, 0.0, 1.0))
+        assert res.traces[0].ops == []
+
+    def test_charge_net_messages_latency(self):
+        def fn(ctx):
+            charge_net(ctx, 100.0, messages=5)
+
+        res = run_spmd(1, fn)
+        delays = [op for op in res.traces[0].ops if not isinstance(op, Transfer)]
+        assert delays[0].ns == pytest.approx(
+            5 * res.machine.network.message_latency_ns
+        )
+
+    @given(st.binary(min_size=1, max_size=512), st.integers(0, 1024))
+    @settings(max_examples=50)
+    def test_device_roundtrip_property(self, payload, offset):
+        d = PMEMDevice(2048)
+        d.store(offset, payload)
+        assert bytes(d.load(offset, len(payload))) == payload

@@ -1,0 +1,157 @@
+"""Coverage for the smaller public surfaces: pMEMCPY stats, burst-buffer
+analysis, cluster lifecycle, config specs."""
+
+import numpy as np
+import pytest
+
+from repro.burst import BurstBuffer
+from repro.cluster import Cluster
+from repro.config import DEFAULT_MACHINE, MachineSpec, nvme_spec, pmem_spec
+from repro.mpi import Communicator
+from repro.pmemcpy import PMEM
+from repro.units import GiB, MiB
+
+
+class TestPmemcpyStats:
+    def test_stats_shape(self):
+        cl = Cluster(pmem_capacity=64 * MiB)
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM()
+            pmem.mmap("/pmem/st", comm)
+            pmem.alloc("A", (40,))
+            pmem.store("A", np.ones(10), offsets=(10 * comm.rank,))
+            comm.barrier()
+            st = pmem.stats()
+            pmem.munmap()
+            return st
+
+        st = cl.run(4, fn).returns[0]
+        assert st["layout"] == "hashtable"
+        v = st["variables"]["A"]
+        assert v["nchunks"] == 4
+        assert v["logical_bytes"] == 40 * 8
+        assert v["stored_bytes"] > v["logical_bytes"]  # bp4 framing
+        assert st["heap"]["used_bytes"] > 0
+
+    def test_stats_show_compression(self):
+        cl = Cluster(pmem_capacity=64 * MiB)
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(filters=("rle",))
+            pmem.mmap("/pmem/stc", comm)
+            pmem.store("z", np.zeros(10_000))
+            st = pmem.stats()
+            pmem.munmap()
+            return st
+
+        v = cl.run(1, fn).returns[0]["variables"]["z"]
+        assert v["filters"] == "rle"
+        assert v["stored_bytes"] < v["logical_bytes"] / 10
+
+    def test_hierarchical_stats_have_no_heap(self):
+        cl = Cluster(pmem_capacity=64 * MiB)
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout="hierarchical")
+            pmem.mmap("/pmem/sth", comm)
+            pmem.store("x", np.ones(4))
+            st = pmem.stats()
+            pmem.munmap()
+            return st
+
+        st = cl.run(1, fn).returns[0]
+        assert st["layout"] == "hierarchical"
+        assert "heap" not in st
+
+
+class TestBurstAnalysis:
+    def test_report_fields(self):
+        bb = BurstBuffer()
+        rep = bb.analyze(40e9, write_seconds=5.0, movers=8)
+        assert rep.drain_seconds > rep.write_seconds
+        assert rep.min_checkpoint_period_s == rep.drain_seconds
+        assert rep.speedup_vs_direct() > 1.0
+
+    def test_movers_saturate_pfs(self):
+        bb = BurstBuffer()
+        # beyond the PFS ingest limit extra movers stop helping
+        t4 = bb.drain_seconds(40e9, movers=4)
+        t16 = bb.drain_seconds(40e9, movers=16)
+        assert t16 == pytest.approx(t4)
+        assert bb.drain_seconds(40e9, movers=1) > t4
+
+
+class TestClusterLifecycle:
+    def test_default_capacity_clamped(self):
+        cl = Cluster()  # scale=1 would naively be 80 GiB
+        assert cl.device.capacity <= 256 * MiB
+
+    def test_scaled_capacity(self):
+        cl = Cluster(scale=1024)
+        assert cl.device.capacity == pytest.approx(
+            DEFAULT_MACHINE.pmem.capacity // 1024, rel=0.01
+        )
+
+    def test_crash_requires_crash_sim(self):
+        cl = Cluster()
+        with pytest.raises(RuntimeError):
+            cl.crash()
+
+    def test_drop_caches_forces_pool_reopen(self):
+        cl = Cluster(pmem_capacity=64 * MiB)
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM()
+            pmem.mmap("/pmem/dc", comm)
+            pmem.store("k", np.ones(4))
+            pmem.munmap()
+
+        cl.run(1, fn)
+        assert cl.pools
+        cl.drop_caches()
+        assert not cl.pools
+
+        def reopen(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM()
+            pmem.mmap("/pmem/dc", comm)
+            out = pmem.load("k")
+            pmem.munmap()
+            return out
+
+        np.testing.assert_array_equal(cl.run(1, reopen).returns[0], np.ones(4))
+
+
+class TestSpecs:
+    def test_machine_hierarchy_ordering(self):
+        m = DEFAULT_MACHINE
+        # the §1 hierarchy: node-local aggregate bandwidth ordering
+        # (a shared PFS can out-aggregate one NVMe, so it's excluded)...
+        assert m.dram.write_bw > m.pmem.write_bw > m.nvme.write_bw
+        # ...and the full chain orders by latency
+        assert (m.dram.write_latency_ns < m.pmem.write_latency_ns
+                < m.nvme.write_latency_ns < m.pfs.write_latency_ns)
+        # and the paper's asymmetry: PMEM reads much faster than writes
+        assert m.pmem.read_bw > 3 * m.pmem.write_bw
+
+    def test_cores_available(self):
+        m = DEFAULT_MACHINE
+        assert m.cores_available(8) == 8
+        assert m.cores_available(24) == 24
+        assert 24 < m.cores_available(48) < 48
+
+    def test_spec_scaling(self):
+        spec = pmem_spec(capacity=8 * GiB)
+        assert spec.capacity == 8 * GiB
+        smaller = spec.scaled(write_bw=1.0)
+        assert smaller.write_bw == 1.0
+        assert spec.write_bw != 1.0
+
+    def test_machine_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_MACHINE.pmem = nvme_spec()

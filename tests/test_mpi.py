@@ -1,0 +1,366 @@
+"""Tests for the simulated MPI layer: collectives, datatypes, MPI-IO."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CommunicatorError, DimensionMismatchError
+from repro.kernel import DaxFS, OpenFlags, VFS
+from repro.mem import PMEMDevice
+from repro.mpi import Communicator, MPIFile, merge_extents
+from repro.mpi.datatypes import (
+    gather_subarray,
+    scatter_subarray,
+    subarray_run_starts,
+    subarray_runs,
+)
+from repro.sim import run_spmd
+from repro.sim.trace import Transfer
+from repro.units import MiB
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            data = np.arange(10) if comm.rank == 0 else None
+            return comm.bcast(data, root=0).sum()
+
+        res = run_spmd(4, fn)
+        assert res.returns == [45] * 4
+
+    def test_bcast_returns_copy(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            data = np.zeros(4) if comm.rank == 0 else None
+            got = comm.bcast(data, root=0)
+            got += ctx.rank  # mutating must not affect peers
+            ctx.barrier()
+            return got.sum()
+
+        res = run_spmd(3, fn)
+        assert res.returns == [0.0, 4.0, 8.0]
+
+    def test_scatter_gather_roundtrip(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            chunks = [np.full(3, r) for r in range(comm.size)] if comm.rank == 0 else None
+            mine = comm.scatter(chunks, root=0)
+            assert np.all(mine == comm.rank)
+            out = comm.gather(mine * 2, root=0)
+            if comm.rank == 0:
+                return np.concatenate(out).tolist()
+            assert out is None
+            return None
+
+        res = run_spmd(4, fn)
+        assert res.returns[0] == [0, 0, 0, 2, 2, 2, 4, 4, 4, 6, 6, 6]
+
+    def test_scatter_wrong_length_raises(self):
+        from repro.errors import RankFailedError
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            comm.scatter([1, 2], root=0)  # size is 4
+
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(4, fn)
+        assert isinstance(ei.value.original, CommunicatorError)
+
+    def test_allgather(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            return comm.allgather(ctx.rank * 10)
+
+        res = run_spmd(3, fn)
+        assert res.returns == [[0, 10, 20]] * 3
+
+    def test_alltoall(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            send = [f"{comm.rank}->{d}" for d in range(comm.size)]
+            return comm.alltoall(send)
+
+        res = run_spmd(3, fn)
+        assert res.returns[1] == ["0->1", "1->1", "2->1"]
+
+    def test_allreduce_sum(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            return comm.allreduce(np.array([ctx.rank + 1.0]))[0]
+
+        res = run_spmd(4, fn)
+        assert res.returns == [10.0] * 4
+
+    def test_allreduce_min(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            return int(comm.allreduce(np.array([100 - ctx.rank]), op=np.minimum)[0])
+
+        res = run_spmd(4, fn)
+        assert res.returns == [97] * 4
+
+    def test_single_rank_noops(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            assert comm.bcast(5) == 5
+            assert comm.allgather(7) == [7]
+            assert comm.alltoall([9]) == [9]
+            assert comm.allreduce(np.array([3.0]))[0] == 3.0
+            return True
+
+        assert run_spmd(1, fn).returns == [True]
+
+    def test_collectives_charge_net(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            comm.alltoall([np.zeros(100, dtype=np.uint8)] * comm.size)
+
+        res = run_spmd(4, fn)
+        net = [op for op in res.traces[0].ops
+               if isinstance(op, Transfer) and op.resource == "net"]
+        # sent 300 to others + received 300
+        assert sum(op.amount for op in net) == pytest.approx(600.0)
+
+    def test_subcommunicator(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            sub = comm.sub([0, 2])
+            if sub is None:
+                return None
+            return sub.allgather(ctx.rank)
+
+        res = run_spmd(4, fn)
+        assert res.returns == [[0, 2], None, [0, 2], None]
+
+    def test_sendrecv(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            if comm.rank == 0:
+                comm.send(np.arange(5), dest=1, tag=7)
+                return None
+            if comm.rank == 1:
+                return comm.recv(source=0, tag=7).sum()
+            return None
+
+        res = run_spmd(2, fn)
+        assert res.returns[1] == 10
+
+
+class TestSubarrayMath:
+    def test_full_array_single_run(self):
+        nruns, run = subarray_runs((4, 4, 4), (0, 0, 0), (4, 4, 4), 8)
+        assert (nruns, run) == (1, 4 * 4 * 4 * 8)
+
+    def test_inner_block(self):
+        # global (4,6), local (2,3) at (1,2): rows are separate runs
+        nruns, run = subarray_runs((4, 6), (1, 2), (2, 3), 8)
+        assert (nruns, run) == (2, 24)
+
+    def test_full_rows_merge(self):
+        # local spans entire inner dim -> contiguous slab
+        nruns, run = subarray_runs((4, 6), (1, 0), (2, 6), 8)
+        assert (nruns, run) == (1, 96)
+
+    def test_3d_block(self):
+        nruns, run = subarray_runs((8, 8, 8), (0, 0, 0), (2, 4, 8), 1)
+        assert (nruns, run) == (2, 32)
+
+    def test_zero_size(self):
+        assert subarray_runs((4, 4), (0, 0), (0, 4), 8) == (0, 0)
+
+    def test_bounds_validation(self):
+        with pytest.raises(DimensionMismatchError):
+            subarray_runs((4, 4), (2, 0), (3, 4), 8)
+        with pytest.raises(DimensionMismatchError):
+            subarray_runs((4, 4), (0,), (1, 1), 8)
+
+    def test_run_starts_match_counts(self):
+        starts = subarray_run_starts((4, 6), (1, 2), (2, 3), 8)
+        assert starts.tolist() == [(1 * 6 + 2) * 8, (2 * 6 + 2) * 8]
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_scatter_gather_roundtrip_property(self, data):
+        ndim = data.draw(st.integers(1, 3))
+        gdims = tuple(data.draw(st.integers(1, 8)) for _ in range(ndim))
+        ldims = tuple(data.draw(st.integers(0, g)) for g in gdims)
+        offs = tuple(
+            data.draw(st.integers(0, g - l)) for g, l in zip(gdims, ldims)
+        )
+        local = np.random.default_rng(0).random(ldims)
+        flat = np.zeros(gdims).reshape(-1)
+        scatter_subarray(flat, local, gdims, offs)
+        back = gather_subarray(flat, gdims, offs, ldims)
+        np.testing.assert_array_equal(back, local)
+        # run math consistency: starts count equals run count, bytes conserved
+        nruns, run_bytes = subarray_runs(gdims, offs, ldims, 8)
+        starts = subarray_run_starts(gdims, offs, ldims, 8)
+        assert len(starts) == nruns
+        assert nruns * run_bytes == local.nbytes
+        # runs must be disjoint and within bounds
+        if nruns:
+            s = np.sort(starts)
+            assert np.all(np.diff(s) >= run_bytes)
+            assert s[0] >= 0
+            assert s[-1] + run_bytes <= int(np.prod(gdims)) * 8
+
+    def test_runs_reconstruct_flat_layout(self):
+        gdims, offs, ldims = (3, 4, 5), (1, 1, 2), (2, 2, 3)
+        rng = np.random.default_rng(1)
+        local = rng.random(ldims)
+        flat = np.zeros(gdims, dtype=np.float64).reshape(-1)
+        scatter_subarray(flat, local, gdims, offs)
+        nruns, run_bytes = subarray_runs(gdims, offs, ldims, 8)
+        starts = subarray_run_starts(gdims, offs, ldims, 8)
+        flat_bytes = flat.view(np.uint8)
+        collected = np.concatenate(
+            [flat_bytes[s : s + run_bytes] for s in starts]
+        )
+        np.testing.assert_array_equal(
+            collected.view(np.float64), local.reshape(-1)
+        )
+
+
+class TestMergeExtents:
+    def test_adjacent_merge(self):
+        a = np.frombuffer(b"aa", dtype=np.uint8)
+        b = np.frombuffer(b"bb", dtype=np.uint8)
+        out = merge_extents([(0, a), (2, b)])
+        assert len(out) == 1
+        assert bytes(out[0][1]) == b"aabb"
+
+    def test_gap_keeps_separate(self):
+        a = np.frombuffer(b"aa", dtype=np.uint8)
+        out = merge_extents([(0, a), (10, a)])
+        assert len(out) == 2
+
+    def test_overlap_last_writer_wins(self):
+        a = np.frombuffer(b"aaaa", dtype=np.uint8)
+        b = np.frombuffer(b"bb", dtype=np.uint8)
+        out = merge_extents([(0, a), (1, b)])
+        assert bytes(out[0][1]) == b"abba"
+
+    def test_empty(self):
+        assert merge_extents([]) == []
+
+
+def make_mpi_env():
+    device = PMEMDevice(16 * MiB)
+    vfs = VFS()
+    vfs.mount("/pmem", DaxFS(device))
+    return vfs
+
+
+class TestMPIFile:
+    def test_independent_write_read(self):
+        vfs = make_mpi_env()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = MPIFile.open(ctx, comm, vfs, "/pmem/data")
+            payload = np.full(100, comm.rank, dtype=np.uint8)
+            f.write_at(ctx, comm.rank * 100, payload)
+            comm.barrier()
+            got = f.read_at(ctx, ((comm.rank + 1) % comm.size) * 100, 100)
+            f.close(ctx)
+            return int(got[0])
+
+        res = run_spmd(4, fn)
+        assert res.returns == [1, 2, 3, 0]
+
+    def test_collective_write_then_read(self):
+        vfs = make_mpi_env()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = MPIFile.open(ctx, comm, vfs, "/pmem/coll")
+            # interleaved strided extents: rank r owns bytes [i*P+r]
+            mine = [
+                (i * comm.size * 16 + comm.rank * 16,
+                 np.full(16, comm.rank * 10 + i, dtype=np.uint8))
+                for i in range(8)
+            ]
+            f.write_at_all(ctx, mine)
+            reqs = [(off, 16) for off, _d in mine]
+            got = f.read_at_all(ctx, reqs)
+            f.close(ctx)
+            return all(
+                np.all(g == comm.rank * 10 + i) for i, g in enumerate(got)
+            )
+
+        res = run_spmd(4, fn)
+        assert res.returns == [True] * 4
+
+    def test_collective_write_data_lands_correctly(self):
+        vfs = make_mpi_env()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = MPIFile.open(ctx, comm, vfs, "/pmem/c2")
+            data = np.full(64, comm.rank, dtype=np.uint8)
+            f.write_at_all(ctx, [(comm.rank * 64, data)])
+            comm.barrier()
+            whole = f.read_at(ctx, 0, comm.size * 64)
+            f.close(ctx)
+            return whole
+
+        res = run_spmd(3, fn)
+        expect = np.repeat(np.arange(3, dtype=np.uint8), 64)
+        np.testing.assert_array_equal(res.returns[0], expect)
+
+    def test_collective_empty_contribution(self):
+        vfs = make_mpi_env()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = MPIFile.open(ctx, comm, vfs, "/pmem/c3")
+            if comm.rank == 0:
+                f.write_at_all(ctx, [(0, np.ones(32, dtype=np.uint8))])
+            else:
+                f.write_at_all(ctx, [])
+            comm.barrier()
+            got = f.read_at(ctx, 0, 32)
+            f.close(ctx)
+            return int(got.sum())
+
+        res = run_spmd(3, fn)
+        assert res.returns == [32] * 3
+
+    def test_collective_write_charges_network(self):
+        vfs = make_mpi_env()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = MPIFile.open(ctx, comm, vfs, "/pmem/c4")
+            # strided pattern guarantees cross-rank exchange
+            mine = [
+                (i * 4 * 4096 + comm.rank * 4096,
+                 np.zeros(4096, dtype=np.uint8))
+                for i in range(4)
+            ]
+            f.write_at_all(ctx, mine)
+            f.close(ctx)
+
+        res = run_spmd(4, fn)
+        net = sum(
+            op.amount
+            for op in res.traces[0].ops
+            if isinstance(op, Transfer) and op.resource == "net"
+            and op.note == "alltoall"
+        )
+        assert net > 0
+
+    def test_set_size(self):
+        vfs = make_mpi_env()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = MPIFile.open(ctx, comm, vfs, "/pmem/sz")
+            f.set_size(ctx, 12345)
+            st = vfs.fstat(ctx, f.fd)
+            f.close(ctx)
+            return st["size"]
+
+        res = run_spmd(2, fn)
+        assert res.returns == [12345, 12345]

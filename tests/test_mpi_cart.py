@@ -1,0 +1,125 @@
+"""Tests for the Cartesian topology helper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError, RankFailedError
+from repro.mpi import Communicator
+from repro.mpi.cart import CartComm
+from repro.sim import run_spmd
+
+
+class TestTopology:
+    def test_default_grid_tiles_ranks(self):
+        def fn(ctx):
+            cart = CartComm(Communicator.world(ctx))
+            return cart.dims, cart.coords
+
+        res = run_spmd(6, fn)
+        dims = res.returns[0][0]
+        assert int(np.prod(dims)) == 6
+        coords = {r[1] for r in res.returns}
+        assert len(coords) == 6
+
+    def test_rank_coords_roundtrip(self):
+        def fn(ctx):
+            cart = CartComm(Communicator.world(ctx), dims=(2, 3))
+            assert cart.rank_of(cart.coords) == cart.comm.rank
+            assert cart.coords_of(cart.comm.rank) == cart.coords
+            return True
+
+        assert all(run_spmd(6, fn).returns)
+
+    def test_bad_grid_rejected(self):
+        def fn(ctx):
+            with pytest.raises(CommunicatorError):
+                CartComm(Communicator.world(ctx), dims=(2, 2))
+
+        run_spmd(6, fn)
+
+    def test_shift_interior_and_boundary(self):
+        def fn(ctx):
+            cart = CartComm(Communicator.world(ctx), dims=(4,))
+            return cart.shift(0)
+
+        res = run_spmd(4, fn)
+        assert res.returns[0] == (None, 1)
+        assert res.returns[1] == (0, 2)
+        assert res.returns[3] == (2, None)
+
+    def test_periodic_shift_wraps(self):
+        def fn(ctx):
+            cart = CartComm(
+                Communicator.world(ctx), dims=(4,), periods=(True,)
+            )
+            return cart.shift(0)
+
+        res = run_spmd(4, fn)
+        assert res.returns[0] == (3, 1)
+        assert res.returns[3] == (2, 0)
+
+    def test_nonperiodic_out_of_range_coord(self):
+        def fn(ctx):
+            cart = CartComm(Communicator.world(ctx), dims=(4,))
+            with pytest.raises(CommunicatorError):
+                cart.rank_of((-1,))
+
+        run_spmd(4, fn)
+
+
+class TestHaloExchange:
+    def test_open_boundary_exchange(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            cart = CartComm(comm, dims=(comm.size,))
+            me = np.array([float(comm.rank)])
+            lo, hi = cart.sendrecv_halo(me, me, axis=0)
+            return (
+                None if lo is None else float(lo[0]),
+                None if hi is None else float(hi[0]),
+            )
+
+        res = run_spmd(4, fn)
+        assert res.returns[0] == (None, 1.0)
+        assert res.returns[1] == (0.0, 2.0)
+        assert res.returns[2] == (1.0, 3.0)
+        assert res.returns[3] == (2.0, None)
+
+    def test_periodic_even_extent(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            cart = CartComm(comm, dims=(comm.size,), periods=(True,))
+            me = np.array([float(comm.rank)])
+            lo, hi = cart.sendrecv_halo(me, me, axis=0)
+            return float(lo[0]), float(hi[0])
+
+        res = run_spmd(4, fn)
+        assert res.returns[0] == (3.0, 1.0)
+        assert res.returns[3] == (2.0, 0.0)
+
+    def test_periodic_odd_extent_rejected(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            cart = CartComm(comm, dims=(comm.size,), periods=(True,))
+            cart.sendrecv_halo(np.zeros(1), np.zeros(1), axis=0)
+
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(3, fn)
+        assert isinstance(ei.value.original, CommunicatorError)
+
+    def test_2d_exchange_both_axes(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            cart = CartComm(comm, dims=(2, 2))
+            me = np.array([float(comm.rank)])
+            down0, up0 = cart.sendrecv_halo(me, me, axis=0)
+            down1, up1 = cart.sendrecv_halo(me, me, axis=1)
+            return tuple(
+                None if x is None else float(x[0])
+                for x in (down0, up0, down1, up1)
+            )
+
+        res = run_spmd(4, fn)
+        # grid: rank = i*2 + j; rank 0 at (0,0)
+        assert res.returns[0] == (None, 2.0, None, 1.0)
+        assert res.returns[3] == (1.0, None, 2.0, None)

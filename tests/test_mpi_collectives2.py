@@ -1,0 +1,104 @@
+"""Tests for the extended collectives: reduce, scan/exscan, gatherv."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import Communicator
+from repro.sim import run_spmd
+
+
+class TestReduce:
+    def test_sum_at_root(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            out = comm.reduce(np.array([float(comm.rank + 1)]))
+            return None if out is None else out[0]
+
+        res = run_spmd(4, fn)
+        assert res.returns == [10.0, None, None, None]
+
+    def test_nonzero_root(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            out = comm.reduce(np.array([1.0]), root=2)
+            return None if out is None else out[0]
+
+        res = run_spmd(3, fn)
+        assert res.returns == [None, None, 3.0]
+
+    def test_custom_op(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            out = comm.reduce(np.array([comm.rank]), op=np.maximum)
+            return None if out is None else int(out[0])
+
+        assert run_spmd(4, fn).returns[0] == 3
+
+    def test_single_rank(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            return comm.reduce(np.array([7.0]))[0]
+
+        assert run_spmd(1, fn).returns == [7.0]
+
+
+class TestScan:
+    def test_inclusive(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            return int(comm.scan(np.array([comm.rank + 1]))[0])
+
+        assert run_spmd(4, fn).returns == [1, 3, 6, 10]
+
+    def test_exclusive(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            return int(comm.exscan(np.array([comm.rank + 1]))[0])
+
+        assert run_spmd(4, fn).returns == [0, 1, 3, 6]
+
+    def test_exscan_offsets_use_case(self):
+        """The classic use: per-rank sizes -> file offsets."""
+        sizes = [100, 250, 50, 300]
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            return int(comm.exscan(np.array([sizes[comm.rank]]))[0])
+
+        assert run_spmd(4, fn).returns == [0, 100, 350, 400]
+
+    def test_single_rank(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            return (
+                int(comm.scan(np.array([5]))[0]),
+                int(comm.exscan(np.array([5]))[0]),
+            )
+
+        assert run_spmd(1, fn).returns == [(5, 0)]
+
+
+class TestGathervScatterv:
+    def test_variable_sizes(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            mine = np.arange(comm.rank + 1)
+            out = comm.gatherv(mine)
+            if comm.rank == 0:
+                return [len(a) for a in out]
+            return None
+
+        assert run_spmd(4, fn).returns[0] == [1, 2, 3, 4]
+
+    def test_scatterv_roundtrip(self):
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            chunks = (
+                [np.full(r + 1, r) for r in range(comm.size)]
+                if comm.rank == 0 else None
+            )
+            mine = comm.scatterv(chunks)
+            return (len(mine), int(mine[0]))
+
+        res = run_spmd(3, fn)
+        assert res.returns == [(1, 0), (2, 1), (3, 2)]

@@ -1,0 +1,179 @@
+"""Tests for the pmempool-check analog."""
+
+import struct
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.mem import PMEMDevice
+from repro.mpi import Communicator
+from repro.pmdk import PmemHashmap, PmemPool, RawRegion
+from repro.pmdk.alloc import HEADER_SIZE
+from repro.pmdk.check import check_pool
+from repro.pmemcpy import PMEM
+from repro.sim import run_spmd
+from repro.units import MiB
+
+
+def one_rank(fn, **kw):
+    return run_spmd(1, fn, **kw).returns[0]
+
+
+def fresh_pool(size=4 * MiB):
+    device = PMEMDevice(size)
+    region = RawRegion(device, 0, size)
+    holder = {}
+
+    def fn(ctx):
+        holder["pool"] = PmemPool.create(ctx, region, size=size, nlanes=4)
+
+    run_spmd(1, fn)
+    return device, holder["pool"]
+
+
+class TestCleanPools:
+    def test_fresh_pool_is_consistent(self):
+        _d, pool = fresh_pool()
+
+        def fn(ctx):
+            return check_pool(ctx, pool)
+
+        rep = one_rank(fn)
+        assert rep.ok, rep.problems
+        assert rep.n_blocks >= 1
+        assert "consistent" in rep.render()
+
+    def test_pool_with_data_is_consistent(self):
+        _d, pool = fresh_pool()
+
+        def fn(ctx):
+            m = PmemHashmap.create(ctx, pool, nbuckets=4)
+            pool.set_root(ctx, pool.malloc(ctx, 16))
+            pool.write(ctx, pool.root(), struct.pack("<QQ", m.hdr_off, 0))
+            pool.persist(ctx, pool.root(), 16)
+            for i in range(20):
+                m.put(ctx, f"k{i}".encode(), bytes(32))
+            m.delete(ctx, b"k3")
+            return check_pool(ctx, pool)
+
+        rep = one_rank(fn)
+        assert rep.ok, rep.problems
+        assert rep.map_entries == 19
+
+    def test_pmemcpy_store_is_consistent(self):
+        import numpy as np
+
+        cl = Cluster(pmem_capacity=64 * MiB)
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM()
+            pmem.mmap("/pmem/chk", comm)
+            pmem.store("a", np.arange(100.0))
+            pmem.store("grp/b", np.ones((4, 4)))
+            pmem.delete("a")
+            rep = check_pool(ctx, pmem.layout.pool)
+            pmem.munmap()
+            return rep
+
+        rep = cl.run(1, fn).returns[0]
+        assert rep.ok, rep.problems
+        assert rep.map_entries == 1  # only grp/b#dims remains
+
+
+class TestCorruptionDetected:
+    def corrupt_and_check(self, mutate):
+        device, pool = fresh_pool()
+
+        def setup(ctx):
+            m = PmemHashmap.create(ctx, pool, nbuckets=4)
+            pool.set_root(ctx, pool.malloc(ctx, 16))
+            pool.write(ctx, pool.root(), struct.pack("<QQ", m.hdr_off, 0))
+            pool.persist(ctx, pool.root(), 16)
+            m.put(ctx, b"key", b"value")
+            return m
+
+        m = one_rank(setup)
+        mutate(device, pool, m)
+        return one_rank(lambda ctx: check_pool(ctx, pool))
+
+    def test_smashed_block_header(self):
+        def mutate(device, pool, m):
+            # corrupt the first heap block header's magic
+            device._flat[pool.heap_off + 12] ^= 0xFF
+
+        rep = self.corrupt_and_check(mutate)
+        assert not rep.ok
+        assert any("magic" in p for p in rep.problems)
+
+    def test_footer_header_disagreement(self):
+        def mutate(device, pool, m):
+            # first block's footer: read size from header, then clobber
+            raw = bytes(device.load(pool.heap_off, HEADER_SIZE))
+            size = struct.unpack_from("<Q", raw, 0)[0]
+            foot = pool.heap_off + size - 8
+            device.store(foot, struct.pack("<Q", 12345))
+
+        rep = self.corrupt_and_check(mutate)
+        assert not rep.ok
+        assert any("footer" in p for p in rep.problems)
+
+    def test_hash_mismatch_detected(self):
+        def mutate(device, pool, m):
+            def fn(ctx):
+                # flip a bit in the stored key bytes, invalidating its hash
+                _slot, _ptr, entry, _f = m._find(ctx, b"key")
+                from repro.pmdk.hashmap import ENTRY_FIXED
+                byte = device.load(entry + ENTRY_FIXED, 1)[0]
+                device.store(entry + ENTRY_FIXED, bytes([byte ^ 0xFF]))
+
+            run_spmd(1, fn)
+
+        rep = self.corrupt_and_check(mutate)
+        assert not rep.ok
+        assert any("hash mismatch" in p or "wrong bucket" in p
+                   for p in rep.problems)
+
+    def test_count_mismatch_detected(self):
+        def mutate(device, pool, m):
+            def fn(ctx):
+                # lie in the header count without touching chains
+                nb, count, buckets = struct.unpack(
+                    "<QQQ", bytes(pool.read(ctx, m.hdr_off, 24))
+                )
+                pool.write(ctx, m.hdr_off + 8, struct.pack("<Q", count + 5))
+                pool.persist(ctx, m.hdr_off + 8, 8)
+
+            run_spmd(1, fn)
+
+        rep = self.corrupt_and_check(mutate)
+        assert not rep.ok
+        assert any("count" in p for p in rep.problems)
+
+    def test_render_lists_problems(self):
+        def mutate(device, pool, m):
+            device._flat[pool.heap_off + 12] ^= 0xFF
+
+        rep = self.corrupt_and_check(mutate)
+        out = rep.render()
+        assert "problem" in out
+        assert "✓" not in out
+
+
+class TestLaneReporting:
+    def test_pending_lane_counted(self):
+        from repro.pmdk import Transaction
+
+        _d, pool = fresh_pool()
+
+        def fn(ctx):
+            off = pool.malloc(ctx, 64)
+            tx = Transaction(pool, ctx)
+            tx.__enter__()
+            tx.add_range(off, 8)
+            # leave the transaction open: its lane has a pending log
+            return check_pool(ctx, pool)
+
+        rep = one_rank(fn)
+        assert rep.active_lanes == 1
+        assert rep.ok  # pending != corrupt

@@ -1,0 +1,401 @@
+"""Tests for the pMEMCPY core library (both layouts, all serializers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster
+from repro.errors import (
+    DimensionMismatchError,
+    KeyNotFoundError,
+    NotMappedError,
+    PmemcpyError,
+    RankFailedError,
+)
+from repro.mpi import Communicator
+from repro.pmemcpy import PMEM, Dimensions
+from repro.sim.trace import Delay, Transfer
+from repro.units import MiB
+
+LAYOUTS = ["hashtable", "hierarchical"]
+
+
+def cluster(**kw):
+    kw.setdefault("pmem_capacity", 64 * MiB)
+    return Cluster(**kw)
+
+
+class TestDimensions:
+    def test_varargs_and_tuple(self):
+        assert Dimensions(2, 3) == Dimensions((2, 3))
+        assert tuple(Dimensions(5)) == (5,)
+
+    def test_nelems_nbytes(self):
+        d = Dimensions(10, 20)
+        assert d.nelems == 200
+        assert d.nbytes(np.float64) == 1600
+
+    def test_invalid(self):
+        with pytest.raises(DimensionMismatchError):
+            Dimensions(-1)
+        with pytest.raises(DimensionMismatchError):
+            Dimensions()
+
+    def test_indexing(self):
+        d = Dimensions(4, 5, 6)
+        assert d[1] == 5
+        assert len(d) == 3
+        assert d.ndims == 3
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+class TestSingleRank:
+    def test_store_load_array(self, layout):
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout=layout)
+            pmem.mmap("/pmem/store", comm)
+            data = np.linspace(0, 1, 1000)
+            pmem.store("A", data)
+            out = pmem.load("A")
+            pmem.munmap()
+            return np.array_equal(out, data)
+
+        assert cl.run(1, fn).returns == [True]
+
+    def test_store_load_scalar(self, layout):
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout=layout)
+            pmem.mmap("/pmem/s", comm)
+            pmem.store("pi", 3.14159)
+            return pmem.load("pi")
+
+        assert cl.run(1, fn).returns[0] == pytest.approx(3.14159)
+
+    def test_load_dims(self, layout):
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout=layout)
+            pmem.mmap("/pmem/d", comm)
+            pmem.alloc("grid", Dimensions(10, 20, 30))
+            return pmem.load_dims("grid")
+
+        assert cl.run(1, fn).returns[0] == (10, 20, 30)
+
+    def test_missing_variable_raises(self, layout):
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout=layout)
+            pmem.mmap("/pmem/m", comm)
+            with pytest.raises(KeyNotFoundError):
+                pmem.load("ghost")
+            with pytest.raises(KeyNotFoundError):
+                pmem.load_dims("ghost")
+            with pytest.raises(KeyNotFoundError):
+                pmem.store("ghost", np.zeros(3), offsets=(0,))
+
+        cl.run(1, fn)
+
+    def test_whole_store_replaces(self, layout):
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout=layout)
+            pmem.mmap("/pmem/r", comm)
+            pmem.store("x", np.ones(10))
+            pmem.store("x", np.arange(5.0))
+            return pmem.load("x")
+
+        out = cl.run(1, fn).returns[0]
+        np.testing.assert_array_equal(out, np.arange(5.0))
+
+    def test_alloc_mismatch_raises(self, layout):
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout=layout)
+            pmem.mmap("/pmem/am", comm)
+            pmem.alloc("v", (10,), np.float64)
+            pmem.alloc("v", (10,), np.float64)  # idempotent ok
+            with pytest.raises(DimensionMismatchError):
+                pmem.alloc("v", (11,), np.float64)
+            with pytest.raises(DimensionMismatchError):
+                pmem.alloc("v", (10,), np.int32)
+
+        cl.run(1, fn)
+
+    def test_subarray_bounds_checked(self, layout):
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout=layout)
+            pmem.mmap("/pmem/sb", comm)
+            pmem.alloc("v", (10,))
+            with pytest.raises(DimensionMismatchError):
+                pmem.store("v", np.zeros(5), offsets=(8,))
+
+        cl.run(1, fn)
+
+    def test_partial_load_requires_full(self, layout):
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout=layout)
+            pmem.mmap("/pmem/pf", comm)
+            pmem.alloc("v", (10,))
+            pmem.store("v", np.ones(4), offsets=(0,))
+            with pytest.raises(DimensionMismatchError):
+                pmem.load("v")  # only 4 of 10 stored
+            out = pmem.load("v", require_full=False)
+            return out
+
+        out = cl.run(1, fn).returns[0]
+        np.testing.assert_array_equal(out[:4], 1.0)
+        np.testing.assert_array_equal(out[4:], 0.0)
+
+    def test_use_before_mmap_raises(self, layout):
+        pmem = PMEM(layout=layout)
+        with pytest.raises(NotMappedError):
+            pmem.load("x")
+
+    def test_list_and_delete(self, layout):
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout=layout)
+            pmem.mmap("/pmem/ld", comm)
+            pmem.store("a", np.ones(3))
+            pmem.store("grp/b", np.ones(3))
+            names = pmem.list_variables()
+            pmem.delete("a")
+            return names, pmem.list_variables()
+
+        names, after = cl.run(1, fn).returns[0]
+        assert names == ["a", "grp/b"]
+        assert after == ["grp/b"]
+
+    def test_structured_dtype(self, layout):
+        cl = cluster()
+        dt = np.dtype([("x", "<f8"), ("n", "<i4")])
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout=layout)
+            pmem.mmap("/pmem/sd", comm)
+            data = np.array([(1.5, 2), (2.5, 3)], dtype=dt)
+            pmem.store("particles", data)
+            return pmem.load("particles")
+
+        out = cl.run(1, fn).returns[0]
+        assert out.dtype == dt
+        assert out["n"].tolist() == [2, 3]
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+class TestParallel:
+    def test_fig3_example(self, layout):
+        """The paper's Fig. 3 usage example: each of P ranks writes 100
+        doubles at non-overlapping offsets."""
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout=layout)
+            count = 100
+            off = 100 * comm.rank
+            dimsf = 100 * comm.size
+            data = np.full(count, float(comm.rank))
+            pmem.mmap("/pmem/fig3", comm)
+            pmem.alloc("A", Dimensions(dimsf))
+            pmem.store("A", data, offsets=(off,))
+            comm.barrier()
+            whole = pmem.load("A")
+            pmem.munmap()
+            return whole
+
+        res = cl.run(4, fn)
+        expect = np.repeat(np.arange(4.0), 100)
+        for r in range(4):
+            np.testing.assert_array_equal(res.returns[r], expect)
+
+    def test_3d_domain_decomposition(self, layout):
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout=layout)
+            pmem.mmap("/pmem/cube", comm)
+            g = (8, 8, 8)
+            pmem.alloc("cube", g)
+            # 2x2x1 decomposition over 4 ranks
+            px, py = comm.rank // 2, comm.rank % 2
+            offs = (px * 4, py * 4, 0)
+            local = np.full((4, 4, 8), float(comm.rank))
+            pmem.store("cube", local, offsets=offs)
+            comm.barrier()
+            # read back own block plus a cross-block slice
+            mine = pmem.load("cube", offsets=offs, dims=(4, 4, 8))
+            row = pmem.load("cube", offsets=(0, 0, 0), dims=(8, 1, 1))
+            return np.all(mine == comm.rank), row.reshape(-1).tolist()
+
+        res = cl.run(4, fn)
+        ok, row = res.returns[0]
+        assert ok
+        assert row == [0.0] * 4 + [2.0] * 4  # px changes at i=4
+
+    def test_read_run_after_write_run(self, layout):
+        """Separate SPMD runs (write job then read job) — the Fig. 6/7
+        structure."""
+        cl = cluster()
+
+        def writer(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout=layout)
+            pmem.mmap("/pmem/jobs", comm)
+            pmem.alloc("A", (40,))
+            pmem.store(
+                "A", np.full(10, float(comm.rank)), offsets=(10 * comm.rank,)
+            )
+            pmem.munmap()
+
+        cl.run(4, writer)
+
+        def reader(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout=layout)
+            pmem.mmap("/pmem/jobs", comm)
+            out = pmem.load(
+                "A", offsets=(10 * comm.rank,), dims=(10,)
+            )
+            pmem.munmap()
+            return np.all(out == comm.rank)
+
+        assert cl.run(4, reader).returns == [True] * 4
+
+
+class TestSerializersThroughApi:
+    @pytest.mark.parametrize("ser", ["bp4", "cproto", "cereal", "raw", "none"])
+    def test_roundtrip_each_serializer(self, ser):
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(serializer=ser)
+            pmem.mmap("/pmem/ser", comm)
+            data = np.arange(64, dtype=np.float32).reshape(8, 8)
+            pmem.store("m", data)
+            return np.array_equal(pmem.load("m"), data)
+
+        assert cl.run(1, fn).returns == [True]
+
+    def test_unknown_serializer(self):
+        from repro.errors import SerializationError
+        with pytest.raises(SerializationError):
+            PMEM(serializer="protobuf")
+
+    def test_unknown_layout(self):
+        with pytest.raises(PmemcpyError):
+            PMEM(layout="btree")
+
+
+class TestMapSyncCharging:
+    def _run(self, map_sync):
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(map_sync=map_sync)
+            pmem.mmap("/pmem/ms", comm)
+            pmem.store("x", np.zeros(100_000))
+            pmem.munmap()
+
+        return cl.run(1, fn)
+
+    def test_map_sync_adds_commit_delays(self):
+        res_a = self._run(False)
+        res_b = self._run(True)
+
+        def commit_ns(res):
+            return sum(
+                op.ns for op in res.traces[0].ops
+                if isinstance(op, Delay) and op.note == "map-sync-commit"
+            )
+
+        assert commit_ns(res_a) == 0
+        assert commit_ns(res_b) > 0
+        assert res_b.makespan_ns > res_a.makespan_ns
+
+    def test_write_path_avoids_dram_staging(self):
+        res = self._run(False)
+        stage = [
+            op for op in res.traces[0].ops
+            if isinstance(op, Transfer) and op.resource == "dram"
+            and op.note == "stage-copy"
+        ]
+        assert stage == []
+
+
+class TestCrashRecoveryIntegration:
+    def test_stored_data_survives_crash(self):
+        cl = Cluster(pmem_capacity=64 * MiB, crash_sim=True)
+
+        def writer(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM()
+            pmem.mmap("/pmem/cr", comm)
+            pmem.store("state", np.arange(100.0))
+            pmem.munmap()
+
+        cl.run(2, writer)
+        cl.device.crash()
+        cl.drop_caches()
+
+        def reader(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM()
+            pmem.mmap("/pmem/cr", comm)
+            return pmem.load("state")
+
+        out = cl.run(2, reader).returns[0]
+        np.testing.assert_array_equal(out, np.arange(100.0))
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+class TestPropertyRoundtrip:
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_random_decomposition_roundtrip(self, layout, data):
+        n = data.draw(st.integers(8, 40))
+        nprocs = data.draw(st.sampled_from([1, 2, 4]))
+        # contiguous 1-D split with remainders
+        base, extra = divmod(n, nprocs)
+        counts = [base + (1 if r < extra else 0) for r in range(nprocs)]
+        starts = np.cumsum([0] + counts[:-1]).tolist()
+        cl = cluster()
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout=layout)
+            pmem.mmap("/pmem/prop", comm)
+            pmem.alloc("v", (n,))
+            local = np.arange(counts[comm.rank], dtype=np.float64) + starts[comm.rank]
+            pmem.store("v", local, offsets=(starts[comm.rank],))
+            comm.barrier()
+            return pmem.load("v")
+
+        out = cl.run(nprocs, fn).returns[0]
+        np.testing.assert_array_equal(out, np.arange(n, dtype=np.float64))

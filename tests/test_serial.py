@@ -1,0 +1,254 @@
+"""Tests for the serializers and their charged sinks/sources."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import SerializationError
+from repro.mem import PMEMDevice
+from repro.pmdk.pool import RawRegion
+from repro.serial import (
+    BP4Serializer,
+    DramSink,
+    DramSource,
+    PmemSink,
+    PmemSource,
+    available_serializers,
+    get_serializer,
+)
+from repro.sim import run_spmd
+from repro.sim.trace import Transfer
+from repro.units import MiB
+
+SERIALIZER_NAMES = ["bp4", "cproto", "cereal", "raw"]
+
+
+def one_rank(fn, **kw):
+    return run_spmd(1, fn, **kw).returns[0]
+
+
+def roundtrip_dram(serializer, name, array):
+    def fn(ctx):
+        sink = DramSink(ctx)
+        n = serializer.pack(ctx, name, array, sink)
+        assert n == len(sink.getvalue())
+        assert n == serializer.packed_size(name, array)
+        src = DramSource(ctx, sink.getvalue())
+        return serializer.unpack(ctx, src)
+
+    return one_rank(fn)
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_serializers()
+        for n in SERIALIZER_NAMES + ["none"]:
+            assert n in names
+
+    def test_unknown_raises(self):
+        with pytest.raises(SerializationError):
+            get_serializer("json")
+
+    def test_none_is_raw(self):
+        assert get_serializer("none") is get_serializer("raw")
+
+
+@pytest.mark.parametrize("sname", SERIALIZER_NAMES)
+class TestRoundtrips:
+    def test_1d_doubles(self, sname):
+        s = get_serializer(sname)
+        arr = np.linspace(0, 1, 100)
+        got_name, got = roundtrip_dram(s, "A", arr)
+        np.testing.assert_array_equal(got, arr)
+        if sname != "raw":
+            assert got_name == "A"
+
+    def test_3d_array(self, sname):
+        s = get_serializer(sname)
+        arr = np.arange(2 * 3 * 4, dtype=np.int32).reshape(2, 3, 4)
+        _n, got = roundtrip_dram(s, "cube", arr)
+        np.testing.assert_array_equal(got, arr)
+        assert got.shape == (2, 3, 4)
+        assert got.dtype == np.int32
+
+    def test_scalar_like(self, sname):
+        s = get_serializer(sname)
+        arr = np.array([42.0])
+        _n, got = roundtrip_dram(s, "x", arr)
+        assert got[0] == 42.0
+
+    def test_empty_array(self, sname):
+        s = get_serializer(sname)
+        arr = np.array([], dtype=np.float64)
+        _n, got = roundtrip_dram(s, "e", arr)
+        assert got.size == 0
+        assert got.dtype == np.float64
+
+    def test_structured_dtype(self, sname):
+        s = get_serializer(sname)
+        dt = np.dtype([("a", "<i4"), ("b", "<f8")])
+        arr = np.array([(1, 2.5), (3, 4.5)], dtype=dt)
+        _n, got = roundtrip_dram(s, "compound", arr)
+        np.testing.assert_array_equal(got, arr)
+
+    def test_noncontiguous_input(self, sname):
+        s = get_serializer(sname)
+        arr = np.arange(100, dtype=np.float64)[::2]
+        _n, got = roundtrip_dram(s, "s", arr)
+        np.testing.assert_array_equal(got, arr)
+
+    def test_garbage_rejected(self, sname):
+        s = get_serializer(sname)
+
+        def fn(ctx):
+            src = DramSource(ctx, b"\x00" * 256)
+            with pytest.raises(SerializationError):
+                s.unpack(ctx, src)
+
+        one_rank(fn)
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_roundtrip(self, sname, data):
+        s = get_serializer(sname)
+        dtype = data.draw(
+            st.sampled_from([np.uint8, np.int32, np.int64, np.float32, np.float64])
+        )
+        shape = data.draw(
+            st.lists(st.integers(1, 8), min_size=1, max_size=4).map(tuple)
+        )
+        arr = data.draw(
+            hnp.arrays(dtype, shape, elements={"allow_nan": False})
+        )
+        name = data.draw(st.text(min_size=0, max_size=20))
+        _n, got = roundtrip_dram(s, name, arr)
+        np.testing.assert_array_equal(got, arr)
+
+
+class TestBP4Specifics:
+    def test_characteristics_present(self):
+        s = BP4Serializer()
+        arr = np.array([3.0, 1.0, 2.0])
+
+        def fn(ctx):
+            sink = DramSink(ctx)
+            s.pack(ctx, "v", arr, sink)
+            src = DramSource(ctx, sink.getvalue())
+            return s.read_characteristics(ctx, src)
+
+        chars = one_rank(fn)
+        assert chars["min"] == 1.0
+        assert chars["max"] == 3.0
+        assert chars["shape"] == (3,)
+        assert chars["name"] == "v"
+
+    def test_corrupted_payload_detected(self):
+        s = BP4Serializer()
+        arr = np.array([1.0, 2.0, 3.0])
+
+        def fn(ctx):
+            sink = DramSink(ctx)
+            s.pack(ctx, "v", arr, sink)
+            buf = bytearray(sink.getvalue())
+            buf[-4] ^= 0xFF  # flip payload bits
+            src = DramSource(ctx, bytes(buf))
+            with pytest.raises(SerializationError, match="characteristics"):
+                s.unpack(ctx, src)
+
+        one_rank(fn)
+
+
+class TestPmemSinkSource:
+    def test_pack_directly_into_pmem(self):
+        device = PMEMDevice(1 * MiB)
+        region = RawRegion(device, 0, 1 * MiB)
+        s = get_serializer("bp4")
+        arr = np.arange(50, dtype=np.float64)
+
+        def fn(ctx):
+            sink = PmemSink(ctx, region, base=4096)
+            n = s.pack(ctx, "direct", arr, sink)
+            sink.persist()
+            src = PmemSource(ctx, region, base=4096, size=n)
+            return s.unpack(ctx, src)
+
+        name, got = one_rank(fn)
+        assert name == "direct"
+        np.testing.assert_array_equal(got, arr)
+
+    def test_pmem_sink_charges_pmem_not_dram(self):
+        device = PMEMDevice(1 * MiB)
+        region = RawRegion(device, 0, 1 * MiB)
+        s = get_serializer("raw")
+        arr = np.zeros(1000)
+
+        def fn(ctx):
+            sink = PmemSink(ctx, region, base=0)
+            s.pack(ctx, "x", arr, sink)
+
+        res = run_spmd(1, fn)
+        resources = {op.resource for op in res.traces[0].ops
+                     if isinstance(op, Transfer)}
+        assert "pmem_write" in resources
+        assert "dram" not in resources
+        assert "cpu" in resources
+
+    def test_dram_sink_charges_dram(self):
+        s = get_serializer("raw")
+        arr = np.zeros(1000)
+
+        def fn(ctx):
+            s.pack(ctx, "x", arr, DramSink(ctx))
+
+        res = run_spmd(1, fn)
+        resources = {op.resource for op in res.traces[0].ops
+                     if isinstance(op, Transfer)}
+        assert "dram" in resources
+        assert "pmem_write" not in resources
+
+    def test_payload_scaling(self):
+        s = get_serializer("raw")
+        arr = np.zeros(1000, dtype=np.uint8)  # 1000-byte payload
+
+        def fn(ctx):
+            s.pack(ctx, "x", arr, DramSink(ctx))
+
+        res = run_spmd(1, fn, scale=1000)
+        dram = [op for op in res.traces[0].ops
+                if isinstance(op, Transfer) and op.resource == "dram"]
+        # header charged at face value, payload scaled x1000
+        total = sum(op.amount for op in dram)
+        assert total == pytest.approx(64 + 1000 * 1000)  # 64B raw header
+
+    def test_short_source_raises(self):
+        s = get_serializer("cproto")
+        arr = np.zeros(100)
+
+        def fn(ctx):
+            sink = DramSink(ctx)
+            s.pack(ctx, "x", arr, sink)
+            src = DramSource(ctx, sink.getvalue()[:50])
+            with pytest.raises(SerializationError):
+                s.unpack(ctx, src)
+
+        one_rank(fn)
+
+
+class TestCpuCosts:
+    def test_bp4_slower_than_raw(self):
+        arr = np.zeros(100_000)
+
+        def run_with(sname):
+            s = get_serializer(sname)
+
+            def fn(ctx):
+                s.pack(ctx, "x", arr, DramSink(ctx))
+
+            res = run_spmd(1, fn)
+            return sum(
+                op.amount for op in res.traces[0].ops
+                if isinstance(op, Transfer) and op.resource == "cpu"
+            )
+
+        assert run_with("bp4") > run_with("raw")

@@ -1,0 +1,140 @@
+"""Tests for utilization reporting and the ADIOS BP-index inquiry path."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AdiosFile
+from repro.cluster import Cluster
+from repro.config import DEFAULT_MACHINE
+from repro.errors import FormatError, RankFailedError
+from repro.mpi import Communicator
+from repro.sim import build_standard_resources, run_spmd, utilization
+from repro.sim.trace import Transfer
+from repro.units import GB, MiB
+
+
+class TestUtilization:
+    def test_single_saturated_resource(self):
+        def fn(ctx):
+            ctx.transfer("pmem_write", 8 * GB, DEFAULT_MACHINE.pmem.stream_write_bw)
+
+        res = run_spmd(24, fn)
+        u = utilization(
+            res.traces, res.time(), build_standard_resources(DEFAULT_MACHINE)
+        )
+        amount, frac = u.per_resource["pmem_write"]
+        assert amount == pytest.approx(24 * 8 * GB)
+        # 24 streams exceed the aggregate limit -> run is device-bound
+        assert frac == pytest.approx(1.0, rel=1e-3)
+
+    def test_idle_resources_absent(self):
+        res = run_spmd(1, lambda ctx: ctx.transfer("dram", 100.0, 1.0))
+        u = utilization(
+            res.traces, res.time(), build_standard_resources(DEFAULT_MACHINE)
+        )
+        assert "net" not in u.per_resource
+        assert "dram" in u.per_resource
+
+    def test_render_sorted_by_usage(self):
+        def fn(ctx):
+            ctx.transfer("pmem_write", 1e9, 0.55)
+            ctx.transfer("net", 1e6, 5.0)
+
+        res = run_spmd(2, fn)
+        u = utilization(
+            res.traces, res.time(), build_standard_resources(DEFAULT_MACHINE)
+        )
+        out = u.render()
+        assert out.index("pmem_write") < out.index("net")
+
+    def test_pmemcpy_write_is_pmem_bound(self):
+        """The paper's thesis as a utilization statement."""
+        from repro.harness.experiment import _cluster_for
+        from repro.workloads import Domain3D, write_job
+
+        w = Domain3D(nvars=2, model_dims=(200, 200, 200), axis_scale=10)
+        cl = _cluster_for(w, DEFAULT_MACHINE)
+        res = cl.run(
+            16, lambda ctx: write_job(ctx, w, "pmemcpy", "/pmem/u", {})
+        )
+        u = utilization(
+            res.traces, res.time(), build_standard_resources(DEFAULT_MACHINE)
+        )
+        _amount, frac = u.per_resource["pmem_write"]
+        assert frac > 0.6
+        assert "net" not in u.per_resource or u.per_resource["net"][1] < 0.05
+
+
+class TestAdiosInquiry:
+    def make_file(self, cl):
+        def writer(ctx):
+            comm = Communicator.world(ctx)
+            f = AdiosFile(ctx, comm, "/pmem/bp", "w")
+            base = comm.rank * 10.0
+            f.write("T", np.linspace(base, base + 1, 100),
+                    (100 * comm.rank,), (100 * comm.size,))
+            f.write("P", np.zeros(10), (10 * comm.rank,), (10 * comm.size,))
+            f.close()
+
+        cl.run(4, writer)
+
+    def test_available_variables(self):
+        cl = Cluster(pmem_capacity=64 * MiB)
+        self.make_file(cl)
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = AdiosFile(ctx, comm, "/pmem/bp", "r")
+            names = f.available_variables()
+            f.close()
+            return names
+
+        assert cl.run(1, fn).returns[0] == ["P", "T"]
+
+    def test_inquire_returns_per_block_minmax(self):
+        cl = Cluster(pmem_capacity=64 * MiB)
+        self.make_file(cl)
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = AdiosFile(ctx, comm, "/pmem/bp", "r")
+            blocks = f.inquire("T")
+            f.close()
+            return blocks
+
+        blocks = cl.run(1, fn).returns[0]
+        assert len(blocks) == 4
+        by_off = {b["offsets"]: b for b in blocks}
+        assert by_off[(0,)]["min"] == pytest.approx(0.0)
+        assert by_off[(300,)]["max"] == pytest.approx(31.0)
+
+    def test_inquire_reads_headers_not_payload(self):
+        cl = Cluster(pmem_capacity=64 * MiB)
+        self.make_file(cl)
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = AdiosFile(ctx, comm, "/pmem/bp", "r")
+            f.inquire("T")
+            f.close()
+
+        res = cl.run(1, fn)
+        pmem_read = sum(
+            op.amount for op in res.traces[0].ops
+            if isinstance(op, Transfer) and op.resource == "pmem_read"
+        )
+        # 4 blocks x 800B payload each; header scans must stay well under
+        assert pmem_read < 4 * 4096 + 4096
+
+    def test_inquire_missing_raises(self):
+        cl = Cluster(pmem_capacity=64 * MiB)
+        self.make_file(cl)
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            f = AdiosFile(ctx, comm, "/pmem/bp", "r")
+            f.inquire("ghost")
+
+        with pytest.raises(RankFailedError) as ei:
+            cl.run(1, fn)
+        assert isinstance(ei.value.original, FormatError)

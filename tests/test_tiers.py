@@ -1,0 +1,244 @@
+"""Tests for the Hermes-style multi-tier buffering layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import OutOfSpaceError, ReproError
+from repro.sim import run_spmd
+from repro.sim.trace import Transfer
+from repro.tiers import TierManager, get_policy
+from repro.units import KiB, MiB
+
+
+def make_mgr(policy="performance", pmem=64 * KiB, nvme=256 * KiB, **kw):
+    return TierManager.standard(
+        get_policy(policy, **kw),
+        pmem_capacity=pmem, nvme_capacity=nvme, pfs_capacity=16 * MiB,
+    )
+
+
+def one_rank(fn, **kw):
+    return run_spmd(1, fn, **kw)
+
+
+class TestBasicPlacement:
+    def test_put_get_roundtrip(self):
+        mgr = make_mgr()
+
+        def fn(ctx):
+            mgr.put(ctx, "a", b"hello tiers")
+            return mgr.get(ctx, "a")
+
+        assert one_rank(fn).returns[0] == b"hello tiers"
+
+    def test_performance_policy_fills_fastest(self):
+        mgr = make_mgr("performance")
+
+        def fn(ctx):
+            tier = mgr.put(ctx, "a", bytes(1024))
+            return tier
+
+        assert one_rank(fn).returns[0] == "pmem"
+
+    def test_replace_updates_usage(self):
+        mgr = make_mgr()
+
+        def fn(ctx):
+            mgr.put(ctx, "a", bytes(1000))
+            mgr.put(ctx, "a", bytes(200))
+            return mgr.usage()["pmem"][0]
+
+        assert one_rank(fn).returns[0] == 200
+
+    def test_missing_key(self):
+        mgr = make_mgr()
+
+        def fn(ctx):
+            with pytest.raises(KeyError):
+                mgr.get(ctx, "ghost")
+
+        one_rank(fn)
+
+    def test_charges_tier_resources(self):
+        mgr = make_mgr()
+
+        def fn(ctx):
+            mgr.put(ctx, "a", bytes(4096))
+            mgr.get(ctx, "a")
+
+        res = one_rank(fn)
+        resources = {op.resource for op in res.traces[0].ops
+                     if isinstance(op, Transfer)}
+        assert "pmem_write" in resources
+        assert "pmem_read" in resources
+
+
+class TestEviction:
+    def test_overflow_demotes_lru(self):
+        mgr = make_mgr("performance", pmem=32 * KiB)
+
+        def fn(ctx):
+            mgr.put(ctx, "old", bytes(16 * KiB))
+            mgr.put(ctx, "mid", bytes(12 * KiB))
+            mgr.get(ctx, "old")  # make "mid" the LRU
+            mgr.put(ctx, "new", bytes(12 * KiB))
+            return mgr.where("old"), mgr.where("mid"), mgr.where("new")
+
+        old, mid, new = one_rank(fn).returns[0]
+        assert new == "pmem"
+        assert old == "pmem"
+        assert mid == "nvme"  # LRU victim
+
+    def test_cascaded_demotion(self):
+        mgr = make_mgr("performance", pmem=16 * KiB, nvme=16 * KiB)
+
+        def fn(ctx):
+            mgr.put(ctx, "a", bytes(12 * KiB))
+            mgr.put(ctx, "b", bytes(12 * KiB))  # a -> nvme
+            mgr.put(ctx, "c", bytes(12 * KiB))  # b -> nvme, a -> pfs
+            return [mgr.where(k) for k in "abc"]
+
+        assert one_rank(fn).returns[0] == ["pfs", "nvme", "pmem"]
+
+    def test_oversized_blob_skips_small_tiers(self):
+        mgr = make_mgr("performance", pmem=8 * KiB, nvme=64 * KiB)
+
+        def fn(ctx):
+            return mgr.put(ctx, "big", bytes(32 * KiB))
+
+        assert one_rank(fn).returns[0] == "nvme"
+
+    def test_truly_oversized_raises(self):
+        mgr = TierManager.standard(
+            get_policy("performance"),
+            pmem_capacity=8 * KiB, nvme_capacity=8 * KiB,
+            pfs_capacity=8 * KiB,
+        )
+
+        def fn(ctx):
+            with pytest.raises(OutOfSpaceError):
+                mgr.put(ctx, "big", bytes(64 * KiB))
+
+        one_rank(fn)
+
+    def test_data_survives_demotion_byte_exact(self):
+        mgr = make_mgr("performance", pmem=32 * KiB)
+        payloads = {f"k{i}": np.random.default_rng(i).bytes(10 * KiB)
+                    for i in range(8)}
+
+        def fn(ctx):
+            for k, v in payloads.items():
+                mgr.put(ctx, k, v)
+            return {k: mgr.get(ctx, k) for k in payloads}
+
+        out = one_rank(fn).returns[0]
+        assert out == payloads
+
+
+class TestPromotion:
+    def test_hot_blob_promoted_on_get(self):
+        mgr = make_mgr("performance", pmem=32 * KiB)
+
+        def fn(ctx):
+            mgr.put(ctx, "cold", bytes(20 * KiB))
+            mgr.put(ctx, "hot", bytes(20 * KiB))   # cold -> nvme
+            assert mgr.where("cold") == "nvme"
+            mgr.get(ctx, "hot")
+            # free pmem space, then touch cold: it should come back up
+            mgr.blobs["hot"].tier.drop_blob("hot")
+            del mgr.blobs["hot"]
+            mgr.get(ctx, "cold")
+            return mgr.where("cold")
+
+        assert one_rank(fn).returns[0] == "pmem"
+
+    def test_no_promotion_when_full(self):
+        mgr = make_mgr("performance", pmem=32 * KiB)
+
+        def fn(ctx):
+            mgr.put(ctx, "cold", bytes(20 * KiB))
+            mgr.put(ctx, "hot", bytes(20 * KiB))  # cold -> nvme
+            mgr.get(ctx, "cold")  # pmem full: no promote
+            return mgr.where("cold")
+
+        assert one_rank(fn).returns[0] == "nvme"
+
+
+class TestPolicies:
+    def test_capacity_policy_avoids_eviction(self):
+        mgr = make_mgr("capacity", pmem=32 * KiB, headroom=0.1)
+
+        def fn(ctx):
+            tiers = [mgr.put(ctx, f"k{i}", bytes(10 * KiB)) for i in range(5)]
+            demotions = sum(t.stats.demotions for t in mgr.tiers)
+            return tiers, demotions
+
+        tiers, demotions = one_rank(fn).returns[0]
+        assert tiers[0] == "pmem" and tiers[-1] != "pmem"
+        assert demotions == 0
+
+    def test_bandwidth_policy_stripes(self):
+        mgr = make_mgr("bandwidth", pmem=256 * KiB, nvme=256 * KiB)
+
+        def fn(ctx):
+            return {mgr.put(ctx, f"k{i}", bytes(16 * KiB)) for i in range(12)}
+
+        used = one_rank(fn).returns[0]
+        assert "pmem" in used and len(used) >= 2  # spread across tiers
+
+    def test_unknown_policy(self):
+        with pytest.raises(ReproError):
+            get_policy("random")
+
+    def test_bad_headroom(self):
+        with pytest.raises(ReproError):
+            get_policy("capacity", headroom=1.5)
+
+
+class TestDrain:
+    def test_drain_moves_everything_to_bottom(self):
+        mgr = make_mgr()
+
+        def fn(ctx):
+            mgr.put(ctx, "a", bytes(8 * KiB))
+            mgr.put(ctx, "b", bytes(8 * KiB))
+            moved = mgr.drain(ctx)
+            return moved, mgr.where("a"), mgr.where("b"), mgr.get(ctx, "a")[:1]
+
+        moved, wa, wb, first = one_rank(fn).returns[0]
+        assert moved == 16 * KiB
+        assert wa == wb == "pfs"
+        assert first == b"\x00"
+
+
+class TestPropertyBased:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_usage_accounting_invariant(self, data):
+        ops = data.draw(st.lists(
+            st.tuples(st.integers(0, 5), st.integers(1, 12 * KiB)),
+            min_size=1, max_size=25,
+        ))
+        mgr = make_mgr("performance", pmem=24 * KiB, nvme=48 * KiB)
+
+        def fn(ctx):
+            live = {}
+            for key_i, size in ops:
+                key = f"k{key_i}"
+                try:
+                    mgr.put(ctx, key, bytes(size))
+                    live[key] = size
+                except OutOfSpaceError:
+                    live.pop(key, None)
+            # invariants: every live blob readable, usage sums match
+            for k, size in live.items():
+                assert len(mgr.get(ctx, k, promote=False)) == size
+            for t in mgr.tiers:
+                expected = sum(
+                    b.size for b in mgr.blobs.values() if b.tier is t
+                )
+                assert t.used == expected
+                assert 0 <= t.used <= t.capacity
+
+        one_rank(fn)
