@@ -232,10 +232,13 @@ class AdiosDriver(PIODriver):
         self._gdims[name] = tuple(global_dims)
 
     def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
+        self.note_write(ctx, array)
         self.handle.write(name, array, offsets, self._gdims.get(name))
 
     def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
-        return self.handle.read(name, offsets, dims)
+        out = self.handle.read(name, offsets, dims)
+        self.note_read(ctx, out)
+        return out
 
     def close(self, ctx) -> None:
         self.handle.close()

@@ -7,6 +7,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from ..errors import BaselineError
+from ..telemetry import record
 
 
 class PIODriver(ABC):
@@ -17,6 +18,18 @@ class PIODriver(ABC):
     """
 
     name: str = "abstract"
+
+    # -- telemetry --------------------------------------------------------
+    # Drivers call these at the top of write()/read() so every library
+    # reports the same Darshan-style op/byte counters.
+
+    def note_write(self, ctx, array: np.ndarray) -> None:
+        record(ctx, "driver_write_ops")
+        record(ctx, "driver_write_bytes", int(array.nbytes))
+
+    def note_read(self, ctx, array) -> None:
+        record(ctx, "driver_read_ops")
+        record(ctx, "driver_read_bytes", int(np.asarray(array).nbytes))
 
     @abstractmethod
     def open(self, ctx, comm, path: str, mode: str) -> None:

@@ -771,6 +771,7 @@ class H5Driver(PIODriver):
         )
 
     def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
+        self.note_write(ctx, array)
         ds = self.file.dataset(name)
         fs = Dataspace(ds.space.dims).select_hyperslab(offsets, array.shape)
         ds.write(ctx, array, fs)
@@ -778,7 +779,9 @@ class H5Driver(PIODriver):
     def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
         ds = self.file.dataset(name)
         fs = Dataspace(ds.space.dims).select_hyperslab(offsets, dims)
-        return ds.read(ctx, fs)
+        out = ds.read(ctx, fs)
+        self.note_read(ctx, out)
+        return out
 
     def close(self, ctx) -> None:
         self.file.close()

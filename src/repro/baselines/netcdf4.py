@@ -141,10 +141,13 @@ class NetCDF4Driver(PIODriver):
         self.nc.def_var(name, dtype, dim_names)
 
     def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
+        self.note_write(ctx, array)
         self.nc.put_vara(ctx, name, offsets, array.shape, array)
 
     def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
-        return self.nc.get_vara(ctx, name, offsets, dims)
+        out = self.nc.get_vara(ctx, name, offsets, dims)
+        self.note_read(ctx, out)
+        return out
 
     def close(self, ctx) -> None:
         self.nc.close()

@@ -31,10 +31,13 @@ class PmemcpyDriver(PIODriver):
         self.pmem.alloc(name, tuple(global_dims), dtype)
 
     def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
+        self.note_write(ctx, array)
         self.pmem.store(name, array, offsets=offsets)
 
     def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
-        return self.pmem.load(name, offsets=offsets, dims=dims)
+        out = self.pmem.load(name, offsets=offsets, dims=dims)
+        self.note_read(ctx, out)
+        return out
 
     def close(self, ctx) -> None:
         self.pmem.munmap()

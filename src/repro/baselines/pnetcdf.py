@@ -195,13 +195,16 @@ class PnetcdfDriver(PIODriver):
         self.f.def_var(name, dtype, dim_names)
 
     def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
+        self.note_write(ctx, array)
         if not self._defined:
             self.f.enddef(ctx)
             self._defined = True
         self.f.put_vara_all(ctx, name, offsets, array.shape, array)
 
     def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
-        return self.f.get_vara_all(ctx, name, offsets, dims)
+        out = self.f.get_vara_all(ctx, name, offsets, dims)
+        self.note_read(ctx, out)
+        return out
 
     def close(self, ctx) -> None:
         if not self._defined and self.f.mode == "w":

@@ -104,6 +104,7 @@ class PosixDriver(PIODriver):
     def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
         if self.mode != "w":
             raise BaselineError("file opened read-only")
+        self.note_write(ctx, array)
         # deterministic region allocation: everyone learns all sizes
         sizes = self.comm.allgather(int(array.nbytes))
         base = self._eof
@@ -135,6 +136,7 @@ class PosixDriver(PIODriver):
             block = raw.tobytes()
             arr = np.frombuffer(block, dtype=dtype).reshape(r["dims"])
             _paste(out, offsets, dims, arr, r["offsets"], r["dims"])
+        self.note_read(ctx, out)
         return out
 
     def close(self, ctx) -> None:

@@ -9,6 +9,7 @@ Usage::
     python -m repro.harness utilization     # per-library resource bottlenecks
     python -m repro.harness all
     options: --procs 8,16,24,32,48  --axis-scale 12  --out results/
+             --profile   # print per-job I/O telemetry counter tables
 """
 
 from __future__ import annotations
@@ -46,6 +47,17 @@ def cmd_figures(args, directions) -> None:
     results = run_sweep(
         proc_counts=procs, workload=workload, directions=directions
     )
+    if args.profile:
+        from ..telemetry import Counters
+
+        for r in results:
+            c = Counters()
+            for k, v in r.telemetry.items():
+                c.add(k, v)
+            print(c.render(
+                f"{r.library} {r.direction} @{r.nprocs} procs — I/O telemetry"
+            ))
+            print()
     for direction, fig in (("write", "fig6"), ("read", "fig7")):
         if direction not in directions:
             continue
@@ -135,6 +147,8 @@ def main(argv=None) -> int:
     ap.add_argument("--axis-scale", type=int, default=10,
                     help="shrink factor per axis for the functional pass")
     ap.add_argument("--out", default="results")
+    ap.add_argument("--profile", action="store_true",
+                    help="print merged telemetry counters for each job")
     args = ap.parse_args(argv)
 
     if args.command == "fig6":

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from ..cluster import Cluster
 from ..config import DEFAULT_MACHINE, MachineSpec
 from ..sim.stats import summarize
+from ..telemetry import merged_counters
 from ..units import MiB
 from ..workloads import Domain3D, read_job, write_job
 
@@ -30,6 +31,7 @@ class JobResult:
     direction: str           # "write" | "read"
     seconds: float
     phases: dict[str, float] = field(default_factory=dict)  # seconds
+    telemetry: dict[str, float] = field(default_factory=dict)  # merged counters
 
     def row(self) -> tuple:
         return (self.library, self.nprocs, self.direction, round(self.seconds, 3))
@@ -68,6 +70,7 @@ def run_io_experiment(
         out.append(JobResult(
             library, nprocs, "write", timing.makespan_ns / 1e9,
             {k: v / 1e9 for k, v in timing.phase_totals().items()},
+            merged_counters(res_w.traces).as_dict(),
         ))
     if "read" in directions:
         res_r = cl.run(
@@ -78,6 +81,7 @@ def run_io_experiment(
         out.append(JobResult(
             library, nprocs, "read", timing.makespan_ns / 1e9,
             {k: v / 1e9 for k, v in timing.phase_totals().items()},
+            merged_counters(res_r.traces).as_dict(),
         ))
     return out
 

@@ -540,6 +540,9 @@ class DaxMapping:
         for dev_off, length in self.fs.file_ranges(self.inode, offset, size):
             self.fs.device.persist(dev_off, length)
         ctx.delay(200.0, note="persist")
+        from ..telemetry import record
+
+        record(ctx, "persist_calls")
 
     def unmap(self, ctx) -> None:
         from .syscall import syscall

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry import record
 from .device import PMEMDevice
 
 #: fixed software cost of initiating one copy (pointer math, loop setup)
@@ -25,12 +26,16 @@ def charge_pmem_write(ctx, model_bytes: float, note: str = "") -> None:
     spec = ctx.machine.pmem
     ctx.delay(spec.write_latency_ns + _COPY_SETUP_NS, note=note)
     ctx.transfer("pmem_write", model_bytes, spec.stream_write_bw, note=note)
+    record(ctx, "pmem_write_ops")
+    record(ctx, "pmem_write_bytes", model_bytes)
 
 
 def charge_pmem_read(ctx, model_bytes: float, note: str = "") -> None:
     spec = ctx.machine.pmem
     ctx.delay(spec.read_latency_ns + _COPY_SETUP_NS, note=note)
     ctx.transfer("pmem_read", model_bytes, spec.stream_read_bw, note=note)
+    record(ctx, "pmem_read_ops")
+    record(ctx, "pmem_read_bytes", model_bytes)
 
 
 def charge_dram_copy(ctx, model_bytes: float, note: str = "") -> None:
@@ -38,6 +43,8 @@ def charge_dram_copy(ctx, model_bytes: float, note: str = "") -> None:
     spec = ctx.machine.dram
     ctx.delay(spec.write_latency_ns + _COPY_SETUP_NS, note=note)
     ctx.transfer("dram", model_bytes, spec.stream_write_bw, note=note)
+    record(ctx, "dram_copy_ops")
+    record(ctx, "dram_copy_bytes", model_bytes)
 
 
 def charge_cpu(ctx, model_bytes: float, per_core_bw: float, note: str = "") -> None:
@@ -49,6 +56,7 @@ def charge_cpu(ctx, model_bytes: float, per_core_bw: float, note: str = "") -> N
     if model_bytes <= 0:
         return
     ctx.transfer("cpu", model_bytes / per_core_bw, 1.0, note=note)
+    record(ctx, "cpu_core_ns", model_bytes / per_core_bw)
 
 
 def charge_net(ctx, model_bytes: float, messages: int = 1, note: str = "") -> None:
@@ -57,19 +65,23 @@ def charge_net(ctx, model_bytes: float, messages: int = 1, note: str = "") -> No
     spec = ctx.machine.network
     if messages > 0:
         ctx.delay(spec.message_latency_ns * messages, note=note)
+        record(ctx, "net_messages", messages)
     ctx.transfer("net", model_bytes, spec.bw_per_pair, note=note)
+    record(ctx, "net_bytes", model_bytes)
 
 
 def charge_pfs_write(ctx, model_bytes: float, note: str = "") -> None:
     spec = ctx.machine.pfs
     ctx.delay(spec.write_latency_ns, note=note)
     ctx.transfer("pfs_write", model_bytes, spec.stream_write_bw, note=note)
+    record(ctx, "pfs_write_bytes", model_bytes)
 
 
 def charge_pfs_read(ctx, model_bytes: float, note: str = "") -> None:
     spec = ctx.machine.pfs
     ctx.delay(spec.read_latency_ns, note=note)
     ctx.transfer("pfs_read", model_bytes, spec.stream_read_bw, note=note)
+    record(ctx, "pfs_read_bytes", model_bytes)
 
 
 # ---------------------------------------------------------------------------

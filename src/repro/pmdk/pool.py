@@ -88,6 +88,9 @@ class RawRegion:
         self._check(off, size)
         self.device.persist(self.base + off, size)
         ctx.delay(200.0, note="persist")
+        from ..telemetry import record
+
+        record(ctx, "persist_calls")
 
     def view(self, off: int, size: int) -> np.ndarray:
         self._check(off, size)

@@ -1,8 +1,22 @@
-"""The pMEMCPY public API (paper Fig. 2)."""
+"""The pMEMCPY public API (paper Fig. 2).
+
+Every store/load flows through the abstract :class:`~.engine.Layout`
+engine: the API allocates an extent, streams the serialized payload
+through the layout's sink/source, and records chunk bookkeeping — it never
+inspects which concrete layout it is driving.  Filtered and unfiltered
+stores share one code path that differs only by an optional DRAM staging
+stage (the deliberate copy a compressor needs).
+
+Telemetry: each operation updates the rank's counter registry
+(``repro.telemetry``) — op counts, logical vs stored bytes, staging passes,
+meta-lock hold time — surfaced via :meth:`PMEM.stats` and the harness's
+``--profile`` flag.
+"""
 
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -14,12 +28,17 @@ from ..errors import (
 )
 from ..serial import DramSink, DramSource, get_serializer
 from ..serial.filters import FilterPipeline
+from ..telemetry import counters_for, record
 from .dataset import Chunk, VariableMeta
+from .engine import Layout
 from .layout_fs import HierarchicalLayout
 from .layout_hash import HashtableLayout
 from .types import as_dims
 
-_LAYOUTS = {"hashtable": HashtableLayout, "hierarchical": HierarchicalLayout}
+_LAYOUTS: dict[str, type[Layout]] = {
+    "hashtable": HashtableLayout,
+    "hierarchical": HierarchicalLayout,
+}
 
 
 class PMEM:
@@ -49,7 +68,9 @@ class PMEM:
                 f"unknown layout {layout!r}; choose from {sorted(_LAYOUTS)}"
             )
         if layout == "hashtable":
-            self.layout = HashtableLayout(map_sync=map_sync, nbuckets=nbuckets)
+            self.layout: Layout = HashtableLayout(
+                map_sync=map_sync, nbuckets=nbuckets
+            )
         else:
             self.layout = HierarchicalLayout(map_sync=map_sync)
         self.map_sync = map_sync
@@ -101,6 +122,17 @@ class PMEM:
         self._require()
         return self._ctx
 
+    @contextmanager
+    def _meta_guard(self, ctx):
+        """The layout's meta lock, metering modeled hold time."""
+        with self.layout.meta_lock(ctx):
+            t0 = ctx.lb_ns
+            try:
+                yield
+            finally:
+                record(ctx, "meta_lock_acquires")
+                record(ctx, "meta_lock_ns", ctx.lb_ns - t0)
+
     # ------------------------------------------------------------------ alloc
 
     def alloc(self, var_id: str, dims, dtype=np.float64) -> None:
@@ -112,7 +144,8 @@ class PMEM:
         ctx = self._ctx
         gdims = as_dims(dims)
         dt = np.dtype(dtype)
-        with self.layout.meta_lock(ctx):
+        record(ctx, "pmemcpy_alloc_ops")
+        with self._meta_guard(ctx):
             meta = self.layout.get_meta(ctx, var_id)
             if meta is None:
                 meta = VariableMeta(
@@ -137,6 +170,8 @@ class PMEM:
         self._require()
         ctx = self._ctx
         array = np.asarray(data)
+        record(ctx, "pmemcpy_store_ops")
+        record(ctx, "pmemcpy_logical_store_bytes", int(array.nbytes))
         if offsets is None:
             self._store_whole(ctx, var_id, array)
         else:
@@ -145,7 +180,7 @@ class PMEM:
     def _store_whole(self, ctx, var_id: str, array: np.ndarray) -> None:
         gdims = tuple(array.shape)
         offsets = tuple(0 for _ in gdims)
-        with self.layout.meta_lock(ctx):
+        with self._meta_guard(ctx):
             meta = self.layout.get_meta(ctx, var_id)
             if meta is None:
                 meta = VariableMeta(
@@ -154,6 +189,17 @@ class PMEM:
                     filters=self._filters_token,
                 )
             else:
+                if not meta.chunks and (
+                    tuple(meta.global_dims) != gdims or meta.dtype != array.dtype
+                ):
+                    # alloc'd but never stored: the declared shape is a
+                    # cross-rank contract — replacing it out from under
+                    # concurrent sub-stores would corrupt the variable
+                    raise DimensionMismatchError(
+                        f"store({var_id!r}): whole-store {gdims}/{array.dtype} "
+                        f"conflicts with alloc'd {tuple(meta.global_dims)}/"
+                        f"{meta.dtype}; store a matching array or use offsets"
+                    )
                 # whole-store replaces previous contents
                 self._free_chunks(ctx, meta)
                 meta = VariableMeta(
@@ -166,7 +212,7 @@ class PMEM:
             self.layout.put_meta(ctx, meta)
 
     def _store_sub(self, ctx, var_id: str, array: np.ndarray, offsets) -> None:
-        with self.layout.meta_lock(ctx):
+        with self._meta_guard(ctx):
             meta = self.layout.get_meta(ctx, var_id)
             if meta is None:
                 raise KeyNotFoundError(
@@ -184,50 +230,36 @@ class PMEM:
             self.layout.put_meta(ctx, meta)
 
     def _write_chunk(self, ctx, meta, array, offsets, index: int) -> Chunk:
-        """Serialize ``array`` into PMEM; returns the chunk record.
+        """Serialize ``array`` into a fresh extent; returns the chunk record.
 
-        Unfiltered: streamed directly into the mapped pool/chunk file (the
-        paper's zero-staging path).  Filtered: serialized into a DRAM
-        buffer, transformed, then written — a deliberate staging copy
-        bought back in PMEM bytes.
+        Unfiltered: streamed directly into the layout's extent (the paper's
+        zero-staging path).  Filtered: serialized into a DRAM buffer,
+        transformed, then written — a deliberate staging copy bought back
+        in PMEM bytes.  Either way the payload flows through the same
+        ``alloc_extent`` → ``extent_sink`` → persist pipeline.
         """
         if self.pipeline is None:
             size = self.serializer.packed_size(meta.name, array)
-            if isinstance(self.layout, HashtableLayout):
-                blob = self.layout.alloc_blob(ctx, size)
-                sink = self.layout.blob_sink(ctx, blob)
-                self.serializer.pack(ctx, meta.name, array, sink)
-                sink.persist()
-                return Chunk(tuple(offsets), tuple(array.shape), blob, size)
-            mapping = self.layout.create_chunk(ctx, meta.name, index, size)
-            sink = self.layout.chunk_sink(ctx, mapping)
+            extent = self.layout.alloc_extent(ctx, meta.name, index, size)
+            sink = self.layout.extent_sink(ctx, extent)
             self.serializer.pack(ctx, meta.name, array, sink)
-            sink.persist()
-            mapping.unmap(ctx)
-            return Chunk(tuple(offsets), tuple(array.shape), index, size)
-
-        stage = DramSink(ctx)
-        self.serializer.pack(ctx, meta.name, array, stage)
-        blob_bytes = self.pipeline.encode(ctx, stage.getvalue())
-        mb = ctx.model_bytes(len(blob_bytes))
-        if isinstance(self.layout, HashtableLayout):
-            blob = self.layout.alloc_blob(ctx, len(blob_bytes))
-            self.layout.pool.write(ctx, blob, blob_bytes, model_bytes=mb)
-            self.layout.pool.persist(ctx, blob, len(blob_bytes))
-            return Chunk(tuple(offsets), tuple(array.shape), blob, len(blob_bytes))
-        mapping = self.layout.create_chunk(ctx, meta.name, index, len(blob_bytes))
-        mapping.write(ctx, 0, blob_bytes, model_bytes=mb)
-        mapping.persist(ctx, 0, len(blob_bytes))
-        mapping.unmap(ctx)
-        return Chunk(tuple(offsets), tuple(array.shape), index, len(blob_bytes))
+        else:
+            record(ctx, "pmemcpy_staging_passes")
+            stage = DramSink(ctx)
+            self.serializer.pack(ctx, meta.name, array, stage)
+            blob = self.pipeline.encode(ctx, stage.getvalue())
+            extent = self.layout.alloc_extent(ctx, meta.name, index, len(blob))
+            sink = self.layout.extent_sink(ctx, extent)
+            sink.write(blob, payload=True)
+        sink.persist()
+        extent.close(ctx)
+        stored = sink.tell()
+        record(ctx, "pmemcpy_stored_write_bytes", stored)
+        return Chunk(tuple(offsets), tuple(array.shape), extent.token, stored)
 
     def _free_chunks(self, ctx, meta) -> None:
-        if isinstance(self.layout, HashtableLayout):
-            for c in meta.chunks:
-                self.layout.pool.free(ctx, c.blob_off)
-        else:
-            for k in range(len(meta.chunks)):
-                ctx.env.vfs.unlink(ctx, self.layout.chunk_path(ctx, meta.name, k))
+        for chunk in meta.chunks:
+            self.layout.free_extent(ctx, meta.name, chunk)
 
     # ------------------------------------------------------------------ load
 
@@ -272,33 +304,20 @@ class PMEM:
                 f"requested {dims}/{meta.dtype}"
             )
 
+        record(ctx, "pmemcpy_load_ops")
         serializer = get_serializer(meta.serializer)
         pipeline = FilterPipeline(meta.filters.split(",")) if meta.filters else None
         covered = 0
         for chunk in meta.covering_chunks(offsets, dims):
+            source = self.layout.extent_source(ctx, meta.name, chunk)
             if pipeline is not None:
                 # filtered chunks: fetch the blob, reverse the transforms in
                 # DRAM, then deserialize from the staging buffer
-                if isinstance(self.layout, HashtableLayout):
-                    raw = bytes(self.layout.pool.read(
-                        ctx, chunk.blob_off, chunk.blob_len,
-                        model_bytes=ctx.model_bytes(chunk.blob_len),
-                    ))
-                else:
-                    mapping = self.layout.open_chunk(ctx, meta.name, chunk.blob_off)
-                    raw = bytes(mapping.read(
-                        ctx, 0, chunk.blob_len,
-                        model_bytes=ctx.model_bytes(chunk.blob_len),
-                    ))
-                    mapping.unmap(ctx)
-                decoded = pipeline.decode(ctx, raw)
-                source = DramSource(ctx, decoded)
-            elif isinstance(self.layout, HashtableLayout):
-                source = self.layout.blob_source(ctx, chunk)
-            else:
-                source = self.layout.chunk_source(ctx, meta.name, chunk)
+                raw = bytes(source.read(chunk.blob_len, payload=True))
+                source = DramSource(ctx, pipeline.decode(ctx, raw))
             _name, arr = serializer.unpack(ctx, source)
             arr = arr.reshape(chunk.dims)
+            record(ctx, "pmemcpy_stored_read_bytes", chunk.blob_len)
             # intersection in global coordinates
             lo = tuple(max(o, co) for o, co in zip(offsets, chunk.offsets))
             hi = tuple(
@@ -314,6 +333,10 @@ class PMEM:
             out[dst_sl] = arr[src_sl]
             covered += math.prod(h - l for l, h in zip(lo, hi))
 
+        record(
+            ctx, "pmemcpy_logical_load_bytes",
+            covered * np.dtype(meta.dtype).itemsize,
+        )
         if require_full and covered < math.prod(dims):
             raise DimensionMismatchError(
                 f"load({var_id!r}): requested block only partially stored "
@@ -341,7 +364,8 @@ class PMEM:
     def delete(self, var_id: str) -> None:
         self._require()
         ctx = self._ctx
-        with self.layout.meta_lock(ctx):
+        record(ctx, "pmemcpy_delete_ops")
+        with self._meta_guard(ctx):
             meta = self.layout.get_meta(ctx, var_id)
             if meta is None:
                 raise KeyNotFoundError(f"delete({var_id!r}): no such variable")
@@ -349,7 +373,8 @@ class PMEM:
 
     def stats(self) -> dict:
         """Store introspection (a ``du``-like view): per-variable chunk
-        counts and bytes, plus heap occupancy for the hashtable layout."""
+        counts and bytes, backend occupancy via the layout's
+        ``occupancy()`` hook, and this rank's telemetry counters."""
         self._require()
         ctx = self._ctx
         variables: dict[str, dict] = {}
@@ -367,12 +392,6 @@ class PMEM:
                 "filters": meta.filters,
             }
         out = {"variables": variables, "layout": self.layout.name}
-        if isinstance(self.layout, HashtableLayout):
-            heap = self.layout.pool.heap
-            out["heap"] = {
-                "used_bytes": heap.used_bytes(),
-                "free_bytes": heap.free_bytes(),
-                "free_blocks": heap.n_free_blocks(),
-                "largest_free_block": heap.largest_free_block(),
-            }
+        out.update(self.layout.occupancy(ctx))
+        out["telemetry"] = counters_for(ctx).as_dict()
         return out

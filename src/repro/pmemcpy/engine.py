@@ -1,0 +1,126 @@
+"""The Layout engine contract: one interface for every storage backend.
+
+The :class:`PMEM` API is written against this abstract interface only — it
+never inspects which concrete layout it is driving.  A layout answers four
+questions:
+
+1. *Metadata*: where does a variable's :class:`VariableMeta` record live,
+   and what lock serializes read-modify-write on it?
+   (``meta_lock`` / ``get_meta`` / ``put_meta`` / ``drop_meta`` /
+   ``list_variables``)
+2. *Extents*: where does one chunk's serialized payload live?
+   ``alloc_extent`` reserves space and returns an :class:`Extent` whose
+   ``token`` is persisted in the chunk record; ``extent_sink`` /
+   ``extent_source`` stream bytes directly in and out of PMEM (the paper's
+   zero-staging path); ``free_extent`` releases a chunk by its record.
+3. *Lifecycle*: ``setup`` / ``teardown`` (collective map/unmap).
+4. *Introspection*: ``occupancy`` reports backend capacity usage for
+   ``PMEM.stats()``.
+
+Adding a backend (sharded pools, tiered stores, remote targets) means
+implementing this class — the API, telemetry, and test matrix come for
+free.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..serial.base import Sink, Source
+from .dataset import Chunk, VariableMeta
+
+
+@dataclass
+class Extent:
+    """One chunk's reserved storage.
+
+    ``token`` is the layout-defined durable handle recorded in
+    ``Chunk.blob_off`` (a pool offset for the hashtable layout, a chunk-file
+    index for the hierarchical layout).  ``region`` is the layout's access
+    object for the reservation (a pool or a DAX mapping) — sinks and raw
+    writes go through it.  ``close`` releases any per-extent volatile
+    resource (e.g. unmapping a chunk file); it must be called exactly once
+    after the payload is persisted.
+    """
+
+    token: int
+    size: int
+    region: Any
+    _closer: Callable | None = field(default=None, repr=False)
+
+    def close(self, ctx) -> None:
+        if self._closer is not None:
+            closer, self._closer = self._closer, None
+            closer(ctx)
+
+
+class Layout(ABC):
+    """Abstract storage engine behind the pMEMCPY store/load path."""
+
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ lifecycle
+
+    @abstractmethod
+    def setup(self, ctx, comm, path: str, *, pool_size: int) -> None:
+        """Collective: map/create the store at ``path`` on every rank."""
+
+    @abstractmethod
+    def teardown(self, ctx, comm) -> None:
+        """Collective unmap."""
+
+    # ------------------------------------------------------------------ metadata
+
+    @abstractmethod
+    def meta_lock(self, ctx):
+        """Context manager serializing metadata read-modify-write."""
+
+    @abstractmethod
+    def get_meta(self, ctx, var_id: str) -> VariableMeta | None: ...
+
+    @abstractmethod
+    def put_meta(self, ctx, meta: VariableMeta) -> None: ...
+
+    @abstractmethod
+    def drop_meta(self, ctx, var_id: str) -> None:
+        """Remove the variable's metadata record (payloads are freed
+        separately via :meth:`free_extent`)."""
+
+    @abstractmethod
+    def list_variables(self, ctx) -> list[str]: ...
+
+    def delete_variable(self, ctx, meta: VariableMeta) -> None:
+        """Free every chunk extent, then drop the metadata record."""
+        for chunk in meta.chunks:
+            self.free_extent(ctx, meta.name, chunk)
+        self.drop_meta(ctx, meta.name)
+
+    # ------------------------------------------------------------------ extents
+
+    @abstractmethod
+    def alloc_extent(self, ctx, name: str, index: int, size: int) -> Extent:
+        """Reserve ``size`` bytes for chunk ``index`` of variable ``name``."""
+
+    @abstractmethod
+    def extent_sink(self, ctx, extent: Extent) -> Sink:
+        """A streaming pack destination writing directly into ``extent``."""
+
+    @abstractmethod
+    def extent_source(self, ctx, name: str, chunk: Chunk) -> Source:
+        """A streaming unpack origin over a stored chunk's payload."""
+
+    @abstractmethod
+    def free_extent(self, ctx, name: str, chunk: Chunk) -> None:
+        """Release the storage behind ``chunk`` (keyed by its record, never
+        by list position).  Must tolerate an extent whose backing store was
+        never materialized, so a partial failure cannot wedge ``delete``."""
+
+    # ------------------------------------------------------------------ introspection
+
+    @abstractmethod
+    def occupancy(self, ctx) -> dict:
+        """Backend capacity usage, keyed by backend kind (``{"heap": ...}``
+        for pool layouts, ``{"fs": ...}`` for file-per-variable layouts) —
+        merged verbatim into ``PMEM.stats()``."""

@@ -14,15 +14,16 @@ from __future__ import annotations
 
 import threading
 
-from ..errors import NotMappedError
+from ..errors import NoSuchFileError, NotMappedError
 from ..kernel.dax import MapFlags
 from ..kernel.vfs import OpenFlags
 from ..pmdk.locks import LOCK_OVERHEAD_NS
 from ..serial.base import PmemSink, PmemSource
 from .dataset import VariableMeta
+from .engine import Extent, Layout
 
 
-class HierarchicalLayout:
+class HierarchicalLayout(Layout):
     name = "hierarchical"
 
     def __init__(self, *, map_sync: bool = False):
@@ -120,31 +121,31 @@ class HierarchicalLayout:
                 out.append(rel[: -len("#dims")])
         return sorted(out)
 
-    def delete_variable(self, ctx, meta: VariableMeta) -> None:
-        env = ctx.env
-        base = self._var_path(ctx, meta.name)
-        for k in range(len(meta.chunks)):
-            env.vfs.unlink(ctx, f"{base}#chunk{k}")
-        env.vfs.unlink(ctx, f"{base}#dims")
+    def drop_meta(self, ctx, var_id: str) -> None:
+        ctx.env.vfs.unlink(ctx, self._var_path(ctx, var_id) + "#dims")
 
-    # ------------------------------------------------------------------ blobs
+    # ------------------------------------------------------------------ extents
     #
-    # In this layout a chunk's ``blob_off`` field stores the chunk *index*;
-    # the payload lives in the variable's #chunk<idx> file.
+    # In this layout an extent's ``token`` (→ ``Chunk.blob_off``) is the
+    # chunk *index*; the payload lives in the variable's #chunk<idx> file.
 
     def chunk_path(self, ctx, var_id: str, index: int) -> str:
         return self._var_path(ctx, var_id) + f"#chunk{index}"
 
-    def create_chunk(self, ctx, var_id: str, index: int, size: int):
-        """Create + contiguously preallocate the chunk file; returns its
-        DAX mapping."""
+    def alloc_extent(self, ctx, name: str, index: int, size: int) -> Extent:
+        """Create + contiguously preallocate the chunk file; the extent
+        carries its DAX mapping, unmapped again at ``close``."""
         env = ctx.env
-        p = self._var_path(ctx, var_id, create_dirs=True) + f"#chunk{index}"
+        p = self._var_path(ctx, name, create_dirs=True) + f"#chunk{index}"
         fd = env.vfs.open(ctx, p, OpenFlags.CREAT | OpenFlags.RDWR)
         env.vfs.fallocate(ctx, fd, max(size, 1), contiguous=True)
         mapping = env.vfs.mmap(ctx, fd, self._flags)
         env.vfs.close(ctx, fd)
-        return mapping
+        return Extent(token=index, size=size, region=mapping,
+                      _closer=mapping.unmap)
+
+    def extent_sink(self, ctx, extent: Extent) -> PmemSink:
+        return PmemSink(ctx, extent.region, base=0)
 
     def open_chunk(self, ctx, var_id: str, index: int):
         env = ctx.env
@@ -154,9 +155,44 @@ class HierarchicalLayout:
         env.vfs.close(ctx, fd)
         return mapping
 
-    def chunk_sink(self, ctx, mapping) -> PmemSink:
-        return PmemSink(ctx, mapping, base=0)
-
-    def chunk_source(self, ctx, var_id: str, chunk) -> PmemSource:
-        mapping = self.open_chunk(ctx, var_id, chunk.blob_off)
+    def extent_source(self, ctx, name: str, chunk) -> PmemSource:
+        mapping = self.open_chunk(ctx, name, chunk.blob_off)
         return PmemSource(ctx, mapping, base=0, size=chunk.blob_len)
+
+    def free_extent(self, ctx, name: str, chunk) -> None:
+        # keyed by the chunk record's own index, and tolerant of a chunk
+        # file that was never materialized — a partial store/delete must
+        # not strand the remaining files or the #dims metadata entry
+        try:
+            ctx.env.vfs.unlink(ctx, self.chunk_path(ctx, name, chunk.blob_off))
+        except NoSuchFileError:
+            pass
+
+    # ------------------------------------------------------------------ introspection
+
+    def occupancy(self, ctx) -> dict:
+        """Walk the store tree summing chunk/meta file bytes, plus the DAX
+        filesystem's remaining free space."""
+        self._require()
+        env = ctx.env
+        used = files = 0
+
+        def walk(base: str) -> None:
+            nonlocal used, files
+            for entry in env.vfs.listdir(ctx, base):
+                st = env.vfs.stat(ctx, f"{base}/{entry}")
+                if st["is_dir"]:
+                    walk(f"{base}/{entry}")
+                else:
+                    files += 1
+                    used += st["size"]
+
+        walk(self.root)
+        fs, _rel = env.vfs.resolve(self.root)
+        return {
+            "fs": {
+                "used_bytes": used,
+                "files": files,
+                "free_bytes": fs.free_blocks_count() * fs.block_size,
+            }
+        }

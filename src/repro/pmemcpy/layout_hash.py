@@ -20,13 +20,14 @@ from ..kernel.vfs import OpenFlags
 from ..pmdk import PmemHashmap, PmemMutex, PmemPool
 from ..serial.base import PmemSink, PmemSource
 from .dataset import VariableMeta, dims_key
+from .engine import Extent, Layout
 
 #: lanes sized for up to 48 concurrent ranks with room for resize logs
 POOL_NLANES = 64
 POOL_LANE_LOG = 32 * 1024
 
 
-class HashtableLayout:
+class HashtableLayout(Layout):
     name = "hashtable"
 
     def __init__(self, *, map_sync: bool = False, nbuckets: int = 64):
@@ -123,28 +124,45 @@ class HashtableLayout:
             if k.endswith(suffix)
         )
 
-    def delete_variable(self, ctx, meta: VariableMeta) -> None:
+    def drop_meta(self, ctx, var_id: str) -> None:
         self._require()
-        for chunk in meta.chunks:
-            self.pool.free(ctx, chunk.blob_off)
-        self.map.delete(ctx, dims_key(meta.name))
+        self.map.delete(ctx, dims_key(var_id))
 
-    # ------------------------------------------------------------------ blobs
+    # ------------------------------------------------------------------ extents
 
-    def alloc_blob(self, ctx, size: int) -> int:
+    def alloc_extent(self, ctx, name: str, index: int, size: int) -> Extent:
         self._require()
-        return self.pool.malloc(ctx, size)
+        blob_off = self.pool.malloc(ctx, size)
+        return Extent(token=blob_off, size=size, region=self.pool)
 
-    def blob_sink(self, ctx, blob_off: int) -> PmemSink:
-        return PmemSink(ctx, self.pool, base=blob_off)
+    def extent_sink(self, ctx, extent: Extent) -> PmemSink:
+        return PmemSink(ctx, extent.region, base=extent.token)
 
-    def blob_source(self, ctx, chunk) -> PmemSource:
+    def extent_source(self, ctx, name: str, chunk) -> PmemSource:
         # read through *this rank's* mapping so another rank's munmap can't
         # invalidate an in-flight load
         return PmemSource(
             ctx, _RankPoolRegion(self.pool, ctx),
             base=chunk.blob_off, size=chunk.blob_len,
         )
+
+    def free_extent(self, ctx, name: str, chunk) -> None:
+        self._require()
+        self.pool.free(ctx, chunk.blob_off)
+
+    # ------------------------------------------------------------------ introspection
+
+    def occupancy(self, ctx) -> dict:
+        self._require()
+        heap = self.pool.heap
+        return {
+            "heap": {
+                "used_bytes": heap.used_bytes(),
+                "free_bytes": heap.free_bytes(),
+                "free_blocks": heap.n_free_blocks(),
+                "largest_free_block": heap.largest_free_block(),
+            }
+        }
 
 
 class _RankPoolRegion:

@@ -9,6 +9,7 @@ import numpy as np
 
 from ..errors import SerializationError
 from ..mem.memcpy import charge_dram_copy, charge_cpu, charge_pmem_read
+from ..telemetry import record
 
 
 def dtype_to_token(dtype: np.dtype) -> str:
@@ -51,6 +52,7 @@ class DramSink(Sink):
     def __init__(self, ctx):
         self.ctx = ctx
         self.buffer = bytearray()
+        record(ctx, "staging_buffers")
 
     def write(self, data, *, payload: bool = False) -> int:
         b = _as_buffer(data)
@@ -115,6 +117,7 @@ class DramSource(Source):
         self.ctx = ctx
         self.data = _as_array(data)
         self.pos = 0
+        record(ctx, "staging_buffers")
 
     def read(self, n: int, *, payload: bool = False) -> np.ndarray:
         if self.pos + n > self.data.size:

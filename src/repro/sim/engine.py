@@ -98,6 +98,10 @@ class Context:
         self.env = env
         self._phase_stack: list[str] = [""]
         self._barrier_counts: dict[tuple[int, ...], int] = {}
+        #: running uncontended lower bound of this rank's modeled time — a
+        #: cheap monotonic clock telemetry uses to meter held intervals
+        #: (e.g. meta-lock hold time) without rescanning the trace
+        self.lb_ns = 0.0
 
     # -- cost recording -------------------------------------------------------
 
@@ -123,6 +127,7 @@ class Context:
         metadata-heavy traces small."""
         if ns <= 0:
             return
+        self.lb_ns += ns
         ops = self.trace.ops
         if ops:
             last = ops[-1]
@@ -144,6 +149,7 @@ class Context:
         transfers of the same stream are exactly equivalent to their sum."""
         if amount <= 0:
             return
+        self.lb_ns += amount / stream_cap
         ops = self.trace.ops
         if ops:
             last = ops[-1]

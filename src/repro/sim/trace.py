@@ -61,6 +61,10 @@ class RankTrace:
 
     rank: int
     ops: list[TraceOp] = field(default_factory=list)
+    #: the rank's telemetry counter bag (a ``repro.telemetry.Counters``),
+    #: created lazily on first ``record()`` — kept here so counters survive
+    #: the SPMD run alongside the ops they describe
+    telemetry: object | None = field(default=None, compare=False, repr=False)
 
     def append(self, op: TraceOp) -> None:
         self.ops.append(op)

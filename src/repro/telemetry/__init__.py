@@ -1,0 +1,40 @@
+"""Always-on, per-rank I/O telemetry (Darshan-style lightweight monitoring).
+
+Counters live on the rank's :class:`~repro.sim.trace.RankTrace` so they
+survive the SPMD run: aggregate a finished run's counters with
+:func:`merged_counters(result.traces) <merged_counters>`, or read one
+store's view via ``PMEM.stats()["telemetry"]``.
+
+Instrumentation points call :func:`record`, which is a no-op-cheap dict
+add; there is no sampling and no toggle — the registry is on by default,
+like the paper-adjacent Darshan/openPMD monitoring stacks.
+"""
+
+from __future__ import annotations
+
+from .counters import Counters
+
+__all__ = ["Counters", "counters_for", "record", "merged_counters"]
+
+
+def counters_for(ctx) -> Counters:
+    """The calling rank's counter bag (created on first use)."""
+    trace = ctx.trace
+    tel = trace.telemetry
+    if tel is None:
+        tel = trace.telemetry = Counters()
+    return tel
+
+
+def record(ctx, name: str, amount: float = 1.0) -> None:
+    """Add ``amount`` to the rank's ``name`` counter."""
+    trace = ctx.trace
+    tel = trace.telemetry
+    if tel is None:
+        tel = trace.telemetry = Counters()
+    tel.add(name, amount)
+
+
+def merged_counters(traces) -> Counters:
+    """Sum the per-rank counter bags of a finished run's traces."""
+    return Counters.merged(getattr(t, "telemetry", None) for t in traces)

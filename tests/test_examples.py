@@ -10,6 +10,7 @@ import sys
 import pytest
 
 BASE = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", "examples"))
+SRC = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", "src"))
 
 FAST_EXAMPLES = [
     "quickstart.py",
@@ -33,12 +34,19 @@ SLOW_EXAMPLES = [
 
 
 def run_example(name: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    # the examples import `repro` from a source checkout: make sure the
+    # subprocess sees src/ regardless of how pytest itself was launched
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
     return subprocess.run(
         [sys.executable, os.path.join(BASE, name)],
         capture_output=True,
         text=True,
         timeout=timeout,
         cwd=BASE,
+        env=env,
     )
 
 
