@@ -16,10 +16,13 @@ class PmemcpyDriver(PIODriver):
 
     def __init__(self, *, serializer: str = "bp4", layout: str = "hashtable",
                  map_sync: bool = False, pool_size: int | None = None,
-                 filters: tuple | list = ()):
+                 filters: tuple | list = (),
+                 meta_stripes: int | None = None,
+                 meta_rw: bool | None = None):
         self.kw = dict(
             serializer=serializer, layout=layout, map_sync=map_sync,
             pool_size=pool_size, filters=filters,
+            meta_stripes=meta_stripes, meta_rw=meta_rw,
         )
         self.pmem: PMEM | None = None
 

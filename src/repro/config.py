@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from .units import GB, GiB, MB, USEC, MSEC, parse_bandwidth
+from .units import GB, GiB, MSEC, parse_bandwidth
 
 
 @dataclass(frozen=True)

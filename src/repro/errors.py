@@ -108,6 +108,12 @@ class RankFailedError(MPIError):
         self.original = original
 
 
+class LockDisciplineError(ReproError):
+    """The post-run lock-discipline checker found a violation: a lock-order
+    cycle (potential deadlock), a metadata write outside its owning guard
+    (lost-update race), or an unmatched acquire/release."""
+
+
 # -- serialization / pMEMCPY ---------------------------------------------------
 
 class SerializationError(ReproError):

@@ -18,7 +18,6 @@ import argparse
 import os
 import sys
 
-from ..units import fmt_time
 from ..workloads import Domain3D
 from .experiment import (
     PAPER_PROC_COUNTS,

@@ -16,8 +16,12 @@ PAPER_LIBRARIES: dict[str, tuple[str, dict]] = {
     "ADIOS": ("adios", {}),
     "NetCDF": ("netcdf4", {}),
     "pNetCDF": ("pnetcdf", {}),
-    "PMCPY-A": ("pmemcpy", {"map_sync": False}),
-    "PMCPY-B": ("pmemcpy", {"map_sync": True}),
+    # PMCPY-A keeps the single-lane (global-mutex-equivalent) metadata
+    # path; PMCPY-B runs the striped reader-writer metadata layer
+    "PMCPY-A": ("pmemcpy", {"map_sync": False, "meta_stripes": 1,
+                            "meta_rw": False}),
+    "PMCPY-B": ("pmemcpy", {"map_sync": True, "meta_stripes": 64,
+                            "meta_rw": True}),
 }
 
 #: Fig. 6/7 x-axis

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import InvalidArgumentError
 from ..kernel.vfs import VFS, OpenFlags
 from ..mem.memcpy import charge_dram_copy
 from .comm import Communicator

@@ -9,7 +9,9 @@ A real on-device byte layout over the DAX-mapped pool file:
 - :mod:`~repro.pmdk.tx` — undo-log transactions with crash recovery;
 - :class:`PmemHashmap` — the hashtable-with-chaining that pMEMCPY's flat
   namespace uses (paper §3 "Data Layout");
-- :class:`PmemMutex` — robust persistent locks, cleared on pool open.
+- :mod:`~repro.pmdk.locks` — robust persistent locks (:class:`PmemMutex`,
+  :class:`PmemRWLock`, and the :class:`PmemStripedLocks` table pMEMCPY's
+  metadata layer stripes its namespace over), cleared on pool open.
 
 Everything is crash-testable: run the pool on a ``crash_sim=True`` device,
 call ``device.crash()`` at any point, re-open the pool, and recovery must
@@ -20,7 +22,14 @@ from .pool import PmemPool, POOL_HEADER_SIZE, RawRegion
 from .alloc import Heap
 from .tx import Transaction
 from .hashmap import PmemHashmap
-from .locks import PmemMutex
+from .locks import (
+    LOCK_OVERHEAD_NS,
+    PmemMutex,
+    PmemRWLock,
+    PmemStripedLocks,
+    VolatileRWLock,
+    fnv1a64,
+)
 
 __all__ = [
     "PmemPool",
@@ -29,5 +38,10 @@ __all__ = [
     "Heap",
     "Transaction",
     "PmemHashmap",
+    "LOCK_OVERHEAD_NS",
     "PmemMutex",
+    "PmemRWLock",
+    "PmemStripedLocks",
+    "VolatileRWLock",
+    "fnv1a64",
 ]

@@ -18,7 +18,6 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
-from ..errors import PoolCorruptError
 from .alloc import (
     BLOCK_MAGIC,
     FOOTER_SIZE,

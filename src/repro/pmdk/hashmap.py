@@ -21,8 +21,10 @@ import struct
 import threading
 
 from ..errors import PmdkError
-from .locks import LOCK_OVERHEAD_NS
+from .locks import LOCK_OVERHEAD_NS, fnv1a64
 from .tx import Transaction
+
+__all__ = ["PmemHashmap", "fnv1a64"]
 
 HEADER_SIZE = 24
 ENTRY_FIXED = 40
@@ -30,15 +32,6 @@ _ENTRY = struct.Struct("<QQIIQQ")
 DEFAULT_NBUCKETS = 64
 MAX_LOAD_FACTOR = 4.0
 GROWTH = 4
-
-
-def fnv1a64(data: bytes) -> int:
-    """FNV-1a: stable across runs (unlike Python's salted ``hash``)."""
-    h = 0xCBF29CE484222325
-    for b in data:
-        h ^= b
-        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
-    return h
 
 
 class PmemHashmap:

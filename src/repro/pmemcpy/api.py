@@ -9,8 +9,24 @@ stage (the deliberate copy a compressor needs).
 
 Telemetry: each operation updates the rank's counter registry
 (``repro.telemetry``) — op counts, logical vs stored bytes, staging passes,
-meta-lock hold time — surfaced via :meth:`PMEM.stats` and the harness's
-``--profile`` flag.
+meta-lock hold time and contention, per-stripe occupancy — surfaced via
+:meth:`PMEM.stats` and the harness's ``--profile`` flag.
+
+Metadata concurrency (the striped-locks redesign): every metadata access
+runs under the owning layout guard — ``meta_read``/``meta_write`` for one
+variable, ``meta_namespace`` for sweeps — so ranks working on independent
+variables never contend.  Stores are **three-phase** so the (large) payload
+write happens outside any metadata lock:
+
+1. *reserve* — under the write guard: validate, bump the variable's
+   persistent ``next_index``, republish;
+2. *write* — no metadata lock held: allocate the extent and stream the
+   serialized payload into PMEM;
+3. *publish* — under the write guard again: re-fetch the record, append
+   the chunk, republish (if the variable vanished meanwhile, the extent is
+   freed and the store raises).
+
+Only the µs-scale metadata edits ever serialize, never the data path.
 """
 
 from __future__ import annotations
@@ -50,6 +66,12 @@ class PMEM:
     Configuration (§3): ``serializer`` ∈ {bp4, cproto, cereal, raw/none},
     ``layout`` ∈ {hashtable, hierarchical}, and ``map_sync`` toggling the
     MAP_SYNC mapping flag (PMCPY-B in the paper's figures).
+
+    Metadata-concurrency knobs: ``meta_stripes`` is the number of lock
+    lanes the namespace is striped over (1 = the old global mutex;
+    default: 64 when ``map_sync`` — PMCPY-B — else 1), ``meta_rw`` makes
+    metadata reads take their lane *shared* (default: on whenever striping
+    is on).
     """
 
     def __init__(
@@ -61,18 +83,32 @@ class PMEM:
         pool_size: int | None = None,
         nbuckets: int = 64,
         filters: tuple | list = (),
+        meta_stripes: int | None = None,
+        meta_rw: bool | None = None,
     ):
         self.serializer = get_serializer(serializer)
         if layout not in _LAYOUTS:
             raise PmemcpyError(
                 f"unknown layout {layout!r}; choose from {sorted(_LAYOUTS)}"
             )
+        if meta_stripes is None:
+            meta_stripes = 64 if map_sync else 1
+        if meta_stripes < 1:
+            raise PmemcpyError("meta_stripes must be >= 1")
+        if meta_rw is None:
+            meta_rw = meta_stripes > 1
+        self.meta_stripes = meta_stripes
+        self.meta_rw = meta_rw
         if layout == "hashtable":
             self.layout: Layout = HashtableLayout(
-                map_sync=map_sync, nbuckets=nbuckets
+                map_sync=map_sync, nbuckets=nbuckets,
+                meta_stripes=meta_stripes, meta_rw=meta_rw,
             )
         else:
-            self.layout = HierarchicalLayout(map_sync=map_sync)
+            self.layout = HierarchicalLayout(
+                map_sync=map_sync,
+                meta_stripes=meta_stripes, meta_rw=meta_rw,
+            )
         self.map_sync = map_sync
         self.pool_size = pool_size
         # optional transform pipeline (§2.1-style operators).  Compression
@@ -123,15 +159,30 @@ class PMEM:
         return self._ctx
 
     @contextmanager
-    def _meta_guard(self, ctx):
-        """The layout's meta lock, metering modeled hold time."""
-        with self.layout.meta_lock(ctx):
+    def _metered(self, ctx, guard):
+        """Enter a layout meta guard, metering hold time, contention, and
+        stripe occupancy."""
+        with guard as g:
             t0 = ctx.lb_ns
+            record(ctx, "meta_lock_acquires")
+            record(ctx, "meta.lock.acquires")
+            if g.contended:
+                record(ctx, "meta.lock.contended")
+            if g.stripe is not None:
+                record(ctx, f"meta.stripe.{g.stripe}.acquires")
             try:
-                yield
+                yield g
             finally:
-                record(ctx, "meta_lock_acquires")
                 record(ctx, "meta_lock_ns", ctx.lb_ns - t0)
+
+    def _meta_read(self, ctx, var_id: str):
+        return self._metered(ctx, self.layout.meta_read(ctx, var_id))
+
+    def _meta_write(self, ctx, var_id: str):
+        return self._metered(ctx, self.layout.meta_write(ctx, var_id))
+
+    def _meta_namespace(self, ctx):
+        return self._metered(ctx, self.layout.meta_namespace(ctx))
 
     # ------------------------------------------------------------------ alloc
 
@@ -145,7 +196,7 @@ class PMEM:
         gdims = as_dims(dims)
         dt = np.dtype(dtype)
         record(ctx, "pmemcpy_alloc_ops")
-        with self._meta_guard(ctx):
+        with self._meta_write(ctx, var_id):
             meta = self.layout.get_meta(ctx, var_id)
             if meta is None:
                 meta = VariableMeta(
@@ -180,7 +231,8 @@ class PMEM:
     def _store_whole(self, ctx, var_id: str, array: np.ndarray) -> None:
         gdims = tuple(array.shape)
         offsets = tuple(0 for _ in gdims)
-        with self._meta_guard(ctx):
+        # phase 1 (reserve): validate, retire old chunks, claim a chunk slot
+        with self._meta_write(ctx, var_id):
             meta = self.layout.get_meta(ctx, var_id)
             if meta is None:
                 meta = VariableMeta(
@@ -200,19 +252,26 @@ class PMEM:
                         f"conflicts with alloc'd {tuple(meta.global_dims)}/"
                         f"{meta.dtype}; store a matching array or use offsets"
                     )
-                # whole-store replaces previous contents
+                # whole-store replaces previous contents; keep the index
+                # high-water mark so a concurrently reserved slot can never
+                # be handed out twice
                 self._free_chunks(ctx, meta)
                 meta = VariableMeta(
                     name=var_id, dtype=array.dtype, global_dims=gdims,
                     serializer=self.serializer.name,
                     filters=self._filters_token,
+                    next_index=meta.next_index,
                 )
-            chunk = self._write_chunk(ctx, meta, array, offsets, index=0)
-            meta.chunks.append(chunk)
+            index = meta.next_index
+            meta.next_index = index + 1
             self.layout.put_meta(ctx, meta)
+        # phase 2 (write): payload streams into PMEM with no metadata lock
+        chunk = self._write_chunk(ctx, meta, array, offsets, index=index)
+        # phase 3 (publish)
+        self._publish_chunk(ctx, var_id, chunk)
 
     def _store_sub(self, ctx, var_id: str, array: np.ndarray, offsets) -> None:
-        with self._meta_guard(ctx):
+        with self._meta_write(ctx, var_id):
             meta = self.layout.get_meta(ctx, var_id)
             if meta is None:
                 raise KeyNotFoundError(
@@ -223,9 +282,23 @@ class PMEM:
                     f"{var_id}: storing {array.dtype} into {meta.dtype} variable"
                 )
             meta.validate_subarray(offsets, array.shape)
-            chunk = self._write_chunk(
-                ctx, meta, array, offsets, index=len(meta.chunks)
-            )
+            index = meta.next_index
+            meta.next_index = index + 1
+            self.layout.put_meta(ctx, meta)
+        chunk = self._write_chunk(ctx, meta, array, offsets, index=index)
+        self._publish_chunk(ctx, var_id, chunk)
+
+    def _publish_chunk(self, ctx, var_id: str, chunk: Chunk) -> None:
+        """Store phase 3: append the written chunk to the (re-fetched)
+        record.  If the variable was deleted between reserve and publish,
+        release the orphan extent and surface the conflict."""
+        with self._meta_write(ctx, var_id):
+            meta = self.layout.get_meta(ctx, var_id)
+            if meta is None:
+                self.layout.free_extent(ctx, var_id, chunk)
+                raise KeyNotFoundError(
+                    f"store({var_id!r}): variable deleted mid-store"
+                )
             meta.chunks.append(chunk)
             self.layout.put_meta(ctx, meta)
 
@@ -281,7 +354,10 @@ class PMEM:
         """
         self._require()
         ctx = self._ctx
-        meta = self.layout.get_meta(ctx, var_id)
+        # only the metadata fetch runs under the (shared) guard; chunk
+        # payloads stream out afterwards so loads never serialize on data
+        with self._meta_read(ctx, var_id):
+            meta = self.layout.get_meta(ctx, var_id)
         if meta is None:
             raise KeyNotFoundError(f"load({var_id!r}): no such variable")
         gdims = tuple(meta.global_dims)
@@ -350,7 +426,8 @@ class PMEM:
     def load_dims(self, var_id: str) -> tuple[int, ...]:
         """``load_dims(id, &ndims, &dims)`` (Fig. 2 lines 18-19)."""
         self._require()
-        meta = self.layout.get_meta(self._ctx, var_id)
+        with self._meta_read(self._ctx, var_id):
+            meta = self.layout.get_meta(self._ctx, var_id)
         if meta is None:
             raise KeyNotFoundError(f"load_dims({var_id!r}): no such variable")
         return tuple(meta.global_dims)
@@ -359,13 +436,14 @@ class PMEM:
 
     def list_variables(self) -> list[str]:
         self._require()
-        return self.layout.list_variables(self._ctx)
+        with self._meta_namespace(self._ctx):
+            return self.layout.list_variables(self._ctx)
 
     def delete(self, var_id: str) -> None:
         self._require()
         ctx = self._ctx
         record(ctx, "pmemcpy_delete_ops")
-        with self._meta_guard(ctx):
+        with self._meta_write(ctx, var_id):
             meta = self.layout.get_meta(ctx, var_id)
             if meta is None:
                 raise KeyNotFoundError(f"delete({var_id!r}): no such variable")
@@ -378,8 +456,12 @@ class PMEM:
         self._require()
         ctx = self._ctx
         variables: dict[str, dict] = {}
-        for var_id in self.layout.list_variables(ctx):
-            meta = self.layout.get_meta(ctx, var_id)
+        with self._meta_namespace(ctx):
+            snapshot = [
+                (var_id, self.layout.get_meta(ctx, var_id))
+                for var_id in self.layout.list_variables(ctx)
+            ]
+        for var_id, meta in snapshot:
             logical = sum(c.nbytes(meta.dtype) for c in meta.chunks)
             stored = sum(c.blob_len for c in meta.chunks)
             variables[var_id] = {

@@ -9,7 +9,7 @@ The record is packed to a compact binary form for the hashtable value /
 metadata file::
 
     magic u32 | ndims u16 | nchunks u16 | dtype_len u16 | ser_len u16
-    flt_len u16
+    flt_len u16 | next_index u32
     global dims  ndims × u64
     dtype token | serializer name | filter names (comma-joined)
     per chunk: offsets ndims × u64 | dims ndims × u64 | blob u64 | len u64
@@ -26,7 +26,7 @@ from ..errors import DimensionMismatchError, SerializationError
 from ..serial.base import dtype_from_token, dtype_to_token
 
 MAGIC = 0x504D5641  # "PMVA"
-_HDR = struct.Struct("<IHHHHH")
+_HDR = struct.Struct("<IHHHHHI")
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,10 @@ class VariableMeta:
     chunks: list[Chunk] = field(default_factory=list)
     #: comma-joined filter-pipeline names ("" = unfiltered)
     filters: str = ""
+    #: next never-used chunk index; reserved under the metadata write guard
+    #: *before* the (unlocked) payload write, so concurrent writers of one
+    #: variable never collide on a chunk slot
+    next_index: int = 0
 
     def validate_subarray(self, offsets, dims) -> None:
         if len(offsets) != len(self.global_dims) or len(dims) != len(self.global_dims):
@@ -83,7 +87,8 @@ class VariableMeta:
         flt = self.filters.encode()
         ndims = len(self.global_dims)
         parts = [
-            _HDR.pack(MAGIC, ndims, len(self.chunks), len(dt), len(ser), len(flt)),
+            _HDR.pack(MAGIC, ndims, len(self.chunks), len(dt), len(ser),
+                      len(flt), self.next_index),
             struct.pack(f"<{ndims}Q", *self.global_dims),
             dt,
             ser,
@@ -98,7 +103,8 @@ class VariableMeta:
     @classmethod
     def unpack(cls, name: str, raw: bytes) -> "VariableMeta":
         try:
-            magic, ndims, nchunks, dt_len, ser_len, flt_len = _HDR.unpack_from(raw, 0)
+            (magic, ndims, nchunks, dt_len, ser_len, flt_len,
+             next_index) = _HDR.unpack_from(raw, 0)
         except struct.error as e:
             raise SerializationError(f"truncated variable meta for {name!r}") from e
         if magic != MAGIC:
@@ -124,6 +130,7 @@ class VariableMeta:
         return cls(
             name=name, dtype=dtype, global_dims=global_dims,
             serializer=serializer, chunks=chunks, filters=filters,
+            next_index=next_index,
         )
 
 

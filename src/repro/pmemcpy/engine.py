@@ -5,9 +5,15 @@ never inspects which concrete layout it is driving.  A layout answers four
 questions:
 
 1. *Metadata*: where does a variable's :class:`VariableMeta` record live,
-   and what lock serializes read-modify-write on it?
-   (``meta_lock`` / ``get_meta`` / ``put_meta`` / ``drop_meta`` /
-   ``list_variables``)
+   and what locks serialize access to it?  Concurrency is *per-variable*:
+   ``meta_read(ctx, var_id)`` / ``meta_write(ctx, var_id)`` guard one
+   variable's record (shared vs. exclusive), so ranks touching independent
+   variables never contend; ``meta_namespace(ctx)`` is the whole-namespace
+   exclusive guard that listing and teardown take.  Record access itself
+   goes through ``get_meta`` / ``put_meta`` / ``drop_meta`` /
+   ``list_variables``, which the caller must invoke under the matching
+   guard — the lock-discipline checker (:mod:`repro.sim.lockcheck`)
+   verifies exactly that.
 2. *Extents*: where does one chunk's serialized payload live?
    ``alloc_extent`` reserves space and returns an :class:`Extent` whose
    ``token`` is persisted in the chunk record; ``extent_sink`` /
@@ -56,6 +62,28 @@ class Extent:
             closer(ctx)
 
 
+class MetaGuard:
+    """Uniform wrapper a layout's ``meta_*`` methods hand back.
+
+    Wraps the backend lock guard, surfacing ``contended`` after entry and
+    the ``stripe`` lane the variable hashed onto (None when the layout has
+    no striping or the guard covers the whole namespace).
+    """
+
+    def __init__(self, inner, *, stripe: int | None = None):
+        self._inner = inner
+        self.stripe = stripe
+        self.contended = False
+
+    def __enter__(self) -> "MetaGuard":
+        entered = self._inner.__enter__()
+        self.contended = bool(getattr(entered, "contended", False))
+        return self
+
+    def __exit__(self, *exc):
+        return self._inner.__exit__(*exc)
+
+
 class Layout(ABC):
     """Abstract storage engine behind the pMEMCPY store/load path."""
 
@@ -74,8 +102,28 @@ class Layout(ABC):
     # ------------------------------------------------------------------ metadata
 
     @abstractmethod
-    def meta_lock(self, ctx):
-        """Context manager serializing metadata read-modify-write."""
+    def meta_read(self, ctx, var_id: str):
+        """Context manager guarding *reads* of ``var_id``'s metadata.
+
+        ``__enter__`` returns a guard exposing ``contended`` (bool: did the
+        acquisition have to wait?) and ``stripe`` (int lane index, or None
+        for layouts without striping).  Layouts configured for
+        reader-writer metadata take this in shared mode; otherwise it is
+        exclusive.
+        """
+
+    @abstractmethod
+    def meta_write(self, ctx, var_id: str):
+        """Context manager guarding read-modify-write of ``var_id``'s
+        metadata — always exclusive.  Every ``put_meta``/``drop_meta`` for
+        ``var_id`` must happen inside it (checker-enforced)."""
+
+    @abstractmethod
+    def meta_namespace(self, ctx):
+        """Context manager holding the *whole namespace* exclusively —
+        what ``list_variables`` sweeps and teardown must run under.  For
+        striped layouts this acquires every stripe in ascending order (the
+        canonical lock order)."""
 
     @abstractmethod
     def get_meta(self, ctx, var_id: str) -> VariableMeta | None: ...

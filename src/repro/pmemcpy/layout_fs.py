@@ -8,6 +8,15 @@ becomes directory ``fields/`` plus files::
 
 mirroring the hashtable keys file-for-key.  Every ``/`` in the id creates a
 directory if it didn't exist.
+
+Metadata concurrency is flock-style: a namespace reader-writer lock plus
+one lock per variable *file* (exact, not hashed — the filesystem already
+gives every variable its own object).  With ``meta_stripes <= 1`` every
+operation takes the namespace lock exclusively (the old global-mutex
+behaviour); with striping enabled, per-variable operations hold the
+namespace lock *shared* and their variable's lock in the matching mode, so
+only ``list_variables``/teardown-style sweeps (namespace exclusive)
+serialize against everyone.  Lock order is always namespace → variable.
 """
 
 from __future__ import annotations
@@ -17,19 +26,25 @@ import threading
 from ..errors import NoSuchFileError, NotMappedError
 from ..kernel.dax import MapFlags
 from ..kernel.vfs import OpenFlags
-from ..pmdk.locks import LOCK_OVERHEAD_NS
+from ..pmdk.locks import VolatileRWLock
 from ..serial.base import PmemSink, PmemSource
 from .dataset import VariableMeta
-from .engine import Extent, Layout
+from .engine import Extent, Layout, MetaGuard
 
 
 class HierarchicalLayout(Layout):
     name = "hierarchical"
 
-    def __init__(self, *, map_sync: bool = False):
+    def __init__(self, *, map_sync: bool = False, meta_stripes: int = 1,
+                 meta_rw: bool = False):
         self.map_sync = map_sync
+        self.meta_stripes = meta_stripes
+        self.meta_rw = meta_rw
         self.root: str | None = None
-        self._ns_lock = threading.RLock()
+        # the shared lock registry only exists after the collective setup;
+        # taking a guard before then must fail loudly, not silently succeed
+        # on a lock no other rank can see
+        self._shared: dict | None = None
 
     @property
     def _flags(self) -> MapFlags:
@@ -42,15 +57,23 @@ class HierarchicalLayout(Layout):
         if comm.rank == 0:
             if not env.vfs.exists(path):
                 env.vfs.mkdir(ctx, path, parents=True)
-            # all ranks must share ONE namespace lock for metadata
-            # read-modify-write; publish it on the board
+            # all ranks must share ONE lock registry (namespace lock +
+            # per-variable locks) for metadata; publish it on the board
             with ctx.board.lock:
                 key = ("pmemcpy-fs-lock", path)
                 if key not in ctx.board.data:
-                    ctx.board.data[key] = threading.RLock()
+                    # the legacy one-exclusive-lock configuration keeps the
+                    # original timing treatment (no replay-level mutual
+                    # exclusion); see repro.pmdk.locks
+                    replay = self._striped or self.meta_rw
+                    ctx.board.data[key] = {
+                        "mu": threading.Lock(),
+                        "ns": VolatileRWLock(f"meta:{path}", replay=replay),
+                        "vars": {},
+                    }
         comm.barrier()
         with ctx.board.lock:
-            self._ns_lock = ctx.board.data[("pmemcpy-fs-lock", path)]
+            self._shared = ctx.board.data[("pmemcpy-fs-lock", path)]
         self.root = path
         comm.barrier()
 
@@ -58,7 +81,7 @@ class HierarchicalLayout(Layout):
         comm.barrier()
 
     def _require(self):
-        if self.root is None:
+        if self.root is None or self._shared is None:
             raise NotMappedError("layout not set up — call PMEM.mmap first")
 
     # ------------------------------------------------------------------ paths
@@ -75,20 +98,74 @@ class HierarchicalLayout(Layout):
     # ------------------------------------------------------------------ metadata
 
     class _Guard:
-        def __init__(self, layout, ctx):
-            self.layout, self.ctx = layout, ctx
+        """Acquires ``steps`` — [(lock, shared)] — in order, releases in
+        reverse.  Namespace first, then the variable lock: the one lock
+        order every code path uses."""
+
+        def __init__(self, ctx, steps):
+            self.ctx = ctx
+            self.steps = steps
+            self.contended = False
+            self._held: list = []
 
         def __enter__(self):
-            self.layout._ns_lock.acquire()
-            self.ctx.delay(LOCK_OVERHEAD_NS, note="ns-lock")
+            for lock, shared in self.steps:
+                if shared:
+                    contended = lock.acquire_read(self.ctx)
+                else:
+                    contended = lock.acquire_write(self.ctx)
+                self._held.append((lock, shared))
+                self.contended = self.contended or contended
             return self
 
         def __exit__(self, *exc):
-            self.layout._ns_lock.release()
+            for lock, shared in reversed(self._held):
+                if shared:
+                    lock.release_read(self.ctx)
+                else:
+                    lock.release_write(self.ctx)
+            self._held = []
             return False
 
-    def meta_lock(self, ctx):
-        return HierarchicalLayout._Guard(self, ctx)
+    @property
+    def _striped(self) -> bool:
+        return self.meta_stripes > 1
+
+    def _var_lock(self, var_id: str) -> VolatileRWLock:
+        shared = self._shared
+        with shared["mu"]:
+            lock = shared["vars"].get(var_id)
+            if lock is None:
+                lock = VolatileRWLock(f"meta:{self.root}/{var_id}")
+                shared["vars"][var_id] = lock
+            return lock
+
+    def _guard(self, ctx, var_id: str, *, write: bool) -> MetaGuard:
+        self._require()
+        ns = self._shared["ns"]
+        if not self._striped:
+            return MetaGuard(HierarchicalLayout._Guard(ctx, [(ns, False)]))
+        var_shared = (not write) and self.meta_rw
+        steps = [(ns, True), (self._var_lock(var_id), var_shared)]
+        return MetaGuard(HierarchicalLayout._Guard(ctx, steps))
+
+    def meta_read(self, ctx, var_id: str) -> MetaGuard:
+        return self._guard(ctx, var_id, write=False)
+
+    def meta_write(self, ctx, var_id: str) -> MetaGuard:
+        return self._guard(ctx, var_id, write=True)
+
+    def meta_namespace(self, ctx) -> MetaGuard:
+        self._require()
+        ns = self._shared["ns"]
+        return MetaGuard(HierarchicalLayout._Guard(ctx, [(ns, False)]))
+
+    def _write_scope(self, var_id: str) -> str:
+        """The lock the discipline checker must see held exclusively when
+        this variable's metadata file is rewritten."""
+        if self._striped:
+            return f"meta:{self.root}/{var_id}"
+        return f"meta:{self.root}"
 
     def get_meta(self, ctx, var_id: str) -> VariableMeta | None:
         env = ctx.env
@@ -102,6 +179,7 @@ class HierarchicalLayout(Layout):
         return VariableMeta.unpack(var_id, raw)
 
     def put_meta(self, ctx, meta: VariableMeta) -> None:
+        ctx.record_guarded_write(self._write_scope(meta.name))
         env = ctx.env
         p = self._var_path(ctx, meta.name, create_dirs=True) + "#dims"
         fd = env.vfs.open(ctx, p, OpenFlags.CREAT | OpenFlags.RDWR | OpenFlags.TRUNC)
@@ -122,6 +200,7 @@ class HierarchicalLayout(Layout):
         return sorted(out)
 
     def drop_meta(self, ctx, var_id: str) -> None:
+        ctx.record_guarded_write(self._write_scope(var_id))
         ctx.env.vfs.unlink(ctx, self._var_path(ctx, var_id) + "#dims")
 
     # ------------------------------------------------------------------ extents

@@ -5,9 +5,17 @@ hashtable (flat namespace, keys ``<id>#dims``); chunk payloads are
 pool-allocated blobs serialized *directly into the DAX-mapped pool* — the
 zero-staging write path.
 
-Pool-file layout root (pool root object, 16B)::
+Metadata concurrency is a persistent *striped lock table*
+(:class:`~repro.pmdk.locks.PmemStripedLocks`): a variable's guard is the
+reader-writer lock of the stripe its ``<id>#dims`` key hashes onto
+(FNV-1a, the same hash the namespace hashtable buckets with), so ranks
+working on distinct variables take distinct lock lanes.  ``nstripes = 1``
+recovers the old global-mutex behaviour exactly; namespace-wide operations
+acquire every stripe in ascending order.
 
-    hashmap header offset u64 | namespace mutex offset u64
+Pool-file layout root (pool root object, 24B)::
+
+    hashmap header offset u64 | stripe table offset u64 | nstripes u64
 """
 
 from __future__ import annotations
@@ -17,10 +25,10 @@ import struct
 from ..errors import NotMappedError
 from ..kernel.dax import MapFlags
 from ..kernel.vfs import OpenFlags
-from ..pmdk import PmemHashmap, PmemMutex, PmemPool
+from ..pmdk import PmemHashmap, PmemPool, PmemStripedLocks
 from ..serial.base import PmemSink, PmemSource
 from .dataset import VariableMeta, dims_key
-from .engine import Extent, Layout
+from .engine import Extent, Layout, MetaGuard
 
 #: lanes sized for up to 48 concurrent ranks with room for resize logs
 POOL_NLANES = 64
@@ -30,13 +38,26 @@ POOL_LANE_LOG = 32 * 1024
 class HashtableLayout(Layout):
     name = "hashtable"
 
-    def __init__(self, *, map_sync: bool = False, nbuckets: int = 64):
+    def __init__(self, *, map_sync: bool = False, nbuckets: int = 64,
+                 meta_stripes: int = 1, meta_rw: bool = False):
         self.map_sync = map_sync
         self.nbuckets = nbuckets
+        self.meta_stripes = meta_stripes
+        self.meta_rw = meta_rw
         self.pool: PmemPool | None = None
         self.map: PmemHashmap | None = None
-        self.mutex: PmemMutex | None = None
+        self.table: PmemStripedLocks | None = None
         self._mapping = None
+
+    def _replay_locks(self, nstripes: int) -> bool:
+        """Whether the lock table emits timing-pass Acquire/Release ops.
+
+        The legacy configuration (one exclusive lane — PMCPY-A) keeps the
+        original timing treatment of the global namespace mutex: functional
+        serialization and the overhead charge, no replay-level mutual
+        exclusion, so its published figure timings are stable.  Any striped
+        or RW configuration replays real mutual exclusion."""
+        return nstripes > 1 or self.meta_rw
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -58,10 +79,15 @@ class HashtableLayout(Layout):
                         nlanes=POOL_NLANES, lane_log_size=POOL_LANE_LOG,
                     )
                     hmap = PmemHashmap.create(ctx, pool, nbuckets=self.nbuckets)
-                    mutex = PmemMutex.alloc(ctx, pool)
-                    root = pool.malloc(ctx, 16)
-                    pool.write(ctx, root, struct.pack("<QQ", hmap.hdr_off, mutex.off))
-                    pool.persist(ctx, root, 16)
+                    table = PmemStripedLocks.alloc(
+                        ctx, pool, self.meta_stripes, name=f"meta:{path}",
+                        replay=self._replay_locks(self.meta_stripes),
+                    )
+                    root = pool.malloc(ctx, 24)
+                    pool.write(ctx, root, struct.pack(
+                        "<QQQ", hmap.hdr_off, table.off, table.nstripes
+                    ))
+                    pool.persist(ctx, root, 24)
                     pool.set_root(ctx, root)
                 else:
                     pool = PmemPool.open(ctx, mapping, size=pool_size)
@@ -70,20 +96,24 @@ class HashtableLayout(Layout):
             pool._default_region = mapping
             pool.attach(ctx, mapping)
             root = pool.root()
-            raw = bytes(pool.read(ctx, root, 16))
-            hmap_off, mutex_off = struct.unpack("<QQ", raw)
+            raw = bytes(pool.read(ctx, root, 24))
+            hmap_off, stripes_off, nstripes = struct.unpack("<QQQ", raw)
             self.pool = pool
             self.map = PmemHashmap.open(pool, hmap_off)
-            self.mutex = PmemMutex.open(ctx, pool, mutex_off)
+            # nstripes is a property of the persisted table, not the instance
+            self.table = PmemStripedLocks.open(
+                ctx, pool, stripes_off, nstripes, name=f"meta:{path}",
+                replay=self._replay_locks(nstripes),
+            )
             with ctx.board.lock:
-                ctx.board.data[("pmemcpy", path)] = (pool, self.map, self.mutex)
+                ctx.board.data[("pmemcpy", path)] = (pool, self.map, self.table)
             comm.barrier()
         else:
             comm.barrier()
             fd = env.vfs.open(ctx, path, OpenFlags.RDWR)
             mapping = env.vfs.mmap(ctx, fd, flags)
             with ctx.board.lock:
-                self.pool, self.map, self.mutex = ctx.board.data[("pmemcpy", path)]
+                self.pool, self.map, self.table = ctx.board.data[("pmemcpy", path)]
             self.pool.attach(ctx, mapping)
         self._mapping = mapping
         comm.barrier()
@@ -100,9 +130,24 @@ class HashtableLayout(Layout):
 
     # ------------------------------------------------------------------ metadata
 
-    def meta_lock(self, ctx):
+    def _stripe_for(self, var_id: str) -> int:
+        return self.table.stripe_index(dims_key(var_id))
+
+    def meta_read(self, ctx, var_id: str) -> MetaGuard:
         self._require()
-        return self.mutex.guard(ctx)
+        i = self._stripe_for(var_id)
+        lock = self.table.lock(i)
+        inner = lock.read_guard(ctx) if self.meta_rw else lock.write_guard(ctx)
+        return MetaGuard(inner, stripe=i)
+
+    def meta_write(self, ctx, var_id: str) -> MetaGuard:
+        self._require()
+        i = self._stripe_for(var_id)
+        return MetaGuard(self.table.lock(i).write_guard(ctx), stripe=i)
+
+    def meta_namespace(self, ctx) -> MetaGuard:
+        self._require()
+        return MetaGuard(self.table.all_guard(ctx), stripe=None)
 
     def get_meta(self, ctx, var_id: str) -> VariableMeta | None:
         self._require()
@@ -113,6 +158,7 @@ class HashtableLayout(Layout):
 
     def put_meta(self, ctx, meta: VariableMeta) -> None:
         self._require()
+        ctx.record_guarded_write(self.table.lock_for(dims_key(meta.name)).name)
         self.map.put(ctx, dims_key(meta.name), meta.pack())
 
     def list_variables(self, ctx) -> list[str]:
@@ -126,6 +172,7 @@ class HashtableLayout(Layout):
 
     def drop_meta(self, ctx, var_id: str) -> None:
         self._require()
+        ctx.record_guarded_write(self.table.lock_for(dims_key(var_id)).name)
         self.map.delete(ctx, dims_key(var_id))
 
     # ------------------------------------------------------------------ extents

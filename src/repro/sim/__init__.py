@@ -10,18 +10,28 @@ The stack runs in two passes (DESIGN.md §6):
    paper-scale wall-clock numbers.
 """
 
-from .trace import Barrier, Delay, Transfer, TraceOp, RankTrace
+from .trace import Acquire, Barrier, Delay, Release, Transfer, TraceOp, RankTrace
 from .resources import Resource, ResourceSet, build_standard_resources
 from .fluid import FluidSimulator, FluidResult
 from .engine import Context, SpmdResult, run_spmd
+from .lockcheck import (
+    LockDisciplineReport,
+    LockViolation,
+    check_lock_discipline,
+)
 from .stats import PhaseBreakdown, Utilization, summarize, utilization
 
 __all__ = [
+    "Acquire",
     "Barrier",
     "Delay",
+    "Release",
     "Transfer",
     "TraceOp",
     "RankTrace",
+    "LockDisciplineReport",
+    "LockViolation",
+    "check_lock_discipline",
     "Resource",
     "ResourceSet",
     "build_standard_resources",

@@ -22,6 +22,7 @@ costs, which dominate every reported figure, are exactly reproducible.
 
 from __future__ import annotations
 
+import os
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -31,7 +32,7 @@ from ..config import DEFAULT_MACHINE, MachineSpec
 from ..errors import RankFailedError
 from .fluid import FluidResult, FluidSimulator
 from .resources import ResourceSet, build_standard_resources
-from .trace import Barrier, Delay, RankTrace, Transfer
+from .trace import Acquire, Barrier, Delay, RankTrace, Release, Transfer
 
 
 class SharedBoard:
@@ -178,6 +179,45 @@ class Context:
             )
         )
 
+    # -- lock discipline -------------------------------------------------------
+
+    def lock_acquired(self, lock_id: str, *, shared: bool = False,
+                      note: str = "", replay: bool = True) -> None:
+        """Record entering the critical section ``lock_id``.
+
+        Appends an :class:`~repro.sim.trace.Acquire` op (so the timing pass
+        serializes the section against other ranks) and logs the event for
+        the post-run lock-discipline checker.  Callers invoke this *after*
+        their functional acquisition succeeds, so the ops charged inside the
+        critical section sit between the Acquire and Release in the trace.
+
+        ``replay=False`` skips the trace op — the section still serializes
+        functionally and still feeds the checker, but the timing pass treats
+        it as free of mutual exclusion (the original modeling of the global
+        namespace mutex; see ``repro.pmdk.locks``).
+        """
+        if replay:
+            self.trace.append(
+                Acquire(lock_id=lock_id, shared=shared,
+                        phase=self.current_phase, note=note)
+            )
+        self.trace.lock_events.append(
+            ("acquire", lock_id, "r" if shared else "w")
+        )
+
+    def lock_released(self, lock_id: str, *, replay: bool = True) -> None:
+        """Record leaving the critical section ``lock_id`` (call *before*
+        the functional release).  ``replay`` must match the acquire."""
+        if replay:
+            self.trace.append(Release(lock_id=lock_id, phase=self.current_phase))
+        self.trace.lock_events.append(("release", lock_id, ""))
+
+    def record_guarded_write(self, scope: str) -> None:
+        """Declare a metadata write that must happen under the exclusive
+        guard named ``scope`` — the lock-discipline checker flags the write
+        as a lost-update hazard if that guard is not currently held."""
+        self.trace.lock_events.append(("write", scope, ""))
+
     # -- synchronization -------------------------------------------------------
 
     def barrier(self, participants: tuple[int, ...] | None = None) -> None:
@@ -281,6 +321,12 @@ def run_spmd(
                     rank, exc = r2, e2
                     break
         raise RankFailedError(rank, exc) from exc
+
+    if os.environ.get("REPRO_LOCKCHECK"):
+        # fail loudly under the checker-enabled test subset (CI job)
+        from .lockcheck import check_lock_discipline
+
+        check_lock_discipline(traces).raise_if_violations()
 
     return SpmdResult(
         nprocs=nprocs, machine=machine, scale=scale,

@@ -3,9 +3,16 @@
 Transfers active on the same resource share its capacity *max-min fairly*
 (progressive filling / water-filling), each additionally bounded by its own
 per-stream cap.  Rates only change when the active set changes — when an op
-completes, a delay expires, or a barrier releases — so the simulation advances
-event-by-event: compute rates, find the earliest completion, advance the
-clock, repeat.
+completes, a delay expires, a barrier releases, or a lock is granted — so the
+simulation advances event-by-event: compute rates, find the earliest
+completion, advance the clock, repeat.
+
+Critical sections (:class:`~repro.sim.trace.Acquire` /
+:class:`~repro.sim.trace.Release`) are replayed with mutual exclusion:
+exclusive holders serialize, shared holders coexist, and waiters are granted
+FIFO (consecutive shared waiters batched), so metadata-lock contention is
+part of the modeled wall-clock.  Time spent waiting is charged to the
+``lock`` bucket of the breakdown.
 
 The result carries per-rank finish times and a per-(rank, phase, resource)
 time breakdown that the copy-path-decomposition benchmark (E7) reports.
@@ -17,7 +24,7 @@ import heapq
 from dataclasses import dataclass, field
 
 from .resources import ResourceSet
-from .trace import Barrier, Delay, RankTrace, Transfer
+from .trace import Acquire, Barrier, Delay, RankTrace, Release, Transfer
 
 _EPS = 1e-9
 
@@ -60,6 +67,46 @@ class _ActiveTransfer:
 class _BarrierState:
     participants: frozenset[int]
     arrived: set[int] = field(default_factory=set)
+
+
+@dataclass
+class _LockState:
+    """Replay state of one named lock: current holders plus a FIFO queue."""
+
+    holders: set[int] = field(default_factory=set)
+    exclusive: bool = False
+    queue: list[tuple[int, bool]] = field(default_factory=list)  # (rank, shared)
+
+    def grantable(self, shared: bool) -> bool:
+        """Can a *newly arriving* request enter immediately?  Only when no
+        one is queued (FIFO fairness) and the modes are compatible."""
+        if self.queue:
+            return False
+        if not self.holders:
+            return True
+        return shared and not self.exclusive
+
+    def grant(self, rank: int, shared: bool) -> None:
+        self.holders.add(rank)
+        self.exclusive = not shared
+
+    def release(self, rank: int) -> list[int]:
+        """Drop ``rank`` from the holders; return the ranks now granted."""
+        self.holders.discard(rank)
+        granted: list[int] = []
+        if self.holders:
+            return granted
+        self.exclusive = False
+        while self.queue:
+            r, shared = self.queue[0]
+            if self.holders and (self.exclusive or not shared):
+                break
+            self.queue.pop(0)
+            self.grant(r, shared)
+            granted.append(r)
+            if not shared:
+                break
+        return granted
 
 
 @dataclass
@@ -113,6 +160,8 @@ class FluidSimulator:
         active: dict[str, list[_ActiveTransfer]] = {}
         barriers: dict[tuple[int, frozenset[int]], _BarrierState] = {}
         blocked: dict[int, tuple[int, frozenset[int]]] = {}  # rank -> barrier key
+        locks: dict[str, _LockState] = {}
+        lock_blocked: dict[int, str] = {}      # rank -> lock_id it waits on
         idle: list[int] = sorted(ranks)
         current_phase: dict[int, str] = {r: "" for r in ranks}
         breakdown: dict[tuple[int, str, str], float] = {}
@@ -164,6 +213,32 @@ class FluidSimulator:
                         _ActiveTransfer(rank, op, op.amount)
                     )
                     return
+                if isinstance(op, Acquire):
+                    st = locks.setdefault(op.lock_id, _LockState())
+                    if st.grantable(op.shared):
+                        st.grant(rank, op.shared)
+                        pos[rank] += 1
+                        continue
+                    st.queue.append((rank, op.shared))
+                    lock_blocked[rank] = op.lock_id
+                    accounting[rank] = (op.phase, "lock")
+                    begin(rank)
+                    return
+                if isinstance(op, Release):
+                    st = locks.get(op.lock_id)
+                    if st is None or rank not in st.holders:
+                        raise ValueError(
+                            f"rank {rank} releasing lock {op.lock_id!r} it "
+                            f"does not hold"
+                        )
+                    pos[rank] += 1
+                    for r in st.release(rank):
+                        finish_interval(r)
+                        del lock_blocked[r]
+                        pos[r] += 1
+                        rank_time[r] = now
+                        idle.append(r)
+                    continue
                 if isinstance(op, Barrier):
                     key = (op.barrier_id, frozenset(op.participants))
                     if rank not in key[1]:
@@ -198,11 +273,11 @@ class FluidSimulator:
 
             n_transfers = sum(len(v) for v in active.values())
             if n_transfers == 0 and not timers:
-                if blocked:
-                    stuck = sorted(blocked)
+                if blocked or lock_blocked:
+                    stuck = sorted(set(blocked) | set(lock_blocked))
                     raise RuntimeError(
-                        f"deadlock: ranks {stuck} blocked on barriers that "
-                        f"will never complete"
+                        f"deadlock: ranks {stuck} blocked on barriers/locks "
+                        f"that will never complete"
                     )
                 break
 
@@ -237,6 +312,8 @@ class FluidSimulator:
             for _expiry, rank in timers:
                 charge(rank, dt)
             for rank in blocked:
+                charge(rank, dt)
+            for rank in lock_blocked:
                 charge(rank, dt)
 
             # Complete transfers.

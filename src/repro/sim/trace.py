@@ -1,13 +1,17 @@
 """Trace operation types recorded by the functional pass.
 
-A trace is, per rank, an ordered list of ops.  Three kinds exist:
+A trace is, per rank, an ordered list of ops.  Five kinds exist:
 
 - :class:`Delay` — a fixed latency (syscall entry, page fault, msync commit);
 - :class:`Transfer` — ``amount`` abstract units moved through one named
   resource, rate-limited by a per-stream cap and by the resource's max-min
   fair share (bytes for devices, core-nanoseconds for the CPU);
 - :class:`Barrier` — a rendezvous among a set of ranks; completes for all
-  participants when the last one arrives.
+  participants when the last one arrives;
+- :class:`Acquire` / :class:`Release` — enter/exit a named critical section.
+  The timing pass serializes exclusive sections on the same ``lock_id``
+  (FIFO, shared readers batched), so lock contention shows up in modeled
+  wall-clock — not just in the functional pass's thread interleaving.
 
 Ops carry a ``phase`` label so results can be broken down into the paper's
 copy-path stages (generate / rearrange / serialize / kernel / device...).
@@ -52,7 +56,31 @@ class Barrier:
     phase: str = ""
 
 
-TraceOp = Delay | Transfer | Barrier
+@dataclass(frozen=True)
+class Acquire:
+    """Enter a critical section on ``lock_id``.
+
+    Takes zero time when the lock is free; otherwise the rank waits (time
+    charged to the ``lock`` bucket) until the holder(s) release.  ``shared``
+    acquisitions coexist with other shared holders (reader-writer
+    semantics); exclusive ones serialize.
+    """
+
+    lock_id: str
+    shared: bool = False
+    phase: str = ""
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class Release:
+    """Leave the critical section entered by the matching :class:`Acquire`."""
+
+    lock_id: str
+    phase: str = ""
+
+
+TraceOp = Delay | Transfer | Barrier | Acquire | Release
 
 
 @dataclass
@@ -65,6 +93,10 @@ class RankTrace:
     #: created lazily on first ``record()`` — kept here so counters survive
     #: the SPMD run alongside the ops they describe
     telemetry: object | None = field(default=None, compare=False, repr=False)
+    #: lock-discipline event log: ``("acquire", lock_id, "r"|"w")``,
+    #: ``("release", lock_id, "")`` and ``("write", scope, "")`` tuples in
+    #: rank program order, consumed by :mod:`repro.sim.lockcheck`
+    lock_events: list = field(default_factory=list, compare=False, repr=False)
 
     def append(self, op: TraceOp) -> None:
         self.ops.append(op)

@@ -15,6 +15,10 @@ The counter taxonomy (see DESIGN.md "I/O telemetry"):
                             counters carry real payload bytes
 ``*_ns``                    modeled nanoseconds (e.g. meta-lock hold time)
 ``phase:<name>_ns``         modeled lower-bound ns spent inside a trace phase
+``meta.lock.acquires``      metadata-guard acquisitions (any scope)
+``meta.lock.contended``     acquisitions that had to wait for another rank
+``meta.stripe.<i>.acquires``  acquisitions landing on stripe lane ``i`` —
+                            the stripe-occupancy histogram
 ==========================  ==================================================
 """
 

@@ -16,7 +16,7 @@ owning device's resources.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..config import DEFAULT_MACHINE, MachineSpec
 from ..errors import OutOfSpaceError, ReproError

@@ -5,7 +5,7 @@ import pytest
 from repro.config import DEFAULT_MACHINE
 from repro.errors import RankFailedError
 from repro.sim import run_spmd
-from repro.sim.trace import Barrier, Delay, Transfer
+from repro.sim.trace import Barrier
 
 
 class TestRunSpmd:

@@ -1,6 +1,5 @@
 """Tests for the max-min fluid replay simulator."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

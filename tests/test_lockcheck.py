@@ -1,0 +1,251 @@
+"""Tests for the lock-discipline checker and the timing-pass lock replay."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import DEFAULT_MACHINE
+from repro.errors import LockDisciplineError
+from repro.mpi import Communicator
+from repro.pmemcpy import PMEM
+from repro.sim import (
+    Acquire,
+    Delay,
+    FluidSimulator,
+    RankTrace,
+    Release,
+    build_standard_resources,
+    check_lock_discipline,
+    run_spmd,
+)
+from repro.units import MiB
+
+
+def trace_with_events(rank, events):
+    t = RankTrace(rank=rank)
+    t.lock_events.extend(events)
+    return t
+
+
+class TestChecker:
+    def test_clean_log_passes(self):
+        t = trace_with_events(0, [
+            ("acquire", "A", "w"),
+            ("write", "A", ""),
+            ("release", "A", ""),
+            ("acquire", "B", "r"),
+            ("release", "B", ""),
+        ])
+        report = check_lock_discipline([t])
+        assert report.ok
+        assert report.n_acquires == 2
+
+    def test_lock_order_cycle_detected(self):
+        t0 = trace_with_events(0, [
+            ("acquire", "A", "w"), ("acquire", "B", "w"),
+            ("release", "B", ""), ("release", "A", ""),
+        ])
+        t1 = trace_with_events(1, [
+            ("acquire", "B", "w"), ("acquire", "A", "w"),
+            ("release", "A", ""), ("release", "B", ""),
+        ])
+        report = check_lock_discipline([t0, t1])
+        kinds = {v.kind for v in report.violations}
+        assert kinds == {"lock-order-cycle"}
+        with pytest.raises(LockDisciplineError):
+            report.raise_if_violations()
+
+    def test_consistent_nesting_is_not_a_cycle(self):
+        ranks = [
+            trace_with_events(r, [
+                ("acquire", "A", "w"), ("acquire", "B", "w"),
+                ("release", "B", ""), ("release", "A", ""),
+            ])
+            for r in range(4)
+        ]
+        assert check_lock_discipline(ranks).ok
+
+    def test_unguarded_write_detected(self):
+        t = trace_with_events(0, [
+            ("acquire", "other", "w"),
+            ("write", "scope", ""),
+            ("release", "other", ""),
+        ])
+        report = check_lock_discipline([t])
+        assert [v.kind for v in report.violations] == ["unguarded-write"]
+
+    def test_shared_hold_does_not_license_writes(self):
+        t = trace_with_events(0, [
+            ("acquire", "S", "r"),
+            ("write", "S", ""),
+            ("release", "S", ""),
+        ])
+        report = check_lock_discipline([t])
+        assert [v.kind for v in report.violations] == ["unguarded-write"]
+
+    def test_reentrant_release_leak_detected(self):
+        t = trace_with_events(0, [
+            ("acquire", "A", "w"),
+            ("acquire", "A", "w"),       # reentrant
+            ("release", "B", ""),        # never held
+            # A never released -> leaked
+        ])
+        report = check_lock_discipline([t])
+        kinds = sorted(v.kind for v in report.violations)
+        assert kinds == ["leaked-lock", "reentrant-acquire", "release-unheld"]
+
+    def test_order_edges_recorded(self):
+        t = trace_with_events(0, [
+            ("acquire", "A", "w"), ("acquire", "B", "w"),
+            ("release", "B", ""), ("release", "A", ""),
+        ])
+        report = check_lock_discipline([t])
+        assert report.order_edges == {("A", "B"): {0}}
+
+
+class TestRunSpmdGate:
+    def test_injected_out_of_order_acquisition_fails(self, monkeypatch):
+        """The regression the checker exists for: two ranks taking the same
+        two locks in opposite orders — functionally fine this run, a
+        deadlock on another interleaving."""
+        monkeypatch.setenv("REPRO_LOCKCHECK", "1")
+
+        def fn(ctx):
+            order = ("L1", "L2") if ctx.rank == 0 else ("L2", "L1")
+            ctx.lock_acquired(order[0])
+            ctx.lock_acquired(order[1])
+            ctx.lock_released(order[1])
+            ctx.lock_released(order[0])
+
+        with pytest.raises(LockDisciplineError, match="lock-order-cycle"):
+            run_spmd(2, fn)
+
+    def test_unguarded_write_fails(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCKCHECK", "1")
+
+        def fn(ctx):
+            ctx.record_guarded_write("meta:/pmem/x")
+
+        with pytest.raises(LockDisciplineError, match="unguarded-write"):
+            run_spmd(1, fn)
+
+    def test_gate_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCKCHECK", raising=False)
+
+        def fn(ctx):
+            ctx.record_guarded_write("meta:/pmem/x")
+
+        run_spmd(1, fn)  # no raise: the checker only arms under the env var
+
+    def test_real_workload_passes_checker(self, monkeypatch):
+        """The full store/load/delete surface is discipline-clean."""
+        monkeypatch.setenv("REPRO_LOCKCHECK", "1")
+        cl = Cluster(pmem_capacity=64 * MiB)
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(meta_stripes=8, meta_rw=True)
+            pmem.mmap("/pmem/chk", comm)
+            pmem.alloc("grid", (4, 32))
+            pmem.store("grid", np.ones((1, 32)), offsets=(ctx.rank, 0))
+            comm.barrier()
+            pmem.load("grid")
+            pmem.list_variables()
+            comm.barrier()
+            if ctx.rank == 0:
+                pmem.delete("grid")
+            comm.barrier()
+            pmem.munmap()
+
+        cl.run(4, fn)
+
+
+class TestFluidLockReplay:
+    def setup_method(self):
+        self.resources = build_standard_resources(DEFAULT_MACHINE)
+
+    def _run(self, traces):
+        return FluidSimulator(self.resources).run(traces)
+
+    def test_exclusive_sections_serialize(self):
+        traces = [
+            RankTrace(r, [
+                Acquire(lock_id="L"),
+                Delay(ns=100.0),
+                Release(lock_id="L"),
+            ])
+            for r in range(4)
+        ]
+        result = self._run(traces)
+        assert result.makespan_ns == pytest.approx(400.0)
+
+    def test_shared_sections_overlap(self):
+        traces = [
+            RankTrace(r, [
+                Acquire(lock_id="L", shared=True),
+                Delay(ns=100.0),
+                Release(lock_id="L"),
+            ])
+            for r in range(4)
+        ]
+        result = self._run(traces)
+        assert result.makespan_ns == pytest.approx(100.0)
+
+    def test_independent_locks_do_not_interact(self):
+        traces = [
+            RankTrace(r, [
+                Acquire(lock_id=f"L{r}"),
+                Delay(ns=100.0),
+                Release(lock_id=f"L{r}"),
+            ])
+            for r in range(4)
+        ]
+        result = self._run(traces)
+        assert result.makespan_ns == pytest.approx(100.0)
+
+    def test_wait_time_lands_in_lock_bucket(self):
+        traces = [
+            RankTrace(0, [
+                Acquire(lock_id="L", phase="meta"),
+                Delay(ns=100.0, phase="meta"),
+                Release(lock_id="L", phase="meta"),
+            ]),
+            RankTrace(1, [
+                Acquire(lock_id="L", phase="meta"),
+                Delay(ns=100.0, phase="meta"),
+                Release(lock_id="L", phase="meta"),
+            ]),
+        ]
+        result = self._run(traces)
+        waited = sum(
+            ns for (rank, _phase, bucket), ns in result.breakdown.items()
+            if bucket == "lock"
+        )
+        assert waited == pytest.approx(100.0)
+
+    def test_release_without_hold_raises(self):
+        traces = [RankTrace(0, [Release(lock_id="L")])]
+        with pytest.raises(ValueError):
+            self._run(traces)
+
+    def test_replay_deadlock_detected(self):
+        """Traces whose acquisition orders actually interleave into a
+        deadlock are caught by the replay's no-progress check."""
+        traces = [
+            RankTrace(0, [
+                Acquire(lock_id="A"),
+                Delay(ns=100.0),
+                Acquire(lock_id="B"),
+                Release(lock_id="B"),
+                Release(lock_id="A"),
+            ]),
+            RankTrace(1, [
+                Acquire(lock_id="B"),
+                Delay(ns=100.0),
+                Acquire(lock_id="A"),
+                Release(lock_id="A"),
+                Release(lock_id="B"),
+            ]),
+        ]
+        with pytest.raises(RuntimeError, match="deadlock"):
+            self._run(traces)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.burst import BurstBuffer
 from repro.cluster import Cluster
-from repro.config import DEFAULT_MACHINE, MachineSpec, nvme_spec, pmem_spec
+from repro.config import DEFAULT_MACHINE, nvme_spec, pmem_spec
 from repro.mpi import Communicator
 from repro.pmemcpy import PMEM
 from repro.units import GiB, MiB

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import CommunicatorError, DimensionMismatchError
-from repro.kernel import DaxFS, OpenFlags, VFS
+from repro.kernel import DaxFS, VFS
 from repro.mem import PMEMDevice
 from repro.mpi import Communicator, MPIFile, merge_extents
 from repro.mpi.datatypes import (

@@ -1,7 +1,6 @@
 """Tests for the extended collectives: reduce, scan/exscan, gatherv."""
 
 import numpy as np
-import pytest
 
 from repro.mpi import Communicator
 from repro.sim import run_spmd

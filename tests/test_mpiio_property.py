@@ -3,7 +3,6 @@ overlap-free extents spread across ranks must land byte-exact, and the
 symmetric collective read must return them."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.kernel import DaxFS, VFS

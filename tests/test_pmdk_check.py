@@ -2,7 +2,6 @@
 
 import struct
 
-import pytest
 
 from repro.cluster import Cluster
 from repro.mem import PMEMDevice

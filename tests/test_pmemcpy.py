@@ -10,7 +10,6 @@ from repro.errors import (
     KeyNotFoundError,
     NotMappedError,
     PmemcpyError,
-    RankFailedError,
 )
 from repro.mpi import Communicator
 from repro.pmemcpy import PMEM, Dimensions

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.tuning import autotune_pmemcpy, coordinate_descent, grid_search
-from repro.tuning.autotune import DEFAULT_SPACE, make_objective
+from repro.tuning.autotune import make_objective
 from repro.workloads import Domain3D
 
 SMALL = Domain3D(nvars=1, model_dims=(40, 40, 40), axis_scale=5)
