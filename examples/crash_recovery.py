@@ -1,9 +1,17 @@
-"""PMDK transactions under power failure.
+"""PMDK transactions under power failure — two ways to test the same claim.
 
-Builds a persistent hashtable in a pool on a crash-simulating device,
-power-fails the node at a randomly chosen device store *inside* a
-transaction, re-opens the pool (running undo-log recovery), and shows that
-every key-value pair is either fully present or fully absent — never torn.
+Part 1 (legacy): build a persistent hashtable in a pool on a
+crash-simulating device, power-fail the node at a randomly chosen device
+store *inside* a transaction, re-open the pool (running undo-log
+recovery), and show that every key-value pair is either fully present or
+fully absent — never torn.
+
+Part 2 (campaign): hand the same bank-transfer workload to the
+``repro.crash`` subsystem, which replaces the random crash point with a
+*systematic* sweep: it journals every store/flush/drain, enumerates
+reachable post-power-failure images (epoch boundaries, reordered cacheline
+retirement, torn sub-line writes), recovers each one, and runs structural
+and atomic-visibility oracles against it.
 
 Run:  python examples/crash_recovery.py
 """
@@ -11,8 +19,8 @@ Run:  python examples/crash_recovery.py
 import random
 
 from repro import Cluster, Communicator
+from repro.crash import TxWorkload, run_campaign
 from repro.mem.device import CrashInjected
-from repro.pmdk import PmemHashmap, PmemPool
 from repro.pmemcpy.layout_hash import HashtableLayout
 from repro.units import MiB
 
@@ -43,10 +51,11 @@ def inspect(ctx, cl):
     return layout.map.items(ctx)
 
 
-def main():
+def legacy_random_crash_points():
+    print("-- part 1: random crash points (inject_crash_after) --")
     rng = random.Random(7)
     outcomes = {}
-    for trial in range(8):
+    for _trial in range(8):
         crash_after = rng.randint(0, 120)
         cl = Cluster(crash_sim=True, pmem_capacity=16 * MiB)
         cl.run(1, lambda ctx: build(ctx, cl, crash_after))
@@ -61,7 +70,20 @@ def main():
         }
         print(f"crash after {crash_after:3d} stores -> recovered state: "
               f"{outcomes[crash_after]}")
-    print("\nevery recovery produced a transaction-consistent prefix ✓")
+    print("every recovery produced a transaction-consistent prefix ✓\n")
+
+
+def systematic_campaign():
+    print("-- part 2: systematic crash-state campaign (repro.crash) --")
+    report = run_campaign(TxWorkload(), budget=60, seed=7)
+    print(report.render())
+    print(report.counters().render("campaign telemetry"))
+    assert report.ok, report.render()
+
+
+def main():
+    legacy_random_crash_points()
+    systematic_campaign()
 
 
 if __name__ == "__main__":

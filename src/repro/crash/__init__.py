@@ -1,0 +1,75 @@
+"""Systematic crash-state enumeration and recovery verification.
+
+The pmemcheck/Agamotto-style correctness gate behind pMEMCPY's durability
+claims: a persistence-event :mod:`journal <repro.crash.journal>` records
+every store/flush/drain at cacheline granularity, a seeded
+:mod:`enumerator <repro.crash.states>` generates reachable
+post-power-failure images (epoch boundaries, reordered CLWB retirement,
+torn sub-line writes), an :mod:`oracle framework <repro.crash.oracle>`
+re-opens each image and checks structural + atomic-visibility invariants,
+and a :mod:`delta-debugging minimizer <repro.crash.minimize>` shrinks any
+violation to a minimal lost-event repro.
+
+Run a bounded campaign from the command line::
+
+    python -m repro.crash --budget 100 --seed 0
+
+or gate a pytest on one::
+
+    @crash_consistent(lambda: StoreWorkload("hashtable"), budget=80)
+    def test_store_is_crash_consistent(report): ...
+"""
+
+from .campaign import (
+    CampaignFailure,
+    CampaignReport,
+    crash_consistent,
+    drop_op_persists,
+    run_campaign,
+)
+from .journal import Journal, JournalEvent, Replayer
+from .minimize import MinimizedTrace, minimize
+from .oracle import (
+    LockOracle,
+    Oracle,
+    PoolCheckOracle,
+    RecoveredWorld,
+    VisibilityOracle,
+    default_oracles,
+)
+from .states import CrashState, enumerate_states
+from .workloads import (
+    CrashWorkload,
+    DeleteWorkload,
+    LockWorkload,
+    StoreWorkload,
+    TxWorkload,
+    builtin_workloads,
+)
+
+__all__ = [
+    "CampaignFailure",
+    "CampaignReport",
+    "CrashState",
+    "CrashWorkload",
+    "DeleteWorkload",
+    "Journal",
+    "JournalEvent",
+    "LockOracle",
+    "LockWorkload",
+    "MinimizedTrace",
+    "Oracle",
+    "PoolCheckOracle",
+    "RecoveredWorld",
+    "Replayer",
+    "StoreWorkload",
+    "TxWorkload",
+    "VisibilityOracle",
+    "builtin_workloads",
+    "crash_consistent",
+    "default_oracles",
+    "drop_op_persists",
+    "enumerate_states",
+    "minimize",
+    "run_campaign",
+]

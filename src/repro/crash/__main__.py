@@ -1,0 +1,175 @@
+"""``python -m repro.crash`` — the crash-campaign CLI.
+
+Default run: every built-in workload (stores/deletes on both layouts, raw
+transactions, persistent locks) under a per-campaign state budget.  Exits
+nonzero on any invariant violation, after minimizing each to a
+lost-event repro (written to ``--artifacts`` when given).
+
+``--self-test`` proves the oracles have teeth: it re-records the
+hashtable store workload, deliberately drops the persists of one store's
+publish phase from the journal, and requires the campaign to (a) detect
+the completed-but-invisible store and (b) minimize it to a handful of
+journal events.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..cluster import Cluster
+from ..units import MiB
+from .campaign import drop_op_persists, run_campaign
+from .minimize import minimize
+from .oracle import default_oracles
+from .workloads import builtin_workloads
+
+
+def _fresh_cluster() -> Cluster:
+    return Cluster(crash_sim=True, pmem_capacity=8 * MiB)
+
+
+def _minimize_failures(report, workload, journal, artifacts: str | None):
+    """Minimize each failure (bounded) and optionally dump artifacts."""
+    out = []
+    for k, failure in enumerate(report.failures[:3]):
+        trace = minimize(
+            journal, workload, failure, cluster=_fresh_cluster_prepared(workload),
+        )
+        out.append(trace)
+        print(trace.describe())
+        if artifacts:
+            import os
+
+            os.makedirs(artifacts, exist_ok=True)
+            path = f"{artifacts}/{report.workload}-failure{k}.json"
+            with open(path, "w") as f:
+                json.dump(
+                    {
+                        "workload": report.workload,
+                        "seed": report.seed,
+                        "state": failure.state.describe(),
+                        "completed": sorted(failure.completed),
+                        "problems": failure.problems,
+                        "minimized": trace.as_dict(),
+                    },
+                    f, indent=2,
+                )
+            print(f"  artifact: {path}")
+    return out
+
+
+def _fresh_cluster_prepared(workload) -> Cluster:
+    """A scratch cluster whose baseline matches the workload's journal.
+
+    The minimizer's images are absolute device contents, so any
+    crash-simulating cluster of the same capacity works; preparing the
+    workload first keeps volatile side-state (lock registries, shared
+    boards) initialized for ``open_probe``."""
+    cl = _fresh_cluster()
+    cl.run(1, workload.prepare)
+    return cl
+
+
+def self_test(budget: int, seed: int, artifacts: str | None) -> int:
+    """Inject a dropped publish persist; the campaign must catch it."""
+    from .workloads import StoreWorkload
+
+    print("== oracle self-test: dropping the publish persists of store 'b' ==")
+    workload = StoreWorkload("hashtable")
+    report = run_campaign(
+        workload, cluster=_fresh_cluster(), budget=budget, seed=seed,
+        mutate=lambda j: drop_op_persists(j, "b"),
+    )
+    if report.ok:
+        print("FAIL: the mutation was not detected — the oracles are blind")
+        return 1
+    print(f"mutation detected: {len(report.failures)} violating state(s) ✓")
+
+    trace = minimize(
+        report.journal, workload, report.failures[0],
+        cluster=_fresh_cluster_prepared(workload),
+        oracles=default_oracles(),
+    )
+    print(trace.describe())
+    if artifacts:
+        import os
+
+        os.makedirs(artifacts, exist_ok=True)
+        with open(f"{artifacts}/self-test-minimized.json", "w") as f:
+            json.dump(trace.as_dict(), f, indent=2)
+    if len(trace) > 10:
+        print(f"FAIL: minimized to {len(trace)} events (> 10)")
+        return 1
+    print(f"minimized to {len(trace)} journal event(s) (≤ 10) ✓")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.crash",
+        description="systematic crash-state campaigns over the pMEMCPY stack",
+    )
+    registry = builtin_workloads()
+    ap.add_argument("--budget", type=int, default=100,
+                    help="crash states per workload campaign (default 100)")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--workloads", default=",".join(registry),
+                    help=f"comma list from: {','.join(registry)}")
+    ap.add_argument("--json", dest="json_path",
+                    help="write the machine-readable summary here")
+    ap.add_argument("--artifacts",
+                    help="directory for minimized failing traces")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the oracles catch an injected lost persist")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test(args.budget, args.seed, args.artifacts)
+
+    names = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        ap.error(f"unknown workloads {unknown}; choose from {sorted(registry)}")
+
+    total_states = 0
+    rc = 0
+    summary = []
+    for name in names:
+        workload = registry[name]()
+        cl = _fresh_cluster()
+        report = run_campaign(
+            workload, cluster=cl, budget=args.budget, seed=args.seed
+        )
+        total_states += report.states_explored
+        print(report.render())
+        print(report.counters().render(f"campaign telemetry: {name}"))
+        print()
+        summary.append({
+            "workload": name,
+            "states": report.states_explored,
+            "events": report.events,
+            "epochs": report.epochs,
+            "violations": len(report.failures),
+        })
+        if not report.ok:
+            rc = 1
+            _minimize_failures(report, workload, report.journal, args.artifacts)
+    print(f"== total: {total_states} crash states across "
+          f"{len(names)} campaign(s); "
+          f"{'all invariants held ✓' if rc == 0 else 'VIOLATIONS FOUND ✗'} ==")
+    if args.json_path:
+        import os
+
+        parent = os.path.dirname(args.json_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.json_path, "w") as f:
+            json.dump({"total_states": total_states, "ok": rc == 0,
+                       "campaigns": summary}, f, indent=2)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

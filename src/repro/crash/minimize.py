@@ -1,0 +1,179 @@
+"""Delta-debugging trace minimizer for failing crash states.
+
+A campaign failure says "this crash state violates an invariant" — but the
+state is defined by hundreds of journal events.  The minimizer reduces it
+to the *minimal set of lost store events* that still reproduces the
+violation: starting from "every store after the baseline was lost" (which
+must also fail, since the completion marks are held fixed), classic ddmin
+shrinks the lost set, probing each candidate image through the same
+recover-and-check pipeline the campaign used.
+
+The result is typically one or two events — e.g. "the 8-byte transaction
+commit record at pool offset X never persisted" — small enough to read,
+and uploaded as a CI artifact on failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .campaign import CampaignFailure, probe_state
+from .journal import Journal
+
+
+@dataclass
+class MinimizedTrace:
+    """The minimal lost-event set reproducing a campaign failure."""
+
+    event_indices: list[int]            # journal indices of the lost stores
+    events: list[dict]                  # their brief() summaries
+    problems: list[str]                 # what the minimal repro violates
+    n_probes: int = 0
+    exhausted: bool = False             # probe budget ran out mid-shrink
+
+    def __len__(self) -> int:
+        return len(self.event_indices)
+
+    def describe(self) -> str:
+        lines = [
+            f"minimal repro: {len(self.event_indices)} lost event(s) "
+            f"({self.n_probes} probes"
+            + (", budget exhausted)" if self.exhausted else ")")
+        ]
+        for i, e in zip(self.event_indices, self.events):
+            lines.append(f"  event {i}: {e}")
+        lines.extend(f"  violates: {p}" for p in self.problems)
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "lost_events": self.event_indices,
+            "events": self.events,
+            "problems": self.problems,
+            "n_probes": self.n_probes,
+            "exhausted": self.exhausted,
+        }
+
+
+@dataclass
+class _Prober:
+    cl: object
+    workload: object
+    oracles: list
+    journal: Journal
+    failure: CampaignFailure
+    max_probes: int = 250
+    n_probes: int = 0
+    _memo: dict = field(default_factory=dict)
+    _store_order: list[int] = field(default_factory=list)
+
+    def __post_init__(self):
+        self._store_order = self.journal.store_indices()
+        self._fs_snap = self.journal.fs_snapshot_at(self.failure.state.index)
+
+    def image_for(self, lost: frozenset):
+        """Baseline plus every store *not* in ``lost``, fully durable."""
+        img = self.journal.baseline.copy()
+        import numpy as np
+
+        for i in self._store_order:
+            if i in lost:
+                continue
+            e = self.journal.events[i]
+            buf = np.frombuffer(e.data, dtype=np.uint8)
+            img[e.offset : e.offset + buf.size] = buf
+        return img
+
+    def problems_for(self, lost: frozenset) -> list[str]:
+        key = lost
+        if key in self._memo:
+            return self._memo[key]
+        if self.n_probes >= self.max_probes:
+            raise _BudgetExhausted
+        self.n_probes += 1
+        probs = probe_state(
+            self.cl, self.workload, self.oracles, self.failure.state,
+            self.image_for(lost), self._fs_snap, self.failure.completed,
+        )
+        self._memo[key] = probs
+        return probs
+
+    def fails(self, lost) -> bool:
+        return bool(self.problems_for(frozenset(lost)))
+
+
+class _BudgetExhausted(Exception):
+    pass
+
+
+def _ddmin(prober: _Prober, candidates: list[int]) -> list[int]:
+    """Zeller/Hildebrandt ddmin over the lost-store set."""
+    current = list(candidates)
+    n = 2
+    while len(current) >= 2:
+        size = len(current) // n
+        chunks = [current[i : i + size] for i in range(0, len(current), size)]
+        reduced = False
+        for chunk in chunks:
+            if chunk and len(chunk) < len(current) and prober.fails(chunk):
+                current, n, reduced = chunk, 2, True
+                break
+        if not reduced and n > 2:
+            for chunk in chunks:
+                comp = [x for x in current if x not in chunk]
+                if comp and len(comp) < len(current) and prober.fails(comp):
+                    current, n, reduced = comp, max(n - 1, 2), True
+                    break
+        if not reduced:
+            if n >= len(current):
+                break
+            n = min(len(current), n * 2)
+    return current
+
+
+def minimize(
+    journal: Journal,
+    workload,
+    failure: CampaignFailure,
+    *,
+    cluster,
+    oracles=None,
+    max_probes: int = 250,
+) -> MinimizedTrace:
+    """Shrink ``failure`` to a minimal lost-store repro.
+
+    Caller owns the cluster (the prober overwrites device contents; wrap
+    in the same save/restore the campaign uses, or pass a scratch one).
+    """
+    from .oracle import default_oracles
+
+    oracles = default_oracles() if oracles is None else list(oracles)
+    prober = _Prober(cluster, workload, oracles, journal, failure,
+                     max_probes=max_probes)
+
+    all_stores = [
+        i for i in journal.store_indices() if i < failure.state.index
+    ] or journal.store_indices()
+    exhausted = False
+    try:
+        if not prober.fails(all_stores):
+            # losing everything somehow passes: fall back to the raw state
+            return MinimizedTrace(
+                event_indices=list(all_stores),
+                events=[journal.events[i].brief() for i in all_stores],
+                problems=failure.problems,
+                n_probes=prober.n_probes,
+            )
+        minimal = _ddmin(prober, all_stores)
+    except _BudgetExhausted:
+        exhausted = True
+        best = [s for s in prober._memo if prober._memo[s]]
+        minimal = sorted(min(best, key=len)) if best else all_stores
+    problems = prober._memo.get(frozenset(minimal), failure.problems)
+    return MinimizedTrace(
+        event_indices=sorted(minimal),
+        events=[journal.events[i].brief() for i in sorted(minimal)],
+        problems=problems,
+        n_probes=prober.n_probes,
+        exhausted=exhausted,
+    )

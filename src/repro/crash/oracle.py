@@ -1,0 +1,98 @@
+"""The recovery-oracle framework: invariants over recovered crash states.
+
+A campaign materializes a crash state into the device, restores the
+matching fs-metadata snapshot, simulates a node restart, and re-opens the
+store (undo-log replay, lock owner-word recovery).  Each :class:`Oracle`
+then inspects the :class:`RecoveredWorld` and returns problem strings —
+an empty list means the invariant held.
+
+Adding an invariant is: subclass :class:`Oracle`, implement
+``check(ctx, world)``, and pass it in a campaign's ``oracles`` list (see
+DESIGN.md "Crash-consistency testing").  The built-in set:
+
+- :class:`PoolCheckOracle` — structural: ``pmdk.check.check_pool`` over
+  the recovered pool (heap tiling, lanes drained, hashtable reachable,
+  per-variable ``next_index`` monotonicity, no stale lock owners);
+- :class:`VisibilityOracle` — semantic: delegates to the workload's
+  atomic-visibility model (a completed operation's effects are fully
+  readable; an in-flight one is fully absent, fully old, or fully new);
+- :class:`LockOracle` — delegates to the workload's lock-recovery model
+  (owner words cleared at open, locks acquirable again).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from .states import CrashState
+
+
+@dataclass
+class RecoveredWorld:
+    """Everything an oracle may inspect after recovery of one state.
+
+    ``handles`` is whatever the workload's ``open_probe`` returned —
+    by convention ``pool`` (PmemPool) and/or ``pmem`` (PMEM api handle).
+    ``completed`` is the set of mark tags recorded before the crash: the
+    operations whose effects MUST be visible.
+    """
+
+    workload: object
+    state: CrashState
+    completed: frozenset
+    handles: dict = field(default_factory=dict)
+
+
+class Oracle(ABC):
+    """One pluggable recovery invariant."""
+
+    name: str = "oracle"
+
+    @abstractmethod
+    def check(self, ctx, world: RecoveredWorld) -> list[str]:
+        """Return problem descriptions (empty = invariant holds)."""
+
+
+class PoolCheckOracle(Oracle):
+    """Run the ``pmempool check`` analog against the recovered pool."""
+
+    name = "pool-check"
+
+    def check(self, ctx, world: RecoveredWorld) -> list[str]:
+        pool = world.handles.get("pool")
+        if pool is None:
+            return []
+        from ..pmdk.check import check_pool
+
+        report = check_pool(
+            ctx, pool,
+            live_ranks=frozenset(),
+            lock_offsets=tuple(world.handles.get("lock_offsets", ())),
+        )
+        return [f"{self.name}: {p}" for p in report.problems]
+
+
+class VisibilityOracle(Oracle):
+    """Atomic visibility of the workload's operations (3-phase store
+    contract: published ⇒ fully readable, unpublished ⇒ cleanly absent)."""
+
+    name = "visibility"
+
+    def check(self, ctx, world: RecoveredWorld) -> list[str]:
+        probs = world.workload.check_visibility(ctx, world)
+        return [f"{self.name}: {p}" for p in probs]
+
+
+class LockOracle(Oracle):
+    """Persistent-lock recovery: dead owner words detected and cleared."""
+
+    name = "locks"
+
+    def check(self, ctx, world: RecoveredWorld) -> list[str]:
+        probs = world.workload.check_locks(ctx, world)
+        return [f"{self.name}: {p}" for p in probs]
+
+
+def default_oracles() -> list[Oracle]:
+    return [PoolCheckOracle(), VisibilityOracle(), LockOracle()]

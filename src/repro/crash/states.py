@@ -1,0 +1,151 @@
+"""Deterministic crash-state enumeration over a persistence journal.
+
+A :class:`CrashState` is one reachable post-power-failure device image:
+a crash point (how many journal events happened), a subset of the
+then-unflushed dirty lines that retired anyway (CLWB reordering — any
+subset of *unflushed* lines may or may not have reached the DIMM), and
+optionally one torn line cut at the 8-byte power-fail atomicity unit.
+
+Enumeration is seeded and wall-clock-free, so a campaign is exactly
+reproducible from ``(journal, budget, seed)``.  States are generated in
+priority tiers and the budget is filled tier by tier:
+
+====  ==========================================================
+P0    every epoch boundary (just after each ``drain``)
+P1    just after every ``mark`` — where completion contracts bind
+P2    after every other event, nothing retired (pure fence view)
+P3    after every event, *all* dirty lines retired
+P4    seeded random subsets of the dirty lines at random points
+P5    seeded torn sub-line writes at random points
+====  ==========================================================
+
+P2/P3 are subsampled evenly (deterministically) when they exceed their
+budget share; P4/P5 split whatever budget remains.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..units import CACHELINE
+from .journal import Journal
+
+_TORN_CUTS = tuple(range(8, CACHELINE, 8))
+
+
+@dataclass(frozen=True)
+class CrashState:
+    """One enumerated crash state (hashable; deduped across tiers)."""
+
+    index: int                      # crash after events[:index]
+    epoch: int
+    retired: frozenset = frozenset()
+    torn: tuple | None = None       # (line, cut_bytes)
+    tier: int = field(default=2, compare=False)
+
+    def describe(self) -> str:
+        bits = [f"after event {self.index} (epoch {self.epoch}, P{self.tier})"]
+        if self.retired:
+            bits.append(f"{len(self.retired)} dirty lines retired")
+        if self.torn:
+            bits.append(f"line {self.torn[0]} torn at byte {self.torn[1]}")
+        return ", ".join(bits)
+
+
+def _evenly_spaced(items: list, n: int) -> list:
+    """Deterministic subsample: n items at uniform stride (endpoints kept)."""
+    if n <= 0 or len(items) <= n:
+        return list(items)
+    if n == 1:
+        return [items[-1]]
+    step = (len(items) - 1) / (n - 1)
+    return [items[round(i * step)] for i in range(n)]
+
+
+def enumerate_states(
+    journal: Journal, *, budget: int = 150, seed: int = 0
+) -> list[CrashState]:
+    """Enumerate up to ``budget`` crash states, sorted by crash point so a
+    campaign replays the journal exactly once."""
+    events = journal.events
+    n = len(events)
+    # one pre-pass: epoch and dirty-line set at every crash point
+    epoch_at = [0] * (n + 1)
+    dirty_at: list[frozenset] = [frozenset()] * (n + 1)
+    dirty: set[int] = set()
+    epoch = 0
+    for i, e in enumerate(events):
+        if e.kind == "store":
+            lo = e.offset // CACHELINE
+            hi = -(-(e.offset + len(e.data)) // CACHELINE)
+            dirty.update(range(lo, hi))
+        elif e.kind == "flush":
+            lo = e.offset // CACHELINE
+            hi = -(-(e.offset + e.size) // CACHELINE)
+            for line in range(lo, hi):
+                dirty.discard(line)
+        elif e.kind == "drain":
+            dirty.clear()
+            epoch += 1
+        epoch_at[i + 1] = epoch
+        dirty_at[i + 1] = frozenset(dirty)
+
+    rng = random.Random(seed)
+    out: list[CrashState] = []
+    seen: set[tuple] = set()
+
+    def emit(state: CrashState) -> bool:
+        key = (state.index, state.retired, state.torn)
+        if key in seen or len(out) >= budget:
+            return False
+        seen.add(key)
+        out.append(state)
+        return True
+
+    # P0/P1: epoch boundaries and completion-contract points
+    p0 = [i + 1 for i, e in enumerate(events) if e.kind == "drain"]
+    p1 = [i + 1 for i, e in enumerate(events) if e.kind == "mark"]
+    for tier, idxs in ((0, p0), (1, p1)):
+        for i in idxs:
+            emit(CrashState(i, epoch_at[i], tier=tier))
+
+    # P2/P3 share most of what's left, evenly subsampled
+    remaining = budget - len(out)
+    p2 = [i for i in range(n + 1) if (i, frozenset(), None) not in seen]
+    p3 = [i for i in range(n + 1) if dirty_at[i]]
+    share2 = min(len(p2), max(remaining // 3, 1))
+    share3 = min(len(p3), max(remaining // 3, 1))
+    for i in _evenly_spaced(p2, share2):
+        emit(CrashState(i, epoch_at[i], tier=2))
+    for i in _evenly_spaced(p3, share3):
+        emit(CrashState(i, epoch_at[i], retired=dirty_at[i], tier=3))
+
+    # P4/P5: seeded random retirement subsets and torn lines
+    remaining = budget - len(out)
+    torn_share = remaining // 3
+    candidates = [i for i in range(n + 1) if dirty_at[i]]
+    attempts = 0
+    while candidates and len(out) < budget - torn_share and attempts < 50 * budget:
+        attempts += 1
+        i = rng.choice(candidates)
+        lines = sorted(dirty_at[i])
+        k = rng.randint(1, len(lines))
+        subset = frozenset(rng.sample(lines, k))
+        emit(CrashState(i, epoch_at[i], retired=subset, tier=4))
+    attempts = 0
+    while candidates and len(out) < budget and attempts < 50 * budget:
+        attempts += 1
+        i = rng.choice(candidates)
+        lines = sorted(dirty_at[i])
+        line = rng.choice(lines)
+        cut = rng.choice(_TORN_CUTS)
+        # the torn line's fully-retired prefix may coexist with other
+        # retired lines — tear on top of a random subset of the rest
+        rest = [x for x in lines if x != line]
+        subset = frozenset(rng.sample(rest, rng.randint(0, len(rest))))
+        emit(CrashState(i, epoch_at[i], retired=subset,
+                        torn=(line, cut), tier=5))
+
+    out.sort(key=lambda s: s.index)
+    return out

@@ -1,0 +1,464 @@
+"""Built-in crash-campaign workloads.
+
+A :class:`CrashWorkload` has three acts, each run as a 1-rank SPMD job:
+
+1. ``prepare(ctx)`` — build committed baseline state (runs *before* the
+   journal attaches, so the baseline is fully durable);
+2. ``record(ctx)`` — the journaled body whose crash windows get explored,
+   bracketing each operation with ``mark`` completion records;
+3. ``open_probe(ctx)`` — re-open the store on a materialized crash image
+   (this is where undo-log replay and lock recovery run) and hand the
+   oracles their inspection handles.
+
+The visibility models implement the 3-phase store contract: an operation
+whose ``done:`` mark is in ``completed`` must be fully visible; one whose
+``begin:`` mark is in ``completed`` (in-flight at the crash) may be fully
+old, fully new, reserved (metadata published, payload not yet), or — for
+creations/deletions — cleanly absent; anything else must look untouched.
+A *torn* value, a half-applied update, or a recovery crash is always a
+violation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import (
+    DimensionMismatchError,
+    KeyNotFoundError,
+    NoSuchFileError,
+    SerializationError,
+)
+from ..kernel.dax import MapFlags
+from ..kernel.vfs import OpenFlags
+from ..mpi.comm import Communicator
+from ..pmdk import PmemHashmap, PmemMutex, PmemPool, PmemRWLock, PmemStripedLocks
+from ..pmemcpy import PMEM
+from ..units import MiB
+
+
+class CrashWorkload:
+    """Base class; subclasses override the three acts and the models."""
+
+    name = "abstract"
+
+    def __init__(self):
+        self.journal = None  # set by the campaign around record()
+
+    def mark(self, tag: str) -> None:
+        if self.journal is not None:
+            self.journal.mark(tag)
+
+    # -- acts ---------------------------------------------------------------
+
+    def prepare(self, ctx) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def record(self, ctx) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def open_probe(self, ctx) -> dict:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # -- oracle models ------------------------------------------------------
+
+    def check_visibility(self, ctx, world) -> list[str]:
+        return []
+
+    def check_locks(self, ctx, world) -> list[str]:
+        return []
+
+
+# --------------------------------------------------------------------------
+# pMEMCPY api-level workloads (both layouts)
+# --------------------------------------------------------------------------
+
+
+def _load_state(p: PMEM, var: str):
+    """Classify what a recovered store shows for ``var``.
+
+    Returns ``("value", array)``, ``("absent",)``, ``("reserved",)`` —
+    metadata present but the payload not (fully) readable, a legitimate
+    mid-store/mid-delete window — or ``("error", msg)`` for anything a
+    reader could not survive.
+    """
+    try:
+        val = p.load(var)
+    except KeyNotFoundError:
+        return ("absent",)
+    except (DimensionMismatchError, NoSuchFileError):
+        return ("reserved",)
+    except SerializationError as e:
+        return ("error", f"unreadable payload: {e}")
+    return ("value", np.asarray(val))
+
+
+def _acceptable(state, candidates) -> bool:
+    """Is the observed state one of the acceptable outcomes?
+
+    ``candidates`` mixes arrays (acceptable full values) and the strings
+    ``"absent"`` / ``"reserved"``.
+    """
+    if state[0] == "error":
+        return False
+    for cand in candidates:
+        if isinstance(cand, str):
+            if state[0] == cand:
+                return True
+        elif state[0] == "value" and np.array_equal(state[1], cand):
+            return True
+    return False
+
+
+class StoreWorkload(CrashWorkload):
+    """Whole-variable stores through the public api: one update of an
+    existing variable, one creation of a fresh one."""
+
+    def __init__(self, layout: str = "hashtable"):
+        super().__init__()
+        self.layout = layout
+        self.name = f"store-{layout}"
+        self.path = f"/pmem/crash-store-{layout}"
+        self.gen0 = np.arange(48, dtype=np.float64)
+        self.gen1 = np.arange(48, dtype=np.float64) * 3.0 + 1.0
+        self.valb = np.arange(40, dtype=np.float64) - 7.0
+
+    def _pmem(self) -> PMEM:
+        return PMEM(layout=self.layout, pool_size=4 * MiB)
+
+    def prepare(self, ctx) -> None:
+        p = self._pmem().mmap(self.path, Communicator.world(ctx))
+        p.store("a", self.gen0)
+        p.munmap()
+
+    def record(self, ctx) -> None:
+        p = self._pmem().mmap(self.path, Communicator.world(ctx))
+        self.mark("begin:a")
+        p.store("a", self.gen1)
+        self.mark("done:a")
+        ctx.env.device.drain()  # epoch fence between operations
+        self.mark("begin:b")
+        p.store("b", self.valb)
+        self.mark("done:b")
+        p.munmap()
+
+    def open_probe(self, ctx) -> dict:
+        p = self._pmem().mmap(self.path, Communicator.world(ctx))
+        handles = {"pmem": p}
+        if self.layout == "hashtable":
+            handles["pool"] = p.layout.pool
+        return handles
+
+    def check_visibility(self, ctx, world) -> list[str]:
+        p = world.handles["pmem"]
+        done = world.completed
+        probs: list[str] = []
+
+        sa = _load_state(p, "a")
+        if "done:a" in done:
+            ok_a = [self.gen1]
+        elif "begin:a" in done:
+            # in-flight update: old, new, or the reserved window (phase 1
+            # already retired the old chunks)
+            ok_a = [self.gen0, self.gen1, "reserved"]
+        else:
+            ok_a = [self.gen0]
+        if not _acceptable(sa, ok_a):
+            probs.append(f"var 'a': observed {sa[0]}, not an acceptable state")
+
+        sb = _load_state(p, "b")
+        if "done:b" in done:
+            ok_b = [self.valb]
+        elif "begin:b" in done:
+            ok_b = [self.valb, "absent", "reserved"]
+        else:
+            ok_b = ["absent"]
+        if not _acceptable(sb, ok_b):
+            probs.append(f"var 'b': observed {sb[0]}, not an acceptable state")
+        return probs
+
+
+class DeleteWorkload(CrashWorkload):
+    """Variable deletion through the api, with an untouched control."""
+
+    def __init__(self, layout: str = "hashtable"):
+        super().__init__()
+        self.layout = layout
+        self.name = f"delete-{layout}"
+        self.path = f"/pmem/crash-delete-{layout}"
+        self.vala = np.arange(32, dtype=np.float64) + 0.5
+        self.valk = np.arange(24, dtype=np.float64) * 2.0
+
+    def _pmem(self) -> PMEM:
+        return PMEM(layout=self.layout, pool_size=4 * MiB)
+
+    def prepare(self, ctx) -> None:
+        p = self._pmem().mmap(self.path, Communicator.world(ctx))
+        p.store("doomed", self.vala)
+        p.store("keeper", self.valk)
+        p.munmap()
+
+    def record(self, ctx) -> None:
+        p = self._pmem().mmap(self.path, Communicator.world(ctx))
+        self.mark("begin:del")
+        p.delete("doomed")
+        self.mark("done:del")
+        p.munmap()
+
+    def open_probe(self, ctx) -> dict:
+        p = self._pmem().mmap(self.path, Communicator.world(ctx))
+        handles = {"pmem": p}
+        if self.layout == "hashtable":
+            handles["pool"] = p.layout.pool
+        return handles
+
+    def check_visibility(self, ctx, world) -> list[str]:
+        p = world.handles["pmem"]
+        done = world.completed
+        probs: list[str] = []
+        sd = _load_state(p, "doomed")
+        if "done:del" in done:
+            ok = ["absent"]
+        elif "begin:del" in done:
+            # mid-delete: chunks may be freed before the record drops
+            ok = [self.vala, "absent", "reserved"]
+        else:
+            ok = [self.vala]
+        if not _acceptable(sd, ok):
+            probs.append(f"'doomed': observed {sd[0]}, not an acceptable state")
+        sk = _load_state(p, "keeper")
+        if not _acceptable(sk, [self.valk]):
+            probs.append(f"'keeper' (control) damaged: observed {sk[0]}")
+        return probs
+
+
+# --------------------------------------------------------------------------
+# raw PMDK workloads
+# --------------------------------------------------------------------------
+
+
+class _RawPoolMixin:
+    """Shared file-backed raw-pool plumbing."""
+
+    pool_size = 2 * MiB
+    nlanes = 4
+    lane_log = 16 * 1024
+
+    def _map(self, ctx, create: bool):
+        env = ctx.env
+        fd = env.vfs.open(ctx, self.path, OpenFlags.CREAT | OpenFlags.RDWR)
+        if create:
+            env.vfs.fallocate(ctx, fd, self.pool_size, contiguous=True)
+        mapping = env.vfs.mmap(ctx, fd, MapFlags.SHARED)
+        env.vfs.close(ctx, fd)
+        return mapping
+
+    def _create_pool(self, ctx) -> PmemPool:
+        return PmemPool.create(
+            ctx, self._map(ctx, create=True), size=self.pool_size,
+            nlanes=self.nlanes, lane_log_size=self.lane_log,
+        )
+
+    def _open_pool(self, ctx) -> PmemPool:
+        return PmemPool.open(ctx, self._map(ctx, create=False),
+                             size=self.pool_size)
+
+
+class TxWorkload(_RawPoolMixin, CrashWorkload):
+    """Raw transactional hashmap updates — the bank-transfer example,
+    driven through the enumerator instead of one random crash point."""
+
+    name = "tx"
+    path = "/pmem/crash-tx"
+
+    #: key -> (committed-before value, value written during record)
+    PLAN = {
+        b"alice": (b"balance:100", b"balance:000"),
+        b"bob": (b"balance:250", b"balance:350"),
+        b"audit": (None, b"alice->bob:100"),
+        b"scratch": (b"temp", None),  # deleted during record
+    }
+
+    def prepare(self, ctx) -> None:
+        pool = self._create_pool(ctx)
+        m = PmemHashmap.create(ctx, pool, nbuckets=8)
+        import struct
+        root = pool.malloc(ctx, 16)
+        pool.write(ctx, root, struct.pack("<QQ", m.hdr_off, 0))
+        pool.persist(ctx, root, 16)
+        pool.set_root(ctx, root)
+        for key, (old, _new) in self.PLAN.items():
+            if old is not None:
+                m.put(ctx, key, old)
+        ctx.env.device.drain()
+
+    def record(self, ctx) -> None:
+        pool = self._open_pool(ctx)
+        import struct
+        hdr_off, _ = struct.unpack(
+            "<QQ", bytes(pool.read(ctx, pool.root(), 16))
+        )
+        m = PmemHashmap.open(pool, hdr_off)
+        for key, (_old, new) in self.PLAN.items():
+            tag = key.decode()
+            if new is not None:
+                self.mark(f"begin:{tag}")
+                m.put(ctx, key, new)
+                self.mark(f"done:{tag}")
+            elif _old is not None:
+                self.mark(f"begin:del:{tag}")
+                m.delete(ctx, key)
+                self.mark(f"done:del:{tag}")
+            ctx.env.device.drain()
+
+    def open_probe(self, ctx) -> dict:
+        pool = self._open_pool(ctx)
+        import struct
+        hdr_off, _ = struct.unpack(
+            "<QQ", bytes(pool.read(ctx, pool.root(), 16))
+        )
+        return {"pool": pool, "map": PmemHashmap.open(pool, hdr_off)}
+
+    def check_visibility(self, ctx, world) -> list[str]:
+        m = world.handles["map"]
+        done = world.completed
+        state = dict(m.items(ctx))
+        probs: list[str] = []
+        for key, (old, new) in self.PLAN.items():
+            tag = key.decode()
+            observed = state.pop(key, None)
+            if new is not None:
+                if f"done:{tag}" in done:
+                    ok = [new]
+                elif f"begin:{tag}" in done:
+                    ok = [old, new]
+                else:
+                    ok = [old]
+            else:
+                if f"done:del:{tag}" in done:
+                    ok = [None]
+                elif f"begin:del:{tag}" in done:
+                    ok = [old, None]
+                else:
+                    ok = [old]
+            if not any(
+                observed == c for c in ok
+            ):
+                probs.append(
+                    f"key {tag}: recovered {observed!r}, acceptable {ok!r}"
+                )
+        for key, val in state.items():
+            probs.append(f"unexpected key {key!r} = {val!r} after recovery")
+        return probs
+
+
+class LockWorkload(_RawPoolMixin, CrashWorkload):
+    """PmemMutex / PmemRWLock / PmemStripedLocks crash recovery.
+
+    ``record`` acquires and releases each lock, so enumeration lands crash
+    points between the owner-word persist and the grant, and between the
+    clear and the release — exactly the mid-acquire / mid-release windows.
+    ``check_locks`` first cross-checks the *un-recovered* image against
+    ``pmdk.check``'s stale-owner detector, then runs owner-word recovery
+    and verifies every lock is cleared and acquirable again.
+    """
+
+    name = "locks"
+    path = "/pmem/crash-locks"
+    NSTRIPES = 4
+
+    def prepare(self, ctx) -> None:
+        pool = self._create_pool(ctx)
+        self.mu_off = PmemMutex.alloc(ctx, pool, name="crash-mu").off
+        self.rw_off = PmemRWLock.alloc(ctx, pool, name="crash-rw").off
+        self.tbl_off = PmemStripedLocks.alloc(
+            ctx, pool, self.NSTRIPES, name="crash-tbl"
+        ).off
+        ctx.env.device.drain()
+
+    def _offsets(self) -> list[int]:
+        return [self.mu_off, self.rw_off] + [
+            self.tbl_off + 8 * i for i in range(self.NSTRIPES)
+        ]
+
+    def record(self, ctx) -> None:
+        pool = self._open_pool(ctx)
+        mu = PmemMutex(pool, self.mu_off, name="crash-mu")
+        self.mark("begin:mu")
+        mu.acquire(ctx)
+        self.mark("locked:mu")
+        mu.release(ctx)
+        self.mark("unlocked:mu")
+        ctx.env.device.drain()
+        rw = PmemRWLock(pool, self.rw_off, name="crash-rw")
+        self.mark("begin:rw")
+        rw.acquire_write(ctx)
+        self.mark("locked:rw")
+        rw.release_write(ctx)
+        self.mark("unlocked:rw")
+        ctx.env.device.drain()
+        tbl = PmemStripedLocks(pool, self.tbl_off, self.NSTRIPES,
+                               name="crash-tbl")
+        for i in range(self.NSTRIPES):
+            self.mark(f"begin:s{i}")
+            tbl.lock(i).acquire_write(ctx)
+            self.mark(f"locked:s{i}")
+            tbl.lock(i).release_write(ctx)
+            self.mark(f"unlocked:s{i}")
+        ctx.env.device.drain()
+
+    def open_probe(self, ctx) -> dict:
+        # intentionally no "lock_offsets" for the generic pool oracle: the
+        # pre-recovery image may legitimately hold a dead owner; the stale
+        # cross-check below owns that window
+        return {"pool": self._open_pool(ctx)}
+
+    def check_locks(self, ctx, world) -> list[str]:
+        from ..pmdk.check import check_pool
+
+        pool = world.handles["pool"]
+        probs: list[str] = []
+        offsets = self._offsets()
+        stale = [o for o in offsets if pool.read_u64(ctx, o) != 0]
+        # cross-check: the checker must flag exactly the dead owners
+        rep = check_pool(ctx, pool, live_ranks=frozenset(),
+                         lock_offsets=tuple(offsets))
+        flagged = [p for p in rep.problems if "stale owner" in p]
+        if len(flagged) != len(stale):
+            probs.append(
+                f"stale-owner checker saw {len(flagged)} of {len(stale)} "
+                f"dead owner words"
+            )
+        # recovery must clear every word and leave the lock acquirable
+        mu = PmemMutex.open(ctx, pool, self.mu_off, name="crash-mu")
+        rw = PmemRWLock.open(ctx, pool, self.rw_off, name="crash-rw")
+        tbl = PmemStripedLocks.open(ctx, pool, self.tbl_off, self.NSTRIPES,
+                                    name="crash-tbl")
+        for off in offsets:
+            owner = pool.read_u64(ctx, off)
+            if owner:
+                probs.append(
+                    f"owner word at {off} still {owner} after recovery"
+                )
+        try:
+            mu.acquire(ctx)
+            mu.release(ctx)
+            rw.acquire_write(ctx)
+            rw.release_write(ctx)
+            for i in range(self.NSTRIPES):
+                tbl.lock(i).acquire_write(ctx)
+                tbl.lock(i).release_write(ctx)
+        except Exception as e:
+            probs.append(f"recovered lock not acquirable: {e!r}")
+        return probs
+
+
+def builtin_workloads() -> dict[str, type]:
+    return {
+        "store-hashtable": lambda: StoreWorkload("hashtable"),
+        "store-hierarchical": lambda: StoreWorkload("hierarchical"),
+        "delete-hashtable": lambda: DeleteWorkload("hashtable"),
+        "delete-hierarchical": lambda: DeleteWorkload("hierarchical"),
+        "tx": TxWorkload,
+        "locks": LockWorkload,
+    }

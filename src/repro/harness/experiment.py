@@ -71,10 +71,12 @@ def run_io_experiment(
     )
     if "write" in directions:
         timing = res_w.time()
+        tel = merged_counters(res_w.traces).as_dict()
+        tel.update(cl.device.persistence_counters())
         out.append(JobResult(
             library, nprocs, "write", timing.makespan_ns / 1e9,
             {k: v / 1e9 for k, v in timing.phase_totals().items()},
-            merged_counters(res_w.traces).as_dict(),
+            tel,
         ))
     if "read" in directions:
         res_r = cl.run(
@@ -82,10 +84,12 @@ def run_io_experiment(
             lambda ctx: read_job(ctx, workload, driver_name, path, driver_kw),
         )
         timing = res_r.time()
+        tel = merged_counters(res_r.traces).as_dict()
+        tel.update(cl.device.persistence_counters())
         out.append(JobResult(
             library, nprocs, "read", timing.makespan_ns / 1e9,
             {k: v / 1e9 for k, v in timing.phase_totals().items()},
-            merged_counters(res_r.traces).as_dict(),
+            tel,
         ))
     return out
 

@@ -96,6 +96,9 @@ class DaxFS:
         self._next_ino = 2
         self.root = Inode(ino=1, is_dir=True)
         self._inodes[1] = self.root
+        #: optional observer called after every metadata mutation (the
+        #: crash-journal hook; see repro.crash.journal)
+        self._meta_watcher = None
 
     # ------------------------------------------------------------------ blocks
 
@@ -191,6 +194,45 @@ class DaxFS:
             from ..mem.memcpy import charge_pmem_write
 
             charge_pmem_write(ctx, 512.0, note=note)
+        self._notify_meta()
+
+    def _notify_meta(self) -> None:
+        """Tell the attached watcher (if any) that fs metadata changed.
+
+        The crash journal snapshots the metadata here, modeling a
+        synchronously-journaled filesystem: every committed metadata state
+        is recoverable, paired with whatever device image the store buffer
+        left behind."""
+        if self._meta_watcher is not None:
+            self._meta_watcher(self)
+
+    # ------------------------------------------------------------------ meta snapshots
+
+    def meta_snapshot(self) -> dict:
+        """Deep copy of all volatile fs metadata (inodes, free list).
+
+        File *data* lives on the device and is snapshot separately by the
+        crash machinery; this captures everything the device image cannot
+        rewind on its own."""
+        import copy
+
+        with self.lock:
+            return {
+                "inodes": copy.deepcopy(self._inodes),
+                "free": list(self._free),
+                "next_ino": self._next_ino,
+            }
+
+    def meta_restore(self, snap: dict) -> None:
+        """Install a :meth:`meta_snapshot` (deep-copied, so the snapshot
+        stays reusable across repeated crash-state materializations)."""
+        import copy
+
+        with self.lock:
+            self._inodes = copy.deepcopy(snap["inodes"])
+            self._free = list(snap["free"])
+            self._next_ino = snap["next_ino"]
+            self.root = self._inodes[1]
 
     # ------------------------------------------------------------------ dirs/files
 
@@ -269,6 +311,33 @@ class DaxFS:
             del self._inodes[ino]
             self._charge_meta(ctx, "unlink")
 
+    def rename(self, ctx, old: str, new: str) -> None:
+        """Atomically move a *file* over ``new`` (POSIX rename semantics:
+        an existing target is replaced in the same metadata commit)."""
+        with self.lock:
+            src_parent, src_name = self._namei_parent(old)
+            src_ino = src_parent.children.get(src_name)
+            if src_ino is None:
+                raise NoSuchFileError(old)
+            node = self._inodes[src_ino]
+            if node.is_dir:
+                raise IsADirectoryError_(old)
+            dst_parent, dst_name = self._namei_parent(new)
+            if not dst_parent.is_dir:
+                raise NotADirectoryError_(new)
+            existing = dst_parent.children.get(dst_name)
+            if existing is not None and existing != src_ino:
+                target = self._inodes[existing]
+                if target.is_dir:
+                    raise IsADirectoryError_(new)
+                self._free_blocks(
+                    [(e.dev_block, e.nblocks) for e in target.extents]
+                )
+                del self._inodes[existing]
+            del src_parent.children[src_name]
+            dst_parent.children[dst_name] = src_ino
+            self._charge_meta(ctx, "rename")
+
     def truncate(self, ctx, inode: Inode, size: int) -> None:
         with self.lock:
             if inode.is_dir:
@@ -306,6 +375,7 @@ class DaxFS:
             have = sum(e.nblocks for e in inode.extents)
             if needed <= have:
                 inode.size = max(inode.size, size)
+                self._notify_meta()
                 return
             if contiguous:
                 if inode.extents:
@@ -370,9 +440,12 @@ class DaxFS:
             have = sum(e.nblocks for e in inode.extents)
             if needed > have:
                 self._extend(inode, needed - have)
+                if offset + size > inode.size:
+                    inode.size = offset + size
                 self._charge_meta(ctx, "extend")
-            if offset + size > inode.size:
+            elif offset + size > inode.size:
                 inode.size = offset + size
+                self._notify_meta()
 
     # ------------------------------------------------------------------ POSIX data path
 

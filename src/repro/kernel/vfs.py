@@ -159,6 +159,14 @@ class VFS:
         fs, rel = self.resolve(path)
         fs.unlink(ctx, rel)
 
+    def rename(self, ctx, old: str, new: str) -> None:
+        syscall(ctx, note="rename")
+        fs_old, rel_old = self.resolve(old)
+        fs_new, rel_new = self.resolve(new)
+        if fs_old is not fs_new:
+            raise InvalidArgumentError("cross-filesystem rename")
+        fs_old.rename(ctx, rel_old, rel_new)
+
     def listdir(self, ctx, path: str) -> list[str]:
         syscall(ctx, note="getdents")
         fs, rel = self.resolve(path)

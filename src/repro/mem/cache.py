@@ -11,6 +11,11 @@ with two byte arrays:
 ``write`` dirties cachelines in ``volatile``; ``flush`` copies line-aligned
 ranges into ``durable``; ``crash`` discards the volatile overlay.  This is
 the mechanism the PMDK transaction tests drive with random crash points.
+
+A :class:`~repro.crash.journal.Journal` can be attached (``self.journal``)
+to observe every store, flush, and drain at this — cacheline — granularity;
+the crash-enumeration subsystem (:mod:`repro.crash`) replays those events
+to materialize every reachable post-power-failure device image.
 """
 
 from __future__ import annotations
@@ -33,6 +38,11 @@ class ShadowPMEM:
         self.volatile = np.zeros(capacity, dtype=np.uint8)
         self.durable = np.zeros(capacity, dtype=np.uint8)
         self._dirty = np.zeros(capacity // CACHELINE, dtype=bool)
+        self._ndirty = 0
+        #: most lines ever simultaneously dirty (per-device high-water mark)
+        self.dirty_hwm = 0
+        #: optional persistence-event observer (repro.crash.journal.Journal)
+        self.journal = None
 
     # -- bounds ---------------------------------------------------------------
 
@@ -60,7 +70,14 @@ class ShadowPMEM:
         self._check(offset, size)
         self.volatile[offset : offset + size] = buf
         lo, hi = self._line_range(offset, size)
+        newly = (hi - lo) - int(np.count_nonzero(self._dirty[lo:hi]))
         self._dirty[lo:hi] = True
+        if newly:
+            self._ndirty += newly
+            if self._ndirty > self.dirty_hwm:
+                self.dirty_hwm = self._ndirty
+        if self.journal is not None:
+            self.journal.on_store(offset, buf.tobytes())
 
     def read(self, offset: int, size: int) -> np.ndarray:
         """Copy bytes out of the volatile image (what a live program sees)."""
@@ -90,6 +107,9 @@ class ShadowPMEM:
         b0, b1 = lo * CACHELINE, min(hi * CACHELINE, self.capacity)
         self.durable[b0:b1] = self.volatile[b0:b1]
         self._dirty[lo:hi] = False
+        self._ndirty -= ndirty
+        if self.journal is not None:
+            self.journal.on_flush(offset, size)
         return ndirty
 
     def drain(self) -> int:
@@ -100,10 +120,34 @@ class ShadowPMEM:
             b0 = int(line) * CACHELINE
             self.durable[b0 : b0 + CACHELINE] = self.volatile[b0 : b0 + CACHELINE]
         self._dirty[:] = False
+        self._ndirty = 0
+        if self.journal is not None:
+            self.journal.on_drain()
         return int(idx.size)
 
     def dirty_lines(self) -> int:
-        return int(self._dirty.sum())
+        return self._ndirty
+
+    # -- wholesale state (crash-state materialization) -----------------------
+
+    def state_save(self) -> tuple:
+        return (self.volatile.copy(), self.durable.copy(),
+                self._dirty.copy(), self._ndirty)
+
+    def state_restore(self, state: tuple) -> None:
+        vol, dur, dirty, ndirty = state
+        self.volatile[:] = vol
+        self.durable[:] = dur
+        self._dirty[:] = dirty
+        self._ndirty = ndirty
+
+    def install_image(self, img) -> None:
+        """Replace the contents with a fully-durable image (what a freshly
+        power-cycled device holds)."""
+        self.volatile[:] = img
+        self.durable[:] = img
+        self._dirty[:] = False
+        self._ndirty = 0
 
     # -- failure --------------------------------------------------------------
 
@@ -111,3 +155,4 @@ class ShadowPMEM:
         """Simulate power failure: un-flushed lines are lost."""
         self.volatile[:] = self.durable
         self._dirty[:] = False
+        self._ndirty = 0

@@ -41,6 +41,13 @@ class PMEMDevice:
         self.crash_sim = crash_sim
         self.lock = threading.RLock()
         self._stores_until_crash: int | None = None
+        #: always-on persistence counters (cheap dict increments)
+        self.stores = 0
+        self.store_bytes = 0
+        self.persists = 0
+        self.persisted_lines = 0
+        self.drains = 0
+        self.drained_lines = 0
         if crash_sim:
             self._shadow: ShadowPMEM | None = ShadowPMEM(capacity)
             self._flat: np.ndarray | None = None
@@ -86,6 +93,8 @@ class PMEMDevice:
                 self._shadow.write(offset, buf)
             else:
                 self._flat[offset : offset + buf.size] = buf
+            self.stores += 1
+            self.store_bytes += int(buf.size)
         return int(buf.size)
 
     def load(self, offset: int, size: int) -> np.ndarray:
@@ -112,15 +121,25 @@ class PMEMDevice:
         (zero when crash simulation is off — everything is already durable)."""
         self._check(offset, size)
         if self._shadow is None:
+            with self.lock:
+                self.persists += 1
             return 0
         with self.lock:
-            return self._shadow.flush(offset, size)
+            self.persists += 1
+            n = self._shadow.flush(offset, size)
+            self.persisted_lines += n
+            return n
 
     def drain(self) -> int:
         if self._shadow is None:
+            with self.lock:
+                self.drains += 1
             return 0
         with self.lock:
-            return self._shadow.drain()
+            self.drains += 1
+            n = self._shadow.drain()
+            self.drained_lines += n
+            return n
 
     def crash(self) -> None:
         """Power-fail the device (only meaningful with crash_sim=True)."""
@@ -129,7 +148,56 @@ class PMEMDevice:
         with self.lock:
             self._shadow.crash()
 
+    def install_image(self, img) -> None:
+        """Replace the device contents with a fully-durable image — how the
+        crash campaign materializes an enumerated post-failure state."""
+        if self._shadow is None:
+            raise RuntimeError("install_image() requires crash_sim=True")
+        with self.lock:
+            self._shadow.install_image(img)
+
+    def state_save(self) -> tuple:
+        if self._shadow is None:
+            raise RuntimeError("state_save() requires crash_sim=True")
+        with self.lock:
+            return self._shadow.state_save()
+
+    def state_restore(self, state: tuple) -> None:
+        if self._shadow is None:
+            raise RuntimeError("state_restore() requires crash_sim=True")
+        with self.lock:
+            self._shadow.state_restore(state)
+
+    # -- journal hooks -----------------------------------------------------------
+
+    def attach_journal(self, journal) -> None:
+        """Route every shadow-level store/flush/drain through ``journal``
+        (see :mod:`repro.crash.journal`).  Requires ``crash_sim=True``."""
+        if self._shadow is None:
+            raise RuntimeError("attach_journal() requires crash_sim=True")
+        with self.lock:
+            self._shadow.journal = journal
+
+    def detach_journal(self) -> None:
+        if self._shadow is not None:
+            with self.lock:
+                self._shadow.journal = None
+
     # -- introspection -----------------------------------------------------------
+
+    def persistence_counters(self) -> dict:
+        """Persistence-activity counters for :meth:`PMEM.stats` / profiles."""
+        with self.lock:
+            return {
+                "device_stores": self.stores,
+                "device_store_bytes": self.store_bytes,
+                "device_persists": self.persists,
+                "device_persisted_lines": self.persisted_lines,
+                "device_drains": self.drains,
+                "device_drained_lines": self.drained_lines,
+                "device_dirty_line_hwm":
+                    self._shadow.dirty_hwm if self._shadow is not None else 0,
+            }
 
     def snapshot(self) -> np.ndarray:
         """Copy of the full *live* image (test helper)."""

@@ -12,12 +12,14 @@ rebuilt at pool open by walking the headers — exactly PMDK's strategy of
 reconstructing runtime heap state instead of persisting it.  Block headers
 and footers on the device are the durable truth.
 
-Crash consistency without a transaction relies on write ordering (remainder
-header persisted before the shrunken/used header; footers before headers on
-free/coalesce) plus the fact that a 16-byte header sits inside one cacheline
-at a 64-byte-aligned block start, so its persist is atomic under the
-cacheline store-buffer model.  With a transaction, header pre-images go to
-the undo log so an aborted/crashed transaction rolls the allocation back.
+Boundary-tag updates are crash-atomic via the undo log: a split or a
+coalesce rewrites a header and a *different* block's footer, and no write
+ordering keeps the walk invariant (footer agrees with its covering header)
+intact between those two stores — the crash-state enumerator readily finds
+the torn window.  So malloc/free log the affected tags before mutating:
+inside the caller's transaction when one is passed, otherwise inside an
+internal single-op transaction (PMDK's non-transactional atomic
+allocations use the same trick with redo logs).
 """
 
 from __future__ import annotations
@@ -126,6 +128,11 @@ class Heap:
         """Allocate ``size`` user bytes; returns the *user* offset."""
         if size <= 0:
             raise AllocationError(f"invalid allocation size {size}")
+        if tx is None:
+            from .tx import Transaction
+
+            with Transaction(self.pool, ctx) as itx:
+                return self.malloc(ctx, size, tx=itx)
         total = _align(HEADER_SIZE + size + FOOTER_SIZE)
         with self.lock:
             block = None
@@ -167,6 +174,11 @@ class Heap:
             return block + HEADER_SIZE
 
     def free(self, ctx, user_off: int, tx=None) -> None:
+        if tx is None:
+            from .tx import Transaction
+
+            with Transaction(self.pool, ctx) as itx:
+                return self.free(ctx, user_off, tx=itx)
         block = user_off - HEADER_SIZE
         with self.lock:
             size = self._used.get(block)

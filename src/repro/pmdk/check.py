@@ -8,7 +8,17 @@ Validates, directly against the on-device bytes:
 3. lanes: every undo-log entry lies inside the pool and inside its lane;
 4. hashtable (when the pool root points at one): header sanity, chains
    acyclic, every entry and value blob inside the heap, stored hashes match
-   the keys, count field equals the number of reachable entries.
+   the keys, count field equals the number of reachable entries.  Both root
+   formats are autodetected: the legacy 16-byte ``hdr|mutex`` root and the
+   striped 24-byte ``hdr|stripes|nstripes`` root;
+5. variable metadata: every ``<id>#dims`` value must unpack as a
+   :class:`~repro.pmemcpy.dataset.VariableMeta` whose ``next_index`` is at
+   least the number of published chunks (reserve bumps the index *before*
+   publish, so a persisted record can never trail its own chunk list);
+6. lock owner words (``live_ranks`` given): a nonzero owner word whose
+   rank is not live is a *stale owner* — a dead holder that recovery must
+   clear.  Checked over the striped metadata table and any extra
+   ``lock_offsets`` the caller knows about.
 
 Returns a :class:`CheckReport`; ``ok`` is True when no problems were found.
 """
@@ -41,6 +51,8 @@ class CheckReport:
     used_bytes: int = 0
     active_lanes: int = 0
     map_entries: int = 0
+    stripes: int = 0
+    variables: int = 0
 
     @property
     def ok(self) -> bool:
@@ -56,6 +68,7 @@ class CheckReport:
             f"bytes:  {self.used_bytes} used / {self.free_bytes} free",
             f"lanes with pending undo logs: {self.active_lanes}",
             f"hashtable entries: {self.map_entries}",
+            f"lock stripes: {self.stripes}, variables: {self.variables}",
         ]
         if self.ok:
             lines.append("consistent ✓")
@@ -65,13 +78,31 @@ class CheckReport:
         return "\n".join(lines)
 
 
-def check_pool(ctx, pool: PmemPool, *, check_map: bool = True) -> CheckReport:
-    """Run all checks against ``pool``'s persistent image."""
+def check_pool(
+    ctx,
+    pool: PmemPool,
+    *,
+    check_map: bool = True,
+    live_ranks=None,
+    lock_offsets=(),
+) -> CheckReport:
+    """Run all checks against ``pool``'s persistent image.
+
+    ``live_ranks`` (a set of rank ids, or None to skip) arms the stale
+    owner-word check: any nonzero lock word naming a rank outside the set
+    is reported.  ``lock_offsets`` adds standalone mutex/rwlock words
+    beyond those the pool root reveals.
+    """
     report = CheckReport()
     _check_heap(ctx, pool, report)
     _check_lanes(ctx, pool, report)
     if check_map and pool.root():
-        _check_hashmap(ctx, pool, report)
+        _check_root(ctx, pool, report, live_ranks)
+    if live_ranks is not None:
+        _check_owner_words(
+            ctx, pool, report, live_ranks,
+            [("lock", off) for off in lock_offsets],
+        )
     return report
 
 
@@ -157,15 +188,16 @@ def _used_spans(ctx, pool: PmemPool) -> list[tuple[int, int]]:
     return spans
 
 
-def _check_hashmap(ctx, pool: PmemPool, report: CheckReport) -> None:
-    # pMEMCPY pools root a 16-byte struct: map header off | mutex off
+def _check_root(ctx, pool: PmemPool, report: CheckReport, live_ranks) -> None:
+    """Autodetect the root format, then check the namespace behind it.
+
+    pMEMCPY pools have rooted two shapes over time: the legacy 16-byte
+    ``hashmap header off | mutex off`` pair, and the striped 24-byte
+    ``hashmap header off | stripe table off | nstripes`` triple.  A root
+    is treated as striped only when the stripe fields decode to a
+    plausible heap-resident table; anything else falls back to legacy.
+    """
     root = pool.root()
-    try:
-        raw = bytes(pool.read(ctx, root, 16))
-    except Exception:
-        report.add(f"root object at {root} unreadable")
-        return
-    hdr_off, _mutex_off = struct.unpack("<QQ", raw)
     spans = {off: size for off, size in _used_spans(ctx, pool)}
 
     def inside_used(off: int, size: int) -> bool:
@@ -174,6 +206,52 @@ def _check_hashmap(ctx, pool: PmemPool, report: CheckReport) -> None:
                 return True
         return False
 
+    try:
+        raw = bytes(pool.read(ctx, root, 24))
+        hdr_off, stripes_off, nstripes = struct.unpack("<QQQ", raw)
+    except Exception:
+        try:
+            raw = bytes(pool.read(ctx, root, 16))
+            hdr_off, _mutex_off = struct.unpack("<QQ", raw)
+            stripes_off = nstripes = 0
+        except Exception:
+            report.add(f"root object at {root} unreadable")
+            return
+    striped = (
+        stripes_off != 0
+        and 1 <= nstripes <= 1 << 16
+        and inside_used(stripes_off, 8 * nstripes)
+        and inside_used(hdr_off, 24)
+    )
+    if striped:
+        report.stripes = int(nstripes)
+        if live_ranks is not None:
+            _check_owner_words(
+                ctx, pool, report, live_ranks,
+                [(f"stripe {i}", stripes_off + 8 * i)
+                 for i in range(int(nstripes))],
+            )
+    _check_hashmap(ctx, pool, report, hdr_off, inside_used)
+
+
+def _check_owner_words(
+    ctx, pool: PmemPool, report: CheckReport, live_ranks, words,
+) -> None:
+    """Flag nonzero owner words (``rank + 1``) naming non-live ranks."""
+    for label, off in words:
+        if off + 8 > pool.size:
+            report.add(f"{label}: owner word at {off} beyond pool")
+            continue
+        word = pool.read_u64(ctx, off)
+        if word and (word - 1) not in live_ranks:
+            report.add(
+                f"{label}: stale owner word at {off} — "
+                f"rank {word - 1} holds the lock but is not live"
+            )
+
+
+def _check_hashmap(ctx, pool: PmemPool, report: CheckReport,
+                   hdr_off: int, inside_used) -> None:
     try:
         nb, count, buckets_off = struct.unpack(
             "<QQQ", bytes(pool.read(ctx, hdr_off, 24))
@@ -189,6 +267,7 @@ def _check_hashmap(ctx, pool: PmemPool, report: CheckReport) -> None:
         return
     seen: set[int] = set()
     reachable = 0
+    dims_values: list[tuple[bytes, bytes]] = []
     for b in range(int(nb)):
         entry = pool.read_u64(ctx, buckets_off + 8 * b)
         while entry:
@@ -210,6 +289,10 @@ def _check_hashmap(ctx, pool: PmemPool, report: CheckReport) -> None:
                 report.add(
                     f"hashtable: value of {key!r} not inside a used block"
                 )
+            elif key.endswith(b"#dims"):
+                dims_values.append(
+                    (key, bytes(pool.read(ctx, val_off, val_len)))
+                )
             reachable += 1
             entry = nxt
     report.map_entries = reachable
@@ -217,3 +300,28 @@ def _check_hashmap(ctx, pool: PmemPool, report: CheckReport) -> None:
         report.add(
             f"hashtable: header count {count} != reachable entries {reachable}"
         )
+    _check_variables(report, dims_values)
+
+
+def _check_variables(report: CheckReport, dims_values) -> None:
+    """Every reachable ``<id>#dims`` value must be a well-formed variable
+    record, and its ``next_index`` must cover every published chunk: the
+    store protocol bumps the index under the reserve lock *before* any
+    chunk is appended, so ``next_index < len(chunks)`` can only mean a
+    lost or reordered metadata persist."""
+    # function-local: pmemcpy sits above pmdk in the layer stack
+    from ..pmemcpy.dataset import VariableMeta
+
+    for key, raw in dims_values:
+        name = key[: -len(b"#dims")].decode(errors="replace")
+        try:
+            meta = VariableMeta.unpack(name, raw)
+        except Exception as e:
+            report.add(f"variable {name!r}: meta does not unpack ({e})")
+            continue
+        report.variables += 1
+        if meta.next_index < len(meta.chunks):
+            report.add(
+                f"variable {name!r}: next_index {meta.next_index} behind "
+                f"{len(meta.chunks)} published chunk(s)"
+            )

@@ -87,8 +87,11 @@ class Transaction:
         self.pool.persist(self.ctx, self._log_pos, entry_size)
         self._log_pos += entry_size
         self._count += 1
-        # entry body durable before the count covers it
+        # entry body durable before the count covers it — and the count
+        # itself durable before the caller's in-place modification, or a
+        # crash could retire the modification without its undo entry
         self.pool.write_u64(self.ctx, lane_base, self._count)
+        self.pool.persist(self.ctx, lane_base, 8)
         self._ranges.append((off, size))
 
     def write(self, off: int, data, *, snapshot: bool = True) -> None:
@@ -105,7 +108,10 @@ class Transaction:
         for off, size in self._ranges:
             self.pool.persist(self.ctx, off, size)
         lane_base = self.pool.lane_offset(self.lane)
+        # the invalidation must be durable before commit returns, or a
+        # crash after "success" could replay the undo log and un-commit
         self.pool.write_u64(self.ctx, lane_base, 0)
+        self.pool.persist(self.ctx, lane_base, 8)
         self._finish()
         for fn in self._on_commit:
             fn()
@@ -126,6 +132,7 @@ class Transaction:
             self.pool.write(self.ctx, off, data)
             self.pool.persist(self.ctx, off, len(data))
         self.pool.write_u64(self.ctx, lane_base, 0)
+        self.pool.persist(self.ctx, lane_base, 8)
         self._finish()
         for fn in reversed(self._on_abort):
             fn()

@@ -476,4 +476,6 @@ class PMEM:
         out = {"variables": variables, "layout": self.layout.name}
         out.update(self.layout.occupancy(ctx))
         out["telemetry"] = counters_for(ctx).as_dict()
+        if ctx.env is not None and getattr(ctx.env, "device", None) is not None:
+            out["device"] = ctx.env.device.persistence_counters()
         return out

@@ -179,12 +179,17 @@ class HierarchicalLayout(Layout):
         return VariableMeta.unpack(var_id, raw)
 
     def put_meta(self, ctx, meta: VariableMeta) -> None:
+        # write-new-then-rename: a crash mid-rewrite must never destroy the
+        # previous #dims generation, so the packed metadata goes to a .tmp
+        # sibling first and rename() publishes it in one metadata commit
         ctx.record_guarded_write(self._write_scope(meta.name))
         env = ctx.env
         p = self._var_path(ctx, meta.name, create_dirs=True) + "#dims"
-        fd = env.vfs.open(ctx, p, OpenFlags.CREAT | OpenFlags.RDWR | OpenFlags.TRUNC)
+        tmp = p + ".tmp"
+        fd = env.vfs.open(ctx, tmp, OpenFlags.CREAT | OpenFlags.RDWR | OpenFlags.TRUNC)
         env.vfs.pwrite(ctx, fd, meta.pack(), 0)
         env.vfs.close(ctx, fd)
+        env.vfs.rename(ctx, tmp, p)
 
     def list_variables(self, ctx, subdir: str = "") -> list[str]:
         self._require()

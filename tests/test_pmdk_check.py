@@ -176,3 +176,139 @@ class TestLaneReporting:
         rep = one_rank(fn)
         assert rep.active_lanes == 1
         assert rep.ok  # pending != corrupt
+
+
+def with_pmemcpy_pool(body, **pmem_kw):
+    """Store one variable through PMEM, then run ``body(ctx, pmem)`` while
+    the pool is still mapped; returns body's result."""
+    import numpy as np
+
+    cl = Cluster(pmem_capacity=64 * MiB)
+
+    def fn(ctx):
+        comm = Communicator.world(ctx)
+        pmem = PMEM(**pmem_kw)
+        pmem.mmap("/pmem/chk2", comm)
+        pmem.store("var", np.arange(32.0))
+        try:
+            return body(ctx, pmem)
+        finally:
+            pmem.munmap()
+
+    return cl.run(1, fn).returns[0]
+
+
+class TestStripedRoot:
+    def test_striped_root_autodetected(self):
+        rep = with_pmemcpy_pool(
+            lambda ctx, pmem: check_pool(ctx, pmem.layout.pool),
+            meta_stripes=4,
+        )
+        assert rep.ok, rep.problems
+        assert rep.stripes == 4
+        assert rep.variables == 1
+        assert "lock stripes: 4" in rep.render()
+
+    def test_legacy_root_still_checked(self):
+        _d, pool = fresh_pool()
+
+        def fn(ctx):
+            m = PmemHashmap.create(ctx, pool, nbuckets=4)
+            pool.set_root(ctx, pool.malloc(ctx, 16))
+            pool.write(ctx, pool.root(), struct.pack("<QQ", m.hdr_off, 0))
+            pool.persist(ctx, pool.root(), 16)
+            m.put(ctx, b"k", b"v")
+            return check_pool(ctx, pool)
+
+        rep = one_rank(fn)
+        assert rep.ok, rep.problems
+        assert rep.stripes == 0
+        assert rep.map_entries == 1
+
+
+class TestVariableMeta:
+    def test_next_index_behind_chunks_flagged(self):
+        def corrupt(ctx, pmem):
+            from repro.pmemcpy.dataset import VariableMeta, dims_key
+            hmap = pmem.layout.map
+            raw = hmap.get(ctx, dims_key("var"))
+            meta = VariableMeta.unpack("var", raw)
+            meta.next_index = 0  # behind the 1 published chunk
+            hmap.put(ctx, dims_key("var"), meta.pack())
+            return check_pool(ctx, pmem.layout.pool)
+
+        rep = with_pmemcpy_pool(corrupt)
+        assert not rep.ok
+        assert any("next_index" in p for p in rep.problems)
+
+    def test_garbage_meta_flagged(self):
+        def corrupt(ctx, pmem):
+            pmem.layout.map.put(ctx, b"junk#dims", b"\x00\x01\x02")
+            return check_pool(ctx, pmem.layout.pool)
+
+        rep = with_pmemcpy_pool(corrupt)
+        assert not rep.ok
+        assert any("does not unpack" in p for p in rep.problems)
+
+
+class TestStaleOwners:
+    def test_stale_stripe_owner_flagged(self):
+        def hold_lock(ctx, pmem):
+            # simulate a dead holder: owner word set, rank not live
+            pool = pmem.layout.pool
+            off = pmem.layout.table.off
+            pool.write_u64(ctx, off, 1)  # rank 0 + 1
+            pool.persist(ctx, off, 8)
+            rep = check_pool(ctx, pool, live_ranks=frozenset())
+            pool.write_u64(ctx, off, 0)
+            pool.persist(ctx, off, 8)
+            return rep
+
+        rep = with_pmemcpy_pool(hold_lock, meta_stripes=2)
+        assert not rep.ok
+        assert any("stale owner" in p for p in rep.problems)
+
+    def test_live_owner_not_flagged(self):
+        def hold_lock(ctx, pmem):
+            pool = pmem.layout.pool
+            off = pmem.layout.table.off
+            pool.write_u64(ctx, off, 1)
+            pool.persist(ctx, off, 8)
+            rep = check_pool(ctx, pool, live_ranks=frozenset({0}))
+            pool.write_u64(ctx, off, 0)
+            pool.persist(ctx, off, 8)
+            return rep
+
+        rep = with_pmemcpy_pool(hold_lock, meta_stripes=2)
+        assert rep.ok, rep.problems
+
+    def test_extra_lock_offsets_checked(self):
+        from repro.pmdk import PmemMutex
+
+        _d, pool = fresh_pool()
+
+        def fn(ctx):
+            m = PmemMutex.alloc(ctx, pool)
+            m.acquire(ctx)
+            pool.persist(ctx, m.off, 8)
+            return check_pool(
+                ctx, pool, live_ranks=frozenset({7}), lock_offsets=(m.off,)
+            )
+
+        rep = one_rank(fn)
+        assert not rep.ok
+        assert any("stale owner" in p for p in rep.problems)
+
+    def test_owner_check_off_by_default(self):
+        from repro.pmdk import PmemMutex
+
+        _d, pool = fresh_pool()
+
+        def fn(ctx):
+            m = PmemMutex.alloc(ctx, pool)
+            m.acquire(ctx)
+            pool.persist(ctx, m.off, 8)
+            return check_pool(ctx, pool)
+
+        rep = one_rank(fn)
+        assert rep.ok, rep.problems

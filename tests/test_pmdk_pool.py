@@ -512,3 +512,36 @@ class TestPmemMutex:
 
         run_spmd(4, fn)
         assert counter["v"] == 200
+
+
+class TestCrashCampaignCoverage:
+    """Systematic crash-state sweeps via repro.crash — the successor to the
+    random inject_crash_after probes above (which stay as the fast path)."""
+
+    def test_tx_workload_survives_enumerated_crash_states(self):
+        from repro.cluster import Cluster
+        from repro.crash import TxWorkload, run_campaign
+
+        report = run_campaign(
+            TxWorkload(),
+            cluster=Cluster(crash_sim=True, pmem_capacity=8 * MiB),
+            budget=40, seed=11,
+        )
+        assert report.ok, report.render()
+        # the sweep must cover reordered-retirement states, not just the
+        # epoch boundaries the legacy random probes could reach
+        assert report.states_by_tier.get(1), "no post-completion states"
+        assert any(
+            report.states_by_tier.get(t) for t in (3, 4, 5)
+        ), "no reordered/torn retirement states"
+
+    def test_lock_recovery_mid_acquire_release(self):
+        from repro.cluster import Cluster
+        from repro.crash import LockWorkload, run_campaign
+
+        report = run_campaign(
+            LockWorkload(),
+            cluster=Cluster(crash_sim=True, pmem_capacity=8 * MiB),
+            budget=30, seed=5,
+        )
+        assert report.ok, report.render()
