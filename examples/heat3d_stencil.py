@@ -5,9 +5,15 @@ simulated MPI, checkpointing its state through pMEMCPY — then a mid-run
 Demonstrates: decomposition + point-to-point halo exchange, periodic
 pMEMCPY checkpoints, crash-simulation, and restart correctness (the
 restarted run converges to exactly the same field as an uninterrupted one).
+The reference run's I/O span tree is exported as
+``results/heat3d.trace.json`` — load it in https://ui.perfetto.dev (or
+``chrome://tracing``) to see every checkpoint's store pipeline, one track
+per rank.
 
 Run:  python examples/heat3d_stencil.py
 """
+
+import os
 
 import numpy as np
 
@@ -102,6 +108,14 @@ def main():
     )
     ref_total = ref.returns[0][0]
     print(f"uninterrupted run: sum(u) = {ref_total:.6f} after {STEPS} steps")
+
+    # export the reference run's span tree for Perfetto / chrome://tracing
+    from repro.telemetry.export import chrome_trace, write_json
+
+    os.makedirs("results", exist_ok=True)
+    path = write_json("results/heat3d.trace.json",
+                      chrome_trace(ref.traces, process_name="heat3d"))
+    print(f"I/O trace written to {path} — open it at https://ui.perfetto.dev")
 
     # Crashy run: power fails at step 6 (after the step-4 checkpoint).
     cl = Cluster(crash_sim=True)

@@ -223,23 +223,27 @@ class AdiosDriver(PIODriver):
         self._gdims: dict[str, tuple] = {}
 
     def open(self, ctx, comm, path: str, mode: str) -> None:
-        self.handle = AdiosFile(ctx, comm, path, mode,
-                                aggregation=self.aggregation)
+        with self.op_span(ctx, "open", mode=mode):
+            self.handle = AdiosFile(ctx, comm, path, mode,
+                                    aggregation=self.aggregation)
 
     def def_var(self, ctx, name: str, global_dims, dtype) -> None:
         # ADIOS declares dimensions alongside the data (config XML / extra
         # adios_write calls, Fig. 5); nothing to do up front.
-        self._gdims[name] = tuple(global_dims)
+        with self.op_span(ctx, "define", var=name):
+            self._gdims[name] = tuple(global_dims)
 
     def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
-        self.note_write(ctx, array)
-        self.handle.write(name, array, offsets, self._gdims.get(name))
+        with self.write_op(ctx, name, array):
+            self.handle.write(name, array, offsets, self._gdims.get(name))
 
     def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
-        out = self.handle.read(name, offsets, dims)
-        self.note_read(ctx, out)
-        return out
+        with self.read_op(ctx, name) as op:
+            out = self.handle.read(name, offsets, dims)
+            op.done(out)
+            return out
 
     def close(self, ctx) -> None:
-        self.handle.close()
-        self.handle = None
+        with self.op_span(ctx, "close"):
+            self.handle.close()
+            self.handle = None

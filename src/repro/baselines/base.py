@@ -3,11 +3,25 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 
 import numpy as np
 
 from ..errors import BaselineError
-from ..telemetry import record
+from ..telemetry import record, span
+
+
+class _OpMeter:
+    """Byte accounting handle the read/write op guards yield."""
+
+    __slots__ = ("nbytes",)
+
+    def __init__(self, nbytes: int = 0):
+        self.nbytes = int(nbytes)
+
+    def done(self, array) -> None:
+        """Report the materialized payload (call before the block ends)."""
+        self.nbytes = int(np.asarray(array).nbytes)
 
 
 class PIODriver(ABC):
@@ -20,9 +34,45 @@ class PIODriver(ABC):
     name: str = "abstract"
 
     # -- telemetry --------------------------------------------------------
-    # Drivers call these at the top of write()/read() so every library
-    # reports the same Darshan-style op/byte counters.
+    # Drivers wrap their write()/read() bodies in these guards so every
+    # library reports the same Darshan-style op/byte counters and the same
+    # ``driver.*`` span taxonomy.  Accounting is exception-safe: success
+    # counters are charged only after the body completes; an unwinding
+    # exception charges ``driver_*_errors`` instead and marks the span.
 
+    @contextmanager
+    def write_op(self, ctx, name: str, array: np.ndarray):
+        meter = _OpMeter(array.nbytes)
+        try:
+            with span(ctx, "driver.write",
+                      var=name, bytes=meter.nbytes, driver=self.name):
+                yield meter
+        except BaseException:
+            record(ctx, "driver_write_errors")
+            raise
+        record(ctx, "driver_write_ops")
+        record(ctx, "driver_write_bytes", meter.nbytes)
+
+    @contextmanager
+    def read_op(self, ctx, name: str):
+        meter = _OpMeter()
+        try:
+            with span(ctx, "driver.read", var=name, driver=self.name) as s:
+                yield meter
+                if s is not None:
+                    s.attrs = {**(s.attrs or {}), "bytes": meter.nbytes}
+        except BaseException:
+            record(ctx, "driver_read_errors")
+            raise
+        record(ctx, "driver_read_ops")
+        record(ctx, "driver_read_bytes", meter.nbytes)
+
+    def op_span(self, ctx, kind: str, **attrs):
+        """Span guard for the session ops (``open``/``define``/``close``)."""
+        return span(ctx, f"driver.{kind}", driver=self.name, **attrs)
+
+    # legacy helpers (pre-guard drivers charged these at the top of the
+    # body, which billed ops that then failed) — kept for external callers
     def note_write(self, ctx, array: np.ndarray) -> None:
         record(ctx, "driver_write_ops")
         record(ctx, "driver_write_bytes", int(array.nbytes))

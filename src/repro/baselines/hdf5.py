@@ -763,26 +763,31 @@ class H5Driver(PIODriver):
         self.fill = fill
 
     def open(self, ctx, comm, path: str, mode: str) -> None:
-        self.file = H5File(ctx, comm, path, mode)
+        with self.op_span(ctx, "open", mode=mode):
+            self.file = H5File(ctx, comm, path, mode)
 
     def def_var(self, ctx, name: str, global_dims, dtype) -> None:
-        self.file.create_dataset(
-            name, dtype, Dataspace(global_dims), fill=self.fill
-        )
+        with self.op_span(ctx, "define", var=name):
+            self.file.create_dataset(
+                name, dtype, Dataspace(global_dims), fill=self.fill
+            )
 
     def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
-        self.note_write(ctx, array)
-        ds = self.file.dataset(name)
-        fs = Dataspace(ds.space.dims).select_hyperslab(offsets, array.shape)
-        ds.write(ctx, array, fs)
+        with self.write_op(ctx, name, array):
+            ds = self.file.dataset(name)
+            fs = Dataspace(ds.space.dims).select_hyperslab(
+                offsets, array.shape)
+            ds.write(ctx, array, fs)
 
     def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
-        ds = self.file.dataset(name)
-        fs = Dataspace(ds.space.dims).select_hyperslab(offsets, dims)
-        out = ds.read(ctx, fs)
-        self.note_read(ctx, out)
-        return out
+        with self.read_op(ctx, name) as op:
+            ds = self.file.dataset(name)
+            fs = Dataspace(ds.space.dims).select_hyperslab(offsets, dims)
+            out = ds.read(ctx, fs)
+            op.done(out)
+            return out
 
     def close(self, ctx) -> None:
-        self.file.close()
-        self.file = None
+        with self.op_span(ctx, "close"):
+            self.file.close()
+            self.file = None

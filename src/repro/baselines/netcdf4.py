@@ -131,24 +131,29 @@ class NetCDF4Driver(PIODriver):
         self.nc: NetCDFFile | None = None
 
     def open(self, ctx, comm, path: str, mode: str) -> None:
-        self.nc = NetCDFFile(ctx, comm, path, mode, fill_mode=self.fill_mode)
+        with self.op_span(ctx, "open", mode=mode):
+            self.nc = NetCDFFile(ctx, comm, path, mode,
+                                 fill_mode=self.fill_mode)
 
     def def_var(self, ctx, name: str, global_dims, dtype) -> None:
-        dim_names = [
-            self.nc.def_dim(f"{name}_d{i}", d)
-            for i, d in enumerate(global_dims)
-        ]
-        self.nc.def_var(name, dtype, dim_names)
+        with self.op_span(ctx, "define", var=name):
+            dim_names = [
+                self.nc.def_dim(f"{name}_d{i}", d)
+                for i, d in enumerate(global_dims)
+            ]
+            self.nc.def_var(name, dtype, dim_names)
 
     def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
-        self.note_write(ctx, array)
-        self.nc.put_vara(ctx, name, offsets, array.shape, array)
+        with self.write_op(ctx, name, array):
+            self.nc.put_vara(ctx, name, offsets, array.shape, array)
 
     def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
-        out = self.nc.get_vara(ctx, name, offsets, dims)
-        self.note_read(ctx, out)
-        return out
+        with self.read_op(ctx, name) as op:
+            out = self.nc.get_vara(ctx, name, offsets, dims)
+            op.done(out)
+            return out
 
     def close(self, ctx) -> None:
-        self.nc.close()
-        self.nc = None
+        with self.op_span(ctx, "close"):
+            self.nc.close()
+            self.nc = None

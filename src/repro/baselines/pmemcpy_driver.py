@@ -27,21 +27,25 @@ class PmemcpyDriver(PIODriver):
         self.pmem: PMEM | None = None
 
     def open(self, ctx, comm, path: str, mode: str) -> None:
-        self.pmem = PMEM(**self.kw)
-        self.pmem.mmap(path, comm)
+        with self.op_span(ctx, "open", mode=mode):
+            self.pmem = PMEM(**self.kw)
+            self.pmem.mmap(path, comm)
 
     def def_var(self, ctx, name: str, global_dims, dtype) -> None:
-        self.pmem.alloc(name, tuple(global_dims), dtype)
+        with self.op_span(ctx, "define", var=name):
+            self.pmem.alloc(name, tuple(global_dims), dtype)
 
     def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
-        self.note_write(ctx, array)
-        self.pmem.store(name, array, offsets=offsets)
+        with self.write_op(ctx, name, array):
+            self.pmem.store(name, array, offsets=offsets)
 
     def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
-        out = self.pmem.load(name, offsets=offsets, dims=dims)
-        self.note_read(ctx, out)
-        return out
+        with self.read_op(ctx, name) as op:
+            out = self.pmem.load(name, offsets=offsets, dims=dims)
+            op.done(out)
+            return out
 
     def close(self, ctx) -> None:
-        self.pmem.munmap()
-        self.pmem = None
+        with self.op_span(ctx, "close"):
+            self.pmem.munmap()
+            self.pmem = None

@@ -184,30 +184,34 @@ class PnetcdfDriver(PIODriver):
         self._defined = False
 
     def open(self, ctx, comm, path: str, mode: str) -> None:
-        self.f = PnetcdfFile(ctx, comm, path, mode)
-        self._defined = mode == "r"
+        with self.op_span(ctx, "open", mode=mode):
+            self.f = PnetcdfFile(ctx, comm, path, mode)
+            self._defined = mode == "r"
 
     def def_var(self, ctx, name: str, global_dims, dtype) -> None:
-        dim_names = [
-            self.f.def_dim(f"{name}_d{i}", d)
-            for i, d in enumerate(global_dims)
-        ]
-        self.f.def_var(name, dtype, dim_names)
+        with self.op_span(ctx, "define", var=name):
+            dim_names = [
+                self.f.def_dim(f"{name}_d{i}", d)
+                for i, d in enumerate(global_dims)
+            ]
+            self.f.def_var(name, dtype, dim_names)
 
     def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
-        self.note_write(ctx, array)
-        if not self._defined:
-            self.f.enddef(ctx)
-            self._defined = True
-        self.f.put_vara_all(ctx, name, offsets, array.shape, array)
+        with self.write_op(ctx, name, array):
+            if not self._defined:
+                self.f.enddef(ctx)
+                self._defined = True
+            self.f.put_vara_all(ctx, name, offsets, array.shape, array)
 
     def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
-        out = self.f.get_vara_all(ctx, name, offsets, dims)
-        self.note_read(ctx, out)
-        return out
+        with self.read_op(ctx, name) as op:
+            out = self.f.get_vara_all(ctx, name, offsets, dims)
+            op.done(out)
+            return out
 
     def close(self, ctx) -> None:
-        if not self._defined and self.f.mode == "w":
-            self.f.enddef(ctx)
-        self.f.close(ctx)
-        self.f = None
+        with self.op_span(ctx, "close"):
+            if not self._defined and self.f.mode == "w":
+                self.f.enddef(ctx)
+            self.f.close(ctx)
+            self.f = None

@@ -80,66 +80,74 @@ class PosixDriver(PIODriver):
     def open(self, ctx, comm, path: str, mode: str) -> None:
         from ..mpi.io import MPIFile
 
-        self.comm = comm
-        self.mode = mode
-        flags = (
-            OpenFlags.CREAT | OpenFlags.RDWR | OpenFlags.TRUNC
-            if mode == "w" else OpenFlags.RDWR
-        )
-        self.file = MPIFile.open(ctx, comm, ctx.env.vfs, path, flags)
-        if mode == "r":
-            if comm.rank == 0:
-                hdr = self.file.read_at(ctx, _MAGIC_OFF, 8)
-                (index_off,) = struct.unpack("<Q", hdr.tobytes())
-                size = ctx.env.vfs.fstat(ctx, self.file.fd)["size"]
-                raw = self.file.read_at(ctx, index_off, size - index_off).tobytes()
-                index = _unpack_records(raw)
-            else:
-                index = None
-            self._index = comm.bcast(index, root=0)
+        with self.op_span(ctx, "open", mode=mode):
+            self.comm = comm
+            self.mode = mode
+            flags = (
+                OpenFlags.CREAT | OpenFlags.RDWR | OpenFlags.TRUNC
+                if mode == "w" else OpenFlags.RDWR
+            )
+            self.file = MPIFile.open(ctx, comm, ctx.env.vfs, path, flags)
+            if mode == "r":
+                if comm.rank == 0:
+                    hdr = self.file.read_at(ctx, _MAGIC_OFF, 8)
+                    (index_off,) = struct.unpack("<Q", hdr.tobytes())
+                    size = ctx.env.vfs.fstat(ctx, self.file.fd)["size"]
+                    raw = self.file.read_at(
+                        ctx, index_off, size - index_off).tobytes()
+                    index = _unpack_records(raw)
+                else:
+                    index = None
+                self._index = comm.bcast(index, root=0)
 
     def def_var(self, ctx, name: str, global_dims, dtype) -> None:
-        self._vars[name] = (tuple(global_dims), np.dtype(dtype))
+        with self.op_span(ctx, "define", var=name):
+            self._vars[name] = (tuple(global_dims), np.dtype(dtype))
 
     def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
         if self.mode != "w":
             raise BaselineError("file opened read-only")
-        self.note_write(ctx, array)
-        # deterministic region allocation: everyone learns all sizes
-        sizes = self.comm.allgather(int(array.nbytes))
-        base = self._eof
-        my_off = base + sum(sizes[: self.comm.rank])
-        self._eof = base + sum(sizes)
-        self.file.write_at(
-            ctx, my_off, array, model_bytes=ctx.model_bytes(array.nbytes)
-        )
-        self._records.append({
-            "name": name, "dtype": array.dtype,
-            "offsets": tuple(offsets), "dims": tuple(array.shape),
-            "file_off": my_off, "nbytes": int(array.nbytes),
-        })
+        with self.write_op(ctx, name, array):
+            # deterministic region allocation: everyone learns all sizes
+            sizes = self.comm.allgather(int(array.nbytes))
+            base = self._eof
+            my_off = base + sum(sizes[: self.comm.rank])
+            self._eof = base + sum(sizes)
+            self.file.write_at(
+                ctx, my_off, array, model_bytes=ctx.model_bytes(array.nbytes)
+            )
+            self._records.append({
+                "name": name, "dtype": array.dtype,
+                "offsets": tuple(offsets), "dims": tuple(array.shape),
+                "file_off": my_off, "nbytes": int(array.nbytes),
+            })
 
     def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
-        recs = [
-            r for r in self._index
-            if r["name"] == name and _intersects(r, offsets, dims)
-        ]
-        if not recs:
-            raise FormatError(f"variable {name!r} block not found in index")
-        dtype = recs[0]["dtype"]
-        out = np.zeros(tuple(dims), dtype=dtype)
-        for r in recs:
-            raw = self.file.read_at(
-                ctx, r["file_off"], r["nbytes"],
-                model_bytes=ctx.model_bytes(r["nbytes"]),
-            )
-            block = raw.tobytes()
-            arr = np.frombuffer(block, dtype=dtype).reshape(r["dims"])
-            _paste(out, offsets, dims, arr, r["offsets"], r["dims"])
-        self.note_read(ctx, out)
-        return out
+        with self.read_op(ctx, name) as op:
+            recs = [
+                r for r in self._index
+                if r["name"] == name and _intersects(r, offsets, dims)
+            ]
+            if not recs:
+                raise FormatError(f"variable {name!r} block not found in index")
+            dtype = recs[0]["dtype"]
+            out = np.zeros(tuple(dims), dtype=dtype)
+            for r in recs:
+                raw = self.file.read_at(
+                    ctx, r["file_off"], r["nbytes"],
+                    model_bytes=ctx.model_bytes(r["nbytes"]),
+                )
+                block = raw.tobytes()
+                arr = np.frombuffer(block, dtype=dtype).reshape(r["dims"])
+                _paste(out, offsets, dims, arr, r["offsets"], r["dims"])
+            op.done(out)
+            return out
 
     def close(self, ctx) -> None:
+        with self.op_span(ctx, "close"):
+            self._close(ctx)
+
+    def _close(self, ctx) -> None:
         metas = self.comm.gather(self._records, root=0)
         if self.comm.rank == 0 and self.mode == "w":
             all_recs = [r for sub in metas for r in sub]

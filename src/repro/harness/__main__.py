@@ -10,6 +10,8 @@ Usage::
     python -m repro.harness all
     options: --procs 8,16,24,32,48  --axis-scale 12  --out results/
              --profile   # print per-job I/O telemetry counter tables
+             --trace-out DIR    # one Chrome/Perfetto trace JSON per job
+             --metrics-out FILE # per-job typed metric registries (JSON)
 """
 
 from __future__ import annotations
@@ -57,6 +59,24 @@ def cmd_figures(args, directions) -> None:
                 f"{r.library} {r.direction} @{r.nprocs} procs — I/O telemetry"
             ))
             print()
+    if args.trace_out:
+        from ..telemetry.export import (
+            chrome_trace, spans_from_dicts, write_json,
+        )
+
+        os.makedirs(args.trace_out, exist_ok=True)
+        for r in results:
+            doc = chrome_trace(spans_from_dicts(r.spans),
+                               process_name=r.job_id())
+            path = os.path.join(args.trace_out, f"{r.job_id()}.trace.json")
+            write_json(path, doc)
+            print(f"[trace] {path}")
+    if args.metrics_out:
+        from ..telemetry.export import write_json
+
+        doc = {r.job_id(): r.metrics for r in results}
+        write_json(args.metrics_out, doc)
+        print(f"[metrics] {args.metrics_out}")
     for direction, fig in (("write", "fig6"), ("read", "fig7")):
         if direction not in directions:
             continue
@@ -148,6 +168,10 @@ def main(argv=None) -> int:
     ap.add_argument("--out", default="results")
     ap.add_argument("--profile", action="store_true",
                     help="print merged telemetry counters for each job")
+    ap.add_argument("--trace-out", default=None, metavar="DIR",
+                    help="write one Chrome/Perfetto trace JSON per job")
+    ap.add_argument("--metrics-out", default=None, metavar="FILE",
+                    help="write per-job typed metric registries as JSON")
     args = ap.parse_args(argv)
 
     if args.command == "fig6":

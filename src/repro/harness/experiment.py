@@ -7,7 +7,8 @@ from dataclasses import dataclass, field
 from ..cluster import Cluster
 from ..config import DEFAULT_MACHINE, MachineSpec
 from ..sim.stats import summarize
-from ..telemetry import merged_counters
+from ..telemetry import merged_counters, merged_metrics, spans_of
+from ..telemetry.export import spans_to_dicts
 from ..units import MiB
 from ..workloads import Domain3D, read_job, write_job
 
@@ -36,14 +37,39 @@ class JobResult:
     seconds: float
     phases: dict[str, float] = field(default_factory=dict)  # seconds
     telemetry: dict[str, float] = field(default_factory=dict)  # merged counters
+    metrics: dict = field(default_factory=dict)   # MetricRegistry.as_dict()
+    spans: list = field(default_factory=list)     # span dicts (trace export)
 
     def row(self) -> tuple:
         return (self.library, self.nprocs, self.direction, round(self.seconds, 3))
+
+    def job_id(self) -> str:
+        return f"{self.library}_{self.direction}_{self.nprocs}p"
 
 
 def _cluster_for(workload: Domain3D, machine: MachineSpec) -> Cluster:
     capacity = max(64 * MiB, 8 * workload.functional_total_bytes)
     return Cluster(machine=machine, scale=workload.scale, pmem_capacity=capacity)
+
+
+def _job_result(library: str, nprocs: int, direction: str, res, cl) -> JobResult:
+    """Fold one SPMD run into a JobResult: makespan + phase seconds, the
+    merged flat counters (plus the legacy-format expansion of the typed
+    metric families, so ``--profile`` keeps its historical key set), the
+    cross-rank :class:`MetricRegistry`, and the span dicts for trace
+    export."""
+    timing = res.time()
+    reg = merged_metrics(res.traces)
+    tel = merged_counters(res.traces).as_dict()
+    tel.update(reg.legacy_counters())
+    tel.update(cl.device.persistence_counters())
+    return JobResult(
+        library, nprocs, direction, timing.makespan_ns / 1e9,
+        {k: v / 1e9 for k, v in timing.phase_totals().items()},
+        tel,
+        reg.as_dict(),
+        spans_to_dicts(spans_of(res.traces)),
+    )
 
 
 def run_io_experiment(
@@ -70,27 +96,13 @@ def run_io_experiment(
         nprocs, lambda ctx: write_job(ctx, workload, driver_name, path, driver_kw)
     )
     if "write" in directions:
-        timing = res_w.time()
-        tel = merged_counters(res_w.traces).as_dict()
-        tel.update(cl.device.persistence_counters())
-        out.append(JobResult(
-            library, nprocs, "write", timing.makespan_ns / 1e9,
-            {k: v / 1e9 for k, v in timing.phase_totals().items()},
-            tel,
-        ))
+        out.append(_job_result(library, nprocs, "write", res_w, cl))
     if "read" in directions:
         res_r = cl.run(
             nprocs,
             lambda ctx: read_job(ctx, workload, driver_name, path, driver_kw),
         )
-        timing = res_r.time()
-        tel = merged_counters(res_r.traces).as_dict()
-        tel.update(cl.device.persistence_counters())
-        out.append(JobResult(
-            library, nprocs, "read", timing.makespan_ns / 1e9,
-            {k: v / 1e9 for k, v in timing.phase_totals().items()},
-            tel,
-        ))
+        out.append(_job_result(library, nprocs, "read", res_r, cl))
     return out
 
 

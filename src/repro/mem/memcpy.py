@@ -15,11 +15,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..telemetry import record
+from ..telemetry import metrics_for, record
 from .device import PMEMDevice
 
 #: fixed software cost of initiating one copy (pointer math, loop setup)
 _COPY_SETUP_NS = 40.0
+
+
+def _observe_access(ctx, resource: str, model_bytes: float) -> None:
+    """Feed the Darshan-style access-size histogram for ``resource``.
+
+    Log2 buckets, so the "many tiny accesses vs few large ones" signature
+    of each driver survives cross-rank aggregation."""
+    metrics_for(ctx).histogram(f"access.{resource}.bytes").observe(model_bytes)
 
 
 def charge_pmem_write(ctx, model_bytes: float, note: str = "") -> None:
@@ -28,6 +36,7 @@ def charge_pmem_write(ctx, model_bytes: float, note: str = "") -> None:
     ctx.transfer("pmem_write", model_bytes, spec.stream_write_bw, note=note)
     record(ctx, "pmem_write_ops")
     record(ctx, "pmem_write_bytes", model_bytes)
+    _observe_access(ctx, "pmem_write", model_bytes)
 
 
 def charge_pmem_read(ctx, model_bytes: float, note: str = "") -> None:
@@ -36,6 +45,7 @@ def charge_pmem_read(ctx, model_bytes: float, note: str = "") -> None:
     ctx.transfer("pmem_read", model_bytes, spec.stream_read_bw, note=note)
     record(ctx, "pmem_read_ops")
     record(ctx, "pmem_read_bytes", model_bytes)
+    _observe_access(ctx, "pmem_read", model_bytes)
 
 
 def charge_dram_copy(ctx, model_bytes: float, note: str = "") -> None:
@@ -45,6 +55,7 @@ def charge_dram_copy(ctx, model_bytes: float, note: str = "") -> None:
     ctx.transfer("dram", model_bytes, spec.stream_write_bw, note=note)
     record(ctx, "dram_copy_ops")
     record(ctx, "dram_copy_bytes", model_bytes)
+    _observe_access(ctx, "dram", model_bytes)
 
 
 def charge_cpu(ctx, model_bytes: float, per_core_bw: float, note: str = "") -> None:
@@ -75,6 +86,7 @@ def charge_pfs_write(ctx, model_bytes: float, note: str = "") -> None:
     ctx.delay(spec.write_latency_ns, note=note)
     ctx.transfer("pfs_write", model_bytes, spec.stream_write_bw, note=note)
     record(ctx, "pfs_write_bytes", model_bytes)
+    _observe_access(ctx, "pfs_write", model_bytes)
 
 
 def charge_pfs_read(ctx, model_bytes: float, note: str = "") -> None:
@@ -82,6 +94,7 @@ def charge_pfs_read(ctx, model_bytes: float, note: str = "") -> None:
     ctx.delay(spec.read_latency_ns, note=note)
     ctx.transfer("pfs_read", model_bytes, spec.stream_read_bw, note=note)
     record(ctx, "pfs_read_bytes", model_bytes)
+    _observe_access(ctx, "pfs_read", model_bytes)
 
 
 # ---------------------------------------------------------------------------

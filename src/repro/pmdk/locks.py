@@ -38,9 +38,22 @@ from __future__ import annotations
 import threading
 
 from ..errors import PmdkError
+from ..telemetry import metrics_for
 
 #: modeled cost of an uncontended persistent-lock acquire/release pair
 LOCK_OVERHEAD_NS = 60.0
+
+
+def _note_acquire(ctx, contended: bool) -> None:
+    """Typed lock telemetry shared by every lock flavour."""
+    reg = metrics_for(ctx)
+    reg.counter("pmdk.lock.acquires").add()
+    if contended:
+        reg.counter("pmdk.lock.contended").add()
+
+
+def _note_held(ctx, t0: float) -> None:
+    metrics_for(ctx).histogram("pmdk.lock.held.ns").observe(ctx.lb_ns - t0)
 
 
 def fnv1a64(data: bytes) -> int:
@@ -160,6 +173,7 @@ class PmemMutex:
         self.pool.write_u64(ctx, self.off, ctx.rank + 1)
         ctx.delay(LOCK_OVERHEAD_NS, note="pmem-lock")
         ctx.lock_acquired(self.name)
+        _note_acquire(ctx, contended)
         return contended
 
     def release(self, ctx) -> None:
@@ -182,12 +196,15 @@ class PmemMutex:
         def __init__(self, mutex, ctx):
             self.mutex, self.ctx = mutex, ctx
             self.contended = False
+            self._t0 = 0.0
 
         def __enter__(self):
             self.contended = self.mutex.acquire(self.ctx)
+            self._t0 = self.ctx.lb_ns
             return self
 
         def __exit__(self, *exc):
+            _note_held(self.ctx, self._t0)
             self.mutex.release(self.ctx)
             return False
 
@@ -235,6 +252,7 @@ class PmemRWLock:
         contended = self._core.acquire_read()
         ctx.delay(LOCK_OVERHEAD_NS, note="pmem-lock")
         ctx.lock_acquired(self.name, shared=True, replay=self.replay)
+        _note_acquire(ctx, contended)
         return contended
 
     def release_read(self, ctx) -> None:
@@ -246,6 +264,7 @@ class PmemRWLock:
         self.pool.write_u64(ctx, self.off, ctx.rank + 1)
         ctx.delay(LOCK_OVERHEAD_NS, note="pmem-lock")
         ctx.lock_acquired(self.name, replay=self.replay)
+        _note_acquire(ctx, contended)
         return contended
 
     def release_write(self, ctx) -> None:
@@ -268,15 +287,18 @@ class PmemRWLock:
         def __init__(self, lock, ctx, shared: bool):
             self.lock, self.ctx, self.shared = lock, ctx, shared
             self.contended = False
+            self._t0 = 0.0
 
         def __enter__(self):
             if self.shared:
                 self.contended = self.lock.acquire_read(self.ctx)
             else:
                 self.contended = self.lock.acquire_write(self.ctx)
+            self._t0 = self.ctx.lb_ns
             return self
 
         def __exit__(self, *exc):
+            _note_held(self.ctx, self._t0)
             if self.shared:
                 self.lock.release_read(self.ctx)
             else:
@@ -308,6 +330,7 @@ class VolatileRWLock:
         contended = self._core.acquire_read()
         ctx.delay(LOCK_OVERHEAD_NS, note="ns-lock")
         ctx.lock_acquired(self.name, shared=True, replay=self.replay)
+        _note_acquire(ctx, contended)
         return contended
 
     def release_read(self, ctx) -> None:
@@ -318,6 +341,7 @@ class VolatileRWLock:
         contended = self._core.acquire_write()
         ctx.delay(LOCK_OVERHEAD_NS, note="ns-lock")
         ctx.lock_acquired(self.name, replay=self.replay)
+        _note_acquire(ctx, contended)
         return contended
 
     def release_write(self, ctx) -> None:
@@ -388,15 +412,18 @@ class PmemStripedLocks:
             self.table, self.ctx = table, ctx
             self.contended = False
             self._held = 0
+            self._t0 = 0.0
 
         def __enter__(self):
             for lock in self.table.stripes:
                 if lock.acquire_write(self.ctx):
                     self.contended = True
                 self._held += 1
+            self._t0 = self.ctx.lb_ns
             return self
 
         def __exit__(self, *exc):
+            _note_held(self.ctx, self._t0)
             for lock in reversed(self.table.stripes[: self._held]):
                 lock.release_write(self.ctx)
             self._held = 0

@@ -37,6 +37,7 @@ import numpy as np
 from ..errors import BadAddressError, PoolCorruptError
 from ..mem.device import PMEMDevice
 from ..mem.memcpy import charge_pmem_read, charge_pmem_write
+from ..telemetry import span
 from .alloc import Heap
 
 POOL_MAGIC = b"PMDKPOOL"
@@ -88,9 +89,10 @@ class RawRegion:
         self._check(off, size)
         self.device.persist(self.base + off, size)
         ctx.delay(200.0, note="persist")
-        from ..telemetry import record
+        from ..telemetry import metrics_for, record
 
         record(ctx, "persist_calls")
+        metrics_for(ctx).histogram("access.persist.bytes").observe(float(size))
 
     def view(self, off: int, size: int) -> np.ndarray:
         self._check(off, size)
@@ -302,12 +304,14 @@ class PmemPool:
     def malloc(self, ctx, size: int, tx=None) -> int:
         if self.heap is None:
             raise PoolCorruptError("pool not formatted")
-        return self.heap.malloc(ctx, size, tx=tx)
+        with span(ctx, "pmdk.alloc", bytes=size):
+            return self.heap.malloc(ctx, size, tx=tx)
 
     def free(self, ctx, off: int, tx=None) -> None:
         if self.heap is None:
             raise PoolCorruptError("pool not formatted")
-        self.heap.free(ctx, off, tx=tx)
+        with span(ctx, "pmdk.free"):
+            self.heap.free(ctx, off, tx=tx)
 
     def usable_size(self, off: int) -> int:
         return self.heap.usable_size(off)

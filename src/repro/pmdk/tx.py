@@ -21,6 +21,7 @@ from __future__ import annotations
 import struct
 
 from ..errors import TransactionAborted, PmdkError
+from ..telemetry import tracer_for
 
 
 class Transaction:
@@ -36,21 +37,33 @@ class Transaction:
         self._on_commit: list = []
         self._on_abort: list = []
         self._done = False
+        self._tracer = None
+        self._span = None
 
     # ------------------------------------------------------------------ lifecycle
 
     def __enter__(self) -> "Transaction":
         self.lane = self.pool.acquire_lane()
         self._log_pos = self.pool.lane_offset(self.lane) + 8
+        # the tx span covers the whole scope, commit/abort included, and is
+        # closed in __exit__'s finally so an aborting exception can't leak it
+        self._tracer = tracer_for(self.ctx)
+        self._span = self._tracer.begin(self.ctx, "pmdk.tx",
+                                        {"lane": self.lane})
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        if exc_type is None:
-            self.commit()
-            return False
-        self.abort()
-        # swallow only explicit aborts; real errors propagate
-        return exc_type is TransactionAborted
+        try:
+            if exc_type is None:
+                self.commit()
+                return False
+            self.abort()
+            # swallow only explicit aborts; real errors propagate
+            return exc_type is TransactionAborted
+        finally:
+            status = "ok" if exc_type is None \
+                else f"abort:{exc_type.__name__}"
+            self._tracer.end(self.ctx, self._span, status)
 
     def _require_active(self) -> None:
         if self.lane is None or self._done:

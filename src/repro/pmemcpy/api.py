@@ -9,8 +9,13 @@ stage (the deliberate copy a compressor needs).
 
 Telemetry: each operation updates the rank's counter registry
 (``repro.telemetry``) — op counts, logical vs stored bytes, staging passes,
-meta-lock hold time and contention, per-stripe occupancy — surfaced via
-:meth:`PMEM.stats` and the harness's ``--profile`` flag.
+meta-lock hold time and contention — and its typed metric families
+(stripe-occupancy and op-latency histograms), surfaced via
+:meth:`PMEM.stats` and the harness's ``--profile`` flag.  Every store/load
+additionally opens a structured span tree (``pmemcpy.store`` →
+``store.reserve``/``meta-lock``/``store.alloc``/``store.serialize``/
+``memcpy``/``store.persist``/``store.publish``) timed in modeled ns, so a
+single operation can be replayed in Perfetto; see DESIGN.md §9.
 
 Metadata concurrency (the striped-locks redesign): every metadata access
 runs under the owning layout guard — ``meta_read``/``meta_write`` for one
@@ -31,6 +36,7 @@ Only the µs-scale metadata edits ever serialize, never the data path.
 
 from __future__ import annotations
 
+import copy
 import math
 from contextlib import contextmanager
 
@@ -44,7 +50,7 @@ from ..errors import (
 )
 from ..serial import DramSink, DramSource, get_serializer
 from ..serial.filters import FilterPipeline
-from ..telemetry import counters_for, record
+from ..telemetry import LANE_BOUNDS, counters_for, metrics_for, record, span
 from .dataset import Chunk, VariableMeta
 from .engine import Layout
 from .layout_fs import HierarchicalLayout
@@ -161,19 +167,31 @@ class PMEM:
     @contextmanager
     def _metered(self, ctx, guard):
         """Enter a layout meta guard, metering hold time, contention, and
-        stripe occupancy."""
-        with guard as g:
-            t0 = ctx.lb_ns
-            record(ctx, "meta_lock_acquires")
-            record(ctx, "meta.lock.acquires")
-            if g.contended:
-                record(ctx, "meta.lock.contended")
-            if g.stripe is not None:
-                record(ctx, f"meta.stripe.{g.stripe}.acquires")
-            try:
-                yield g
-            finally:
-                record(ctx, "meta_lock_ns", ctx.lb_ns - t0)
+        stripe occupancy.
+
+        The ``meta-lock`` span brackets acquire-wait *and* hold, so lock
+        time shows up as a named child of whichever store/load phase took
+        the guard.  Stripe occupancy feeds the fixed-lane
+        ``meta.stripe.acquires`` histogram (O(64) to aggregate across any
+        number of runs; :meth:`MetricRegistry.legacy_counters` expands it
+        back to the per-stripe keys for ``--profile``)."""
+        with span(ctx, "meta-lock"):
+            with guard as g:
+                t0 = ctx.lb_ns
+                record(ctx, "meta_lock_acquires")
+                record(ctx, "meta.lock.acquires")
+                if g.contended:
+                    record(ctx, "meta.lock.contended")
+                if g.stripe is not None:
+                    metrics_for(ctx).histogram(
+                        "meta.stripe.acquires", LANE_BOUNDS
+                    ).observe(float(g.stripe))
+                try:
+                    yield g
+                finally:
+                    held = ctx.lb_ns - t0
+                    record(ctx, "meta_lock_ns", held)
+                    metrics_for(ctx).histogram("meta.lock.ns").observe(held)
 
     def _meta_read(self, ctx, var_id: str):
         return self._metered(ctx, self.layout.meta_read(ctx, var_id))
@@ -196,22 +214,23 @@ class PMEM:
         gdims = as_dims(dims)
         dt = np.dtype(dtype)
         record(ctx, "pmemcpy_alloc_ops")
-        with self._meta_write(ctx, var_id):
-            meta = self.layout.get_meta(ctx, var_id)
-            if meta is None:
-                meta = VariableMeta(
-                    name=var_id, dtype=dt, global_dims=gdims,
-                    serializer=self.serializer.name,
-                    filters=self._filters_token,
-                )
-                self.layout.put_meta(ctx, meta)
-            else:
-                if tuple(meta.global_dims) != gdims or meta.dtype != dt:
-                    raise DimensionMismatchError(
-                        f"alloc({var_id!r}): existing dims "
-                        f"{tuple(meta.global_dims)}/{meta.dtype} != "
-                        f"requested {gdims}/{dt}"
+        with span(ctx, "pmemcpy.alloc", var=var_id):
+            with self._meta_write(ctx, var_id):
+                meta = self.layout.get_meta(ctx, var_id)
+                if meta is None:
+                    meta = VariableMeta(
+                        name=var_id, dtype=dt, global_dims=gdims,
+                        serializer=self.serializer.name,
+                        filters=self._filters_token,
                     )
+                    self.layout.put_meta(ctx, meta)
+                else:
+                    if tuple(meta.global_dims) != gdims or meta.dtype != dt:
+                        raise DimensionMismatchError(
+                            f"alloc({var_id!r}): existing dims "
+                            f"{tuple(meta.global_dims)}/{meta.dtype} != "
+                            f"requested {gdims}/{dt}"
+                        )
 
     # ------------------------------------------------------------------ store
 
@@ -223,16 +242,24 @@ class PMEM:
         array = np.asarray(data)
         record(ctx, "pmemcpy_store_ops")
         record(ctx, "pmemcpy_logical_store_bytes", int(array.nbytes))
-        if offsets is None:
-            self._store_whole(ctx, var_id, array)
-        else:
-            self._store_sub(ctx, var_id, array, as_dims(offsets))
+        t0 = ctx.lb_ns
+        try:
+            with span(ctx, "pmemcpy.store",
+                      var=var_id, bytes=int(array.nbytes)):
+                if offsets is None:
+                    self._store_whole(ctx, var_id, array)
+                else:
+                    self._store_sub(ctx, var_id, array, as_dims(offsets))
+        finally:
+            # always-on op latency (survives REPRO_TRACE=off)
+            metrics_for(ctx).histogram(
+                "pmemcpy.store.ns").observe(ctx.lb_ns - t0)
 
     def _store_whole(self, ctx, var_id: str, array: np.ndarray) -> None:
         gdims = tuple(array.shape)
         offsets = tuple(0 for _ in gdims)
         # phase 1 (reserve): validate, retire old chunks, claim a chunk slot
-        with self._meta_write(ctx, var_id):
+        with span(ctx, "store.reserve"), self._meta_write(ctx, var_id):
             meta = self.layout.get_meta(ctx, var_id)
             if meta is None:
                 meta = VariableMeta(
@@ -271,7 +298,7 @@ class PMEM:
         self._publish_chunk(ctx, var_id, chunk)
 
     def _store_sub(self, ctx, var_id: str, array: np.ndarray, offsets) -> None:
-        with self._meta_write(ctx, var_id):
+        with span(ctx, "store.reserve"), self._meta_write(ctx, var_id):
             meta = self.layout.get_meta(ctx, var_id)
             if meta is None:
                 raise KeyNotFoundError(
@@ -292,7 +319,7 @@ class PMEM:
         """Store phase 3: append the written chunk to the (re-fetched)
         record.  If the variable was deleted between reserve and publish,
         release the orphan extent and surface the conflict."""
-        with self._meta_write(ctx, var_id):
+        with span(ctx, "store.publish"), self._meta_write(ctx, var_id):
             meta = self.layout.get_meta(ctx, var_id)
             if meta is None:
                 self.layout.free_extent(ctx, var_id, chunk)
@@ -313,19 +340,25 @@ class PMEM:
         """
         if self.pipeline is None:
             size = self.serializer.packed_size(meta.name, array)
-            extent = self.layout.alloc_extent(ctx, meta.name, index, size)
+            with span(ctx, "store.alloc", bytes=size):
+                extent = self.layout.alloc_extent(ctx, meta.name, index, size)
             sink = self.layout.extent_sink(ctx, extent)
-            self.serializer.pack(ctx, meta.name, array, sink)
+            with span(ctx, "store.serialize", bytes=size):
+                self.serializer.pack(ctx, meta.name, array, sink)
         else:
             record(ctx, "pmemcpy_staging_passes")
-            stage = DramSink(ctx)
-            self.serializer.pack(ctx, meta.name, array, stage)
-            blob = self.pipeline.encode(ctx, stage.getvalue())
-            extent = self.layout.alloc_extent(ctx, meta.name, index, len(blob))
+            with span(ctx, "store.serialize"):
+                stage = DramSink(ctx)
+                self.serializer.pack(ctx, meta.name, array, stage)
+                blob = self.pipeline.encode(ctx, stage.getvalue())
+            with span(ctx, "store.alloc", bytes=len(blob)):
+                extent = self.layout.alloc_extent(
+                    ctx, meta.name, index, len(blob))
             sink = self.layout.extent_sink(ctx, extent)
             sink.write(blob, payload=True)
-        sink.persist()
-        extent.close(ctx)
+        with span(ctx, "store.persist"):
+            sink.persist()
+            extent.close(ctx)
         stored = sink.tell()
         record(ctx, "pmemcpy_stored_write_bytes", stored)
         return Chunk(tuple(offsets), tuple(array.shape), extent.token, stored)
@@ -354,6 +387,18 @@ class PMEM:
         """
         self._require()
         ctx = self._ctx
+        t0 = ctx.lb_ns
+        try:
+            with span(ctx, "pmemcpy.load", var=var_id) as root:
+                return self._load(ctx, var_id, offsets, dims, out,
+                                  require_full=require_full, root_span=root)
+        finally:
+            # always-on op latency (survives REPRO_TRACE=off)
+            metrics_for(ctx).histogram(
+                "pmemcpy.load.ns").observe(ctx.lb_ns - t0)
+
+    def _load(self, ctx, var_id, offsets, dims, out, *,
+              require_full, root_span):
         # only the metadata fetch runs under the (shared) guard; chunk
         # payloads stream out afterwards so loads never serialize on data
         with self._meta_read(ctx, var_id):
@@ -385,34 +430,37 @@ class PMEM:
         pipeline = FilterPipeline(meta.filters.split(",")) if meta.filters else None
         covered = 0
         for chunk in meta.covering_chunks(offsets, dims):
-            source = self.layout.extent_source(ctx, meta.name, chunk)
-            if pipeline is not None:
-                # filtered chunks: fetch the blob, reverse the transforms in
-                # DRAM, then deserialize from the staging buffer
-                raw = bytes(source.read(chunk.blob_len, payload=True))
-                source = DramSource(ctx, pipeline.decode(ctx, raw))
-            _name, arr = serializer.unpack(ctx, source)
-            arr = arr.reshape(chunk.dims)
-            record(ctx, "pmemcpy_stored_read_bytes", chunk.blob_len)
-            # intersection in global coordinates
-            lo = tuple(max(o, co) for o, co in zip(offsets, chunk.offsets))
-            hi = tuple(
-                min(o + d, co + cd)
-                for o, d, co, cd in zip(offsets, dims, chunk.offsets, chunk.dims)
-            )
-            src_sl = tuple(
-                slice(l - co, h - co) for l, h, co in zip(lo, hi, chunk.offsets)
-            )
-            dst_sl = tuple(
-                slice(l - o, h - o) for l, h, o in zip(lo, hi, offsets)
-            )
-            out[dst_sl] = arr[src_sl]
-            covered += math.prod(h - l for l, h in zip(lo, hi))
+            with span(ctx, "load.read", bytes=chunk.blob_len):
+                source = self.layout.extent_source(ctx, meta.name, chunk)
+                if pipeline is not None:
+                    # filtered chunks: fetch the blob, reverse the transforms
+                    # in DRAM, then deserialize from the staging buffer
+                    raw = bytes(source.read(chunk.blob_len, payload=True))
+                    source = DramSource(ctx, pipeline.decode(ctx, raw))
+                _name, arr = serializer.unpack(ctx, source)
+                arr = arr.reshape(chunk.dims)
+                record(ctx, "pmemcpy_stored_read_bytes", chunk.blob_len)
+                # intersection in global coordinates
+                lo = tuple(max(o, co) for o, co in zip(offsets, chunk.offsets))
+                hi = tuple(
+                    min(o + d, co + cd)
+                    for o, d, co, cd in zip(
+                        offsets, dims, chunk.offsets, chunk.dims)
+                )
+                src_sl = tuple(
+                    slice(l - co, h - co)
+                    for l, h, co in zip(lo, hi, chunk.offsets)
+                )
+                dst_sl = tuple(
+                    slice(l - o, h - o) for l, h, o in zip(lo, hi, offsets)
+                )
+                out[dst_sl] = arr[src_sl]
+                covered += math.prod(h - l for l, h in zip(lo, hi))
 
-        record(
-            ctx, "pmemcpy_logical_load_bytes",
-            covered * np.dtype(meta.dtype).itemsize,
-        )
+        loaded = covered * np.dtype(meta.dtype).itemsize
+        record(ctx, "pmemcpy_logical_load_bytes", loaded)
+        if root_span is not None:
+            root_span.attrs = {**(root_span.attrs or {}), "bytes": loaded}
         if require_full and covered < math.prod(dims):
             raise DimensionMismatchError(
                 f"load({var_id!r}): requested block only partially stored "
@@ -443,16 +491,22 @@ class PMEM:
         self._require()
         ctx = self._ctx
         record(ctx, "pmemcpy_delete_ops")
-        with self._meta_write(ctx, var_id):
-            meta = self.layout.get_meta(ctx, var_id)
-            if meta is None:
-                raise KeyNotFoundError(f"delete({var_id!r}): no such variable")
-            self.layout.delete_variable(ctx, meta)
+        with span(ctx, "pmemcpy.delete", var=var_id):
+            with self._meta_write(ctx, var_id):
+                meta = self.layout.get_meta(ctx, var_id)
+                if meta is None:
+                    raise KeyNotFoundError(
+                        f"delete({var_id!r}): no such variable")
+                self.layout.delete_variable(ctx, meta)
 
     def stats(self) -> dict:
         """Store introspection (a ``du``-like view): per-variable chunk
         counts and bytes, backend occupancy via the layout's
-        ``occupancy()`` hook, and this rank's telemetry counters."""
+        ``occupancy()`` hook, this rank's telemetry counters, and its typed
+        metric families.
+
+        The result is a **deep copy**: mutating it can never corrupt the
+        layout's metadata or the rank's live telemetry state."""
         self._require()
         ctx = self._ctx
         variables: dict[str, dict] = {}
@@ -476,6 +530,7 @@ class PMEM:
         out = {"variables": variables, "layout": self.layout.name}
         out.update(self.layout.occupancy(ctx))
         out["telemetry"] = counters_for(ctx).as_dict()
+        out["metrics"] = metrics_for(ctx).as_dict()
         if ctx.env is not None and getattr(ctx.env, "device", None) is not None:
             out["device"] = ctx.env.device.persistence_counters()
-        return out
+        return copy.deepcopy(out)

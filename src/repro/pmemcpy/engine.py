@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..serial.base import Sink, Source
+from ..telemetry import span
 from .dataset import Chunk, VariableMeta
 
 
@@ -142,7 +143,8 @@ class Layout(ABC):
     def delete_variable(self, ctx, meta: VariableMeta) -> None:
         """Free every chunk extent, then drop the metadata record."""
         for chunk in meta.chunks:
-            self.free_extent(ctx, meta.name, chunk)
+            with span(ctx, "extent.free", bytes=chunk.blob_len):
+                self.free_extent(ctx, meta.name, chunk)
         self.drop_meta(ctx, meta.name)
 
     # ------------------------------------------------------------------ extents

@@ -28,6 +28,7 @@ from ..kernel.dax import MapFlags
 from ..kernel.vfs import OpenFlags
 from ..pmdk.locks import VolatileRWLock
 from ..serial.base import PmemSink, PmemSource
+from ..telemetry import span
 from .dataset import VariableMeta
 from .engine import Extent, Layout, MetaGuard
 
@@ -221,10 +222,11 @@ class HierarchicalLayout(Layout):
         carries its DAX mapping, unmapped again at ``close``."""
         env = ctx.env
         p = self._var_path(ctx, name, create_dirs=True) + f"#chunk{index}"
-        fd = env.vfs.open(ctx, p, OpenFlags.CREAT | OpenFlags.RDWR)
-        env.vfs.fallocate(ctx, fd, max(size, 1), contiguous=True)
-        mapping = env.vfs.mmap(ctx, fd, self._flags)
-        env.vfs.close(ctx, fd)
+        with span(ctx, "fs.map", bytes=size):
+            fd = env.vfs.open(ctx, p, OpenFlags.CREAT | OpenFlags.RDWR)
+            env.vfs.fallocate(ctx, fd, max(size, 1), contiguous=True)
+            mapping = env.vfs.mmap(ctx, fd, self._flags)
+            env.vfs.close(ctx, fd)
         return Extent(token=index, size=size, region=mapping,
                       _closer=mapping.unmap)
 
@@ -234,9 +236,10 @@ class HierarchicalLayout(Layout):
     def open_chunk(self, ctx, var_id: str, index: int):
         env = ctx.env
         p = self.chunk_path(ctx, var_id, index)
-        fd = env.vfs.open(ctx, p, OpenFlags.RDONLY)
-        mapping = env.vfs.mmap(ctx, fd, self._flags)
-        env.vfs.close(ctx, fd)
+        with span(ctx, "fs.map"):
+            fd = env.vfs.open(ctx, p, OpenFlags.RDONLY)
+            mapping = env.vfs.mmap(ctx, fd, self._flags)
+            env.vfs.close(ctx, fd)
         return mapping
 
     def extent_source(self, ctx, name: str, chunk) -> PmemSource:

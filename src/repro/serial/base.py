@@ -9,7 +9,7 @@ import numpy as np
 
 from ..errors import SerializationError
 from ..mem.memcpy import charge_dram_copy, charge_cpu, charge_pmem_read
-from ..telemetry import record
+from ..telemetry import record, span
 
 
 def dtype_to_token(dtype: np.dtype) -> str:
@@ -86,7 +86,14 @@ class PmemSink(Sink):
         b = _as_buffer(data)
         n = len(b)
         mb = self.ctx.model_bytes(n) if payload else float(n)
-        self.region.write(self.ctx, self.base + self.pos, b, model_bytes=mb)
+        if payload:
+            # the paper's headline stage: DRAM→PMEM payload movement
+            with span(self.ctx, "memcpy", bytes=n):
+                self.region.write(
+                    self.ctx, self.base + self.pos, b, model_bytes=mb)
+        else:
+            self.region.write(
+                self.ctx, self.base + self.pos, b, model_bytes=mb)
         self.pos += n
         return n
 
@@ -155,6 +162,14 @@ class PmemSource(Source):
             raise SerializationError(
                 f"short region: wanted {n} at {self.pos}, have {self.size}"
             )
+        if payload:
+            with span(self.ctx, "memcpy", bytes=n):
+                out = self._read(n, payload=True)
+        else:
+            out = self._read(n, payload=False)
+        return out
+
+    def _read(self, n: int, *, payload: bool) -> np.ndarray:
         if self._touch is not None:
             self._touch(self.ctx, self.base + self.pos, n)
         out = self.region.view(self.base + self.pos, n)

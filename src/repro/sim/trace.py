@@ -93,6 +93,16 @@ class RankTrace:
     #: created lazily on first ``record()`` — kept here so counters survive
     #: the SPMD run alongside the ops they describe
     telemetry: object | None = field(default=None, compare=False, repr=False)
+    #: the rank's typed metric families (a ``repro.telemetry.MetricRegistry``),
+    #: created lazily on first ``metrics_for()`` — fixed-bucket histograms,
+    #: counters and gauges with cross-rank merge semantics
+    metrics: object | None = field(default=None, compare=False, repr=False)
+    #: completed structured spans (``repro.telemetry.Span``), appended by
+    #: the rank's tracer as instrumented operations close
+    spans: list = field(default_factory=list, compare=False, repr=False)
+    #: the rank's span tracer (a ``repro.telemetry.Tracer``), created
+    #: lazily on first ``tracer_for()``; holds the open-span stack
+    tracer: object | None = field(default=None, compare=False, repr=False)
     #: lock-discipline event log: ``("acquire", lock_id, "r"|"w")``,
     #: ``("release", lock_id, "")`` and ``("write", scope, "")`` tuples in
     #: rank program order, consumed by :mod:`repro.sim.lockcheck`

@@ -1,20 +1,54 @@
-"""Always-on, per-rank I/O telemetry (Darshan-style lightweight monitoring).
+"""Always-on, per-rank I/O observability (Darshan-style monitoring).
 
-Counters live on the rank's :class:`~repro.sim.trace.RankTrace` so they
-survive the SPMD run: aggregate a finished run's counters with
-:func:`merged_counters(result.traces) <merged_counters>`, or read one
-store's view via ``PMEM.stats()["telemetry"]``.
+Three layers, cheapest to richest:
 
-Instrumentation points call :func:`record`, which is a no-op-cheap dict
-add; there is no sampling and no toggle — the registry is on by default,
-like the paper-adjacent Darshan/openPMD monitoring stacks.
+1. **Flat counters** (:mod:`.counters`, PR 1) — an add-only float bag per
+   rank; :func:`record` is a single dict add.  Kept for compatibility and
+   for truly unstructured tallies.
+2. **Typed metric families** (:mod:`.metrics`) — mpmetrics-style
+   ``Counter``/``Gauge``/``Histogram`` with fixed log2 latency buckets and
+   well-defined cross-rank aggregation (:func:`merged_metrics`).
+3. **Structured spans** (:mod:`.spans`) — causal, timed trees over every
+   store/load, exported as Chrome/Perfetto trace JSON or a Darshan-style
+   record table (:mod:`.export`), bounded by the ``REPRO_TRACE`` knob.
+
+All three live on the rank's :class:`~repro.sim.trace.RankTrace` so they
+survive the SPMD run: aggregate a finished run with
+:func:`merged_counters` / :func:`merged_metrics` / :func:`spans_of` over
+``result.traces``, or read one store's view via ``PMEM.stats()``.
+``python -m repro.telemetry`` renders the profile report.
 """
 
 from __future__ import annotations
 
 from .counters import Counters
+from .metrics import (
+    LANE_BOUNDS,
+    LOG2_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from .spans import (
+    SAMPLE_EVERY,
+    TRACE_ENV,
+    TRACE_MODES,
+    Span,
+    Tracer,
+    span,
+    spans_of,
+    trace_mode,
+    tracer_for,
+)
 
-__all__ = ["Counters", "counters_for", "record", "merged_counters"]
+__all__ = [
+    "Counters", "counters_for", "record", "merged_counters",
+    "Counter", "Gauge", "Histogram", "MetricRegistry",
+    "LOG2_BOUNDS", "LANE_BOUNDS", "metrics_for", "merged_metrics",
+    "Span", "Tracer", "span", "tracer_for", "spans_of",
+    "trace_mode", "TRACE_ENV", "TRACE_MODES", "SAMPLE_EVERY",
+]
 
 
 def counters_for(ctx) -> Counters:
@@ -38,3 +72,19 @@ def record(ctx, name: str, amount: float = 1.0) -> None:
 def merged_counters(traces) -> Counters:
     """Sum the per-rank counter bags of a finished run's traces."""
     return Counters.merged(getattr(t, "telemetry", None) for t in traces)
+
+
+def metrics_for(ctx) -> MetricRegistry:
+    """The calling rank's typed metric registry (created on first use)."""
+    trace = ctx.trace
+    reg = trace.metrics
+    if reg is None:
+        reg = trace.metrics = MetricRegistry()
+    return reg
+
+
+def merged_metrics(traces) -> MetricRegistry:
+    """Merge the per-rank metric registries of a finished run's traces."""
+    return MetricRegistry.merged(
+        getattr(t, "metrics", None) for t in traces
+    )

@@ -18,7 +18,7 @@ from repro.pmemcpy.dataset import dims_key
 from repro.pmemcpy.layout_fs import HierarchicalLayout
 from repro.pmemcpy.layout_hash import HashtableLayout
 from repro.sim import Acquire, run_spmd
-from repro.telemetry import counters_for
+from repro.telemetry import counters_for, metrics_for
 from repro.units import MiB
 
 LAYOUTS = ["hashtable", "hierarchical"]
@@ -100,7 +100,8 @@ class TestDistinctVariables:
         assert acquires >= 3 * NPROCS  # reserve + publish + load, per rank
 
     def test_stripe_occupancy_spreads(self, layout):
-        """The per-stripe counters show distinct lanes in use."""
+        """The stripe-occupancy histogram shows distinct lanes in use (and
+        its legacy shim reproduces the old per-stripe counter keys)."""
         cl = cluster()
         names = distinct_stripe_names(NPROCS)
 
@@ -111,20 +112,29 @@ class TestDistinctVariables:
             pmem.store(names[ctx.rank], np.ones(64))
             comm.barrier()
             pmem.munmap()
-            tel = counters_for(ctx)
-            return sorted(
-                k for k in tel.as_dict() if k.startswith("meta.stripe.")
+            reg = metrics_for(ctx)
+            hist = reg.get("meta.stripe.acquires")
+            lanes = [] if hist is None else                 [edge for edge, _n in hist.nonzero_buckets()]
+            legacy = sorted(
+                k for k in reg.legacy_counters()
+                if k.startswith("meta.stripe.")
             )
+            return lanes, legacy
 
         res = cl.run(NPROCS, fn)
-        lanes = set()
-        for per_rank in res.returns:
-            lanes.update(per_rank)
+        lanes, legacy = set(), set()
+        for rank_lanes, rank_legacy in res.returns:
+            lanes.update(rank_lanes)
+            legacy.update(rank_legacy)
         if layout == "hashtable":
             assert len(lanes) == NPROCS  # one distinct lane per rank
+            # the --profile shim expands back to the old counter keys
+            assert legacy == {
+                f"meta.stripe.{int(lane)}.acquires" for lane in lanes
+            }
         else:
             # the fs layout locks per variable file, not per hash stripe
-            assert lanes == set()
+            assert lanes == set() and legacy == set()
 
 
 @pytest.mark.parametrize("layout", LAYOUTS)
@@ -168,11 +178,12 @@ class TestSameVariable:
             pmem.store(f"v{ctx.rank}", np.ones(64))
             comm.barrier()
             pmem.munmap()
-            tel = counters_for(ctx)
-            lanes = [
-                k for k in tel.as_dict() if k.startswith("meta.stripe.")
-            ]
-            return lanes, tel.get("meta.lock.acquires")
+            reg = metrics_for(ctx)
+            lanes = sorted(
+                k for k in reg.legacy_counters()
+                if k.startswith("meta.stripe.")
+            )
+            return lanes, counters_for(ctx).get("meta.lock.acquires")
 
         res = cl.run(4, fn)
         for lanes, acquires in res.returns:
