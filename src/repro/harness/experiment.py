@@ -46,6 +46,21 @@ class JobResult:
     def job_id(self) -> str:
         return f"{self.library}_{self.direction}_{self.nprocs}p"
 
+    def perf_record(self) -> dict:
+        """The perf-scenario view of this job (:mod:`repro.perf`): exact
+        modeled time, exclusive time per span family for regression
+        attribution, and the per-family latency percentiles."""
+        from ..telemetry.export import span_latency_percentiles, spans_from_dicts
+        from ..telemetry.metrics import MetricRegistry
+        from ..telemetry.spans import exclusive_ns_by_family
+
+        reg = MetricRegistry.from_dict(self.metrics)
+        return {
+            "modeled_ns": self.seconds * 1e9,
+            "families": exclusive_ns_by_family(spans_from_dicts(self.spans)),
+            "latency": span_latency_percentiles(reg),
+        }
+
 
 def _cluster_for(workload: Domain3D, machine: MachineSpec) -> Cluster:
     capacity = max(64 * MiB, 8 * workload.functional_total_bytes)

@@ -1,9 +1,32 @@
-"""Table/chart rendering and CSV export for experiment results."""
+"""Table/chart rendering and CSV export for experiment results.
+
+Float cells are formatted through :func:`fmt_float` everywhere — a fixed
+number of significant digits, so regenerated tables and CSVs are
+byte-stable across runs and never leak repr noise like
+``0.30000000000000004``.
+"""
 
 from __future__ import annotations
 
 import csv
+import math
 import os
+
+#: significant digits for float cells in tables and CSVs
+FLOAT_DIGITS = 6
+
+
+def fmt_float(value, digits: int = FLOAT_DIGITS) -> str:
+    """Deterministic cell rendering: floats get ``digits`` significant
+    digits (``0.3``, not ``0.30000000000000004``); everything else is
+    ``str``."""
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            return str(value)
+        if value == int(value) and abs(value) < 10 ** digits:
+            return str(int(value))
+        return f"{value:.{digits}g}"
+    return str(value)
 
 
 def render_table(
@@ -12,7 +35,7 @@ def render_table(
     rows: list[tuple],
 ) -> str:
     """Fixed-width ASCII table."""
-    cells = [[str(c) for c in row] for row in rows]
+    cells = [[fmt_float(c) for c in row] for row in rows]
     widths = [
         max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
         for i, h in enumerate(header)
@@ -51,12 +74,19 @@ def ascii_chart(
 
 
 def write_csv(path: str, header: list[str], rows: list[tuple]) -> str:
-    """Write rows to ``path`` (directories created); returns the path."""
-    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    """Write rows to ``path`` (directories created); returns the path.
+
+    Float cells go through :func:`fmt_float`, so the file's bytes are a
+    pure function of the data."""
+    d = os.path.dirname(path)
+    if d:
+        os.makedirs(d, exist_ok=True)
     with open(path, "w", newline="") as f:
         w = csv.writer(f)
         w.writerow(header)
-        w.writerows(rows)
+        for row in rows:
+            w.writerow([fmt_float(c) if isinstance(c, float) else c
+                        for c in row])
     return path
 
 

@@ -1,0 +1,227 @@
+"""CLI: the performance-regression observatory.
+
+Usage::
+
+    # measure the scenario suite -> BENCH_PERF.json (unified bench schema)
+    python -m repro.perf run [--quick] [--scenario NAME ...] [--repeats N]
+
+    # gate BENCH_PERF.json against the committed baseline; on failure the
+    # report ranks the span families responsible for the slowdown
+    python -m repro.perf compare [--bench BENCH_PERF.json]
+        [--baseline results/perf_baseline.json] [--wall-gate auto|on|off]
+        [--report FILE] [--json FILE]
+
+    # snapshot the current BENCH file (or a fresh run) as the baseline
+    python -m repro.perf update-baseline [--bench BENCH_PERF.json]
+
+    # human report with per-scenario history sparklines
+    python -m repro.perf report [--history 'BENCH_PERF*.json' ...]
+
+    # prove the gate works: inflate LOCK_OVERHEAD_NS and require compare
+    # to fail with meta.lock as the top attributed family
+    python -m repro.perf selftest
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from ..telemetry.bench import bench_doc, load_bench, write_bench
+from ..telemetry.counters import _fmt_quantity
+from .baseline import (
+    DEFAULT_BASELINE_PATH,
+    baseline_from_runs,
+    load_baseline,
+    save_baseline,
+)
+from .compare import compare_runs
+from .measure import DEFAULT_REPEATS, QUICK_REPEATS, measure_all
+from .report import load_history, render_perf_report
+from .scenarios import get, select
+
+DEFAULT_BENCH_PATH = "BENCH_PERF.json"
+BENCH_NAME = "perf_scenarios"
+
+
+def _measure(args) -> list[dict]:
+    scenarios = select(quick=args.quick, names=args.scenario or None)
+    repeats = args.repeats or (QUICK_REPEATS if args.quick
+                               else DEFAULT_REPEATS)
+
+    def progress(m):
+        print(f"[perf] {m.scenario:<24} "
+              f"modeled {_fmt_quantity(m.modeled_ns, 'ns'):<18} "
+              f"wall median {m.wall.median_s:.3f}s "
+              f"(best {m.wall.best_s:.3f}s, n={len(m.wall.samples)})")
+
+    return [m.as_run() for m in measure_all(scenarios, repeats, progress)]
+
+
+def cmd_run(args) -> int:
+    runs = _measure(args)
+    doc = bench_doc(BENCH_NAME, runs, quick=bool(args.quick))
+    write_bench(args.out, doc)
+    print(f"[bench] {args.out}  ({len(runs)} scenarios)")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    doc = load_bench(args.bench)
+    try:
+        baseline = load_baseline(args.baseline)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rep = compare_runs(
+        baseline, doc.get("runs", []),
+        modeled_gate=args.modeled_gate,
+        wall_gate=args.wall_gate,
+        cur_env=doc.get("env"),
+    )
+    text = rep.render()
+    print(text)
+    if args.report:
+        d = os.path.dirname(args.report)
+        if d:
+            os.makedirs(d, exist_ok=True)
+        with open(args.report, "w") as f:
+            f.write(text + "\n")
+        print(f"[report] {args.report}")
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(rep.as_dict(), f, indent=1)
+            f.write("\n")
+        print(f"[json] {args.json}")
+    return 0 if rep.ok else 1
+
+
+def cmd_update_baseline(args) -> int:
+    if os.path.exists(args.bench) and not args.fresh:
+        doc = load_bench(args.bench)
+        runs = doc.get("runs", [])
+        env = doc.get("env")
+        print(f"[baseline] snapshotting {args.bench} ({len(runs)} scenarios)")
+    else:
+        print("[baseline] measuring a fresh run "
+              f"({'quick' if args.quick else 'full'} budget)")
+        runs = _measure(args)
+        env = None
+    path = save_baseline(args.baseline, baseline_from_runs(runs, env))
+    print(f"[baseline] {path}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    doc = load_bench(args.bench)
+    baseline = None
+    if os.path.exists(args.baseline):
+        baseline = load_baseline(args.baseline)
+    history = load_history(args.history or [])
+    print(render_perf_report(doc, baseline, history))
+    return 0
+
+
+def cmd_selftest(args) -> int:
+    """The gate's own gate: a synthetic slowdown must (a) trip the modeled
+    gate and (b) be attributed to ``meta.lock``."""
+    from ..pmdk import hashmap as _hashmap
+    from ..pmdk import locks as _locks
+    from .measure import measure_scenario
+
+    names = ("meta.lock_single", "meta.lock_striped")
+    scenarios = [get(n) for n in names]
+    print(f"[selftest] baseline pass over {', '.join(names)}")
+    base_runs = [measure_scenario(s, repeats=1).as_run() for s in scenarios]
+    baseline = baseline_from_runs(base_runs)
+
+    factor = args.factor
+    old = _locks.LOCK_OVERHEAD_NS
+    print(f"[selftest] inflating LOCK_OVERHEAD_NS {old:g} -> "
+          f"{old * factor:g} ns and re-measuring")
+    _locks.LOCK_OVERHEAD_NS = old * factor
+    _hashmap.LOCK_OVERHEAD_NS = old * factor
+    try:
+        cur_runs = [measure_scenario(s, repeats=1).as_run()
+                    for s in scenarios]
+    finally:
+        _locks.LOCK_OVERHEAD_NS = old
+        _hashmap.LOCK_OVERHEAD_NS = old
+
+    rep = compare_runs(baseline, cur_runs, wall_gate="off")
+    print(rep.render())
+    if rep.ok:
+        print("error: inflated lock overhead did not trip the modeled gate",
+              file=sys.stderr)
+        return 1
+    top = rep.top_family()
+    if top != "meta.lock":
+        print(f"error: expected meta.lock as top attributed family, "
+              f"got {top!r}", file=sys.stderr)
+        return 1
+    print("[selftest] regression detected and attributed to meta.lock ✓")
+    return 0
+
+
+def _add_measure_args(p, *, out: bool) -> None:
+    p.add_argument("--quick", action="store_true",
+                   help="small CI budget: quick scenarios, fewer repeats")
+    p.add_argument("--scenario", action="append", metavar="NAME",
+                   help="measure only NAME (repeatable)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="wall samples per scenario")
+    if out:
+        p.add_argument("--out", default=DEFAULT_BENCH_PATH)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="repro.perf", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="measure scenarios -> BENCH_PERF.json")
+    _add_measure_args(p, out=True)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("compare", help="gate a BENCH file vs the baseline")
+    p.add_argument("--bench", default=DEFAULT_BENCH_PATH)
+    p.add_argument("--baseline", default=DEFAULT_BASELINE_PATH)
+    p.add_argument("--modeled-gate", type=float, default=0.01,
+                   help="modeled-ns regression gate fraction")
+    p.add_argument("--wall-gate", choices=("auto", "on", "off"),
+                   default="auto")
+    p.add_argument("--report", default=None, metavar="FILE",
+                   help="also write the rendered report to FILE")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the machine-readable verdicts to FILE")
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("update-baseline",
+                       help="snapshot a BENCH file (or fresh run) as baseline")
+    p.add_argument("--bench", default=DEFAULT_BENCH_PATH)
+    p.add_argument("--baseline", default=DEFAULT_BASELINE_PATH)
+    p.add_argument("--fresh", action="store_true",
+                   help="ignore an existing BENCH file; re-measure")
+    _add_measure_args(p, out=False)
+    p.set_defaults(fn=cmd_update_baseline)
+
+    p = sub.add_parser("report", help="history sparklines + attribution")
+    p.add_argument("--bench", default=DEFAULT_BENCH_PATH)
+    p.add_argument("--baseline", default=DEFAULT_BASELINE_PATH)
+    p.add_argument("--history", action="append", metavar="GLOB",
+                   help="prior BENCH files (glob, repeatable)")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("selftest",
+                       help="synthetic slowdown must fail with meta.lock top")
+    p.add_argument("--factor", type=float, default=400.0,
+                   help="LOCK_OVERHEAD_NS inflation factor")
+    p.set_defaults(fn=cmd_selftest)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,271 @@
+"""Noise-aware regression gating with span-diff attribution.
+
+Two gates per scenario, tuned to each clock's noise model:
+
+- **modeled gate** — the simulator clock is deterministic, so the delta
+  between baseline and current ``modeled_ns`` is exact; anything beyond
+  ±:data:`MODELED_GATE_FRAC` (1%) is a real change.  Slowdowns fail;
+  speedups are reported as ``improved`` (refresh the baseline).
+- **wall gate** — wall samples are noisy; the threshold is
+  ``baseline.median + max(k * baseline.IQR, rel_floor * baseline.median,
+  abs_floor)`` (Tukey-style with floors sized for 2-3 samples), and the
+  gate only *arms* when the env fingerprints match (``auto``) or is
+  forced with ``on``.  Otherwise wall drift is reported but advisory.
+
+The observability heart is :func:`attribute_families`: the per-family
+exclusive-time maps of baseline and current run are merged and ranked by
+delta, so a failing gate names the guilty subsystem (``meta.lock``,
+``store.persist``, ``pmdk.tx``, ...) rather than just the scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..telemetry.bench import env_fingerprint
+from ..telemetry.counters import _fmt_quantity
+from .measure import Measurement
+
+MODELED_GATE_FRAC = 0.01
+WALL_IQR_K = 1.5
+#: floors under which wall drift is never gate-worthy — with 2-3 samples
+#: the IQR degenerates toward 0, and sub-second scenarios jitter 10-25%
+#: under background load; the relative + absolute floors absorb both
+#: while a genuine ~2x slowdown still trips the gate
+WALL_FLOOR_FRAC = 0.25
+WALL_ABS_FLOOR_S = 0.05
+
+#: verdict statuses that fail the gate
+FAILING = ("modeled-regression", "wall-regression")
+
+
+@dataclass
+class FamilyDelta:
+    """One span family's contribution to a scenario's slowdown."""
+
+    family: str
+    base_ns: float
+    cur_ns: float
+    delta_ns: float
+    share: float  # of the total positive family delta
+
+    def as_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "base_ns": self.base_ns,
+            "cur_ns": self.cur_ns,
+            "delta_ns": self.delta_ns,
+            "share": round(self.share, 4),
+        }
+
+
+def attribute_families(base: dict, cur: dict,
+                       top: int | None = None) -> list[FamilyDelta]:
+    """Merge two per-family exclusive-time maps and rank by delta.
+
+    Families are sorted by absolute regression (largest added exclusive
+    time first); ``share`` is each family's fraction of the *total
+    positive* delta, so shares of the slowed-down families sum to 1."""
+    fams = sorted(set(base) | set(cur))
+    gained = sum(max(cur.get(f, 0.0) - base.get(f, 0.0), 0.0) for f in fams)
+    out = [
+        FamilyDelta(
+            family=f,
+            base_ns=base.get(f, 0.0),
+            cur_ns=cur.get(f, 0.0),
+            delta_ns=cur.get(f, 0.0) - base.get(f, 0.0),
+            share=(max(cur.get(f, 0.0) - base.get(f, 0.0), 0.0) / gained
+                   if gained > 0 else 0.0),
+        )
+        for f in fams
+    ]
+    out.sort(key=lambda d: (-d.delta_ns, d.family))
+    return out[:top] if top else out
+
+
+@dataclass
+class ScenarioVerdict:
+    scenario: str
+    status: str  # ok | improved | modeled-regression | wall-regression | new
+    base_modeled_ns: float = 0.0
+    cur_modeled_ns: float = 0.0
+    modeled_delta_frac: float = 0.0
+    wall_base_median_s: float = 0.0
+    wall_cur_median_s: float = 0.0
+    wall_threshold_s: float = 0.0
+    wall_exceeded: bool = False
+    attribution: list[FamilyDelta] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return self.status in FAILING
+
+    def as_dict(self) -> dict:
+        d = {
+            "scenario": self.scenario,
+            "status": self.status,
+            "base_modeled_ns": self.base_modeled_ns,
+            "cur_modeled_ns": self.cur_modeled_ns,
+            "modeled_delta_frac": round(self.modeled_delta_frac, 6),
+            "wall_base_median_s": self.wall_base_median_s,
+            "wall_cur_median_s": self.wall_cur_median_s,
+            "wall_threshold_s": self.wall_threshold_s,
+            "wall_exceeded": self.wall_exceeded,
+        }
+        if self.attribution:
+            d["attribution"] = [a.as_dict() for a in self.attribution]
+        return d
+
+
+@dataclass
+class CompareReport:
+    verdicts: list[ScenarioVerdict]
+    wall_gated: bool
+    modeled_gate_frac: float
+    missing: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(v.failed for v in self.verdicts)
+
+    @property
+    def regressions(self) -> list[ScenarioVerdict]:
+        return [v for v in self.verdicts if v.failed]
+
+    def top_family(self) -> str | None:
+        """The family accounting for the most added exclusive time across
+        every failing scenario — the report's one-line culprit."""
+        totals: dict[str, float] = {}
+        for v in self.regressions:
+            for a in v.attribution:
+                if a.delta_ns > 0:
+                    totals[a.family] = totals.get(a.family, 0.0) + a.delta_ns
+        if not totals:
+            return None
+        return max(sorted(totals), key=lambda f: totals[f])
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "wall_gated": self.wall_gated,
+            "modeled_gate_frac": self.modeled_gate_frac,
+            "top_family": self.top_family(),
+            "missing_from_run": list(self.missing),
+            "scenarios": [v.as_dict() for v in self.verdicts],
+        }
+
+    def render(self) -> str:
+        lines = ["== perf comparison =="]
+        lines.append(
+            f"  modeled gate ±{self.modeled_gate_frac * 100:.1f}% (exact)  |  "
+            f"wall gate {'armed' if self.wall_gated else 'advisory (env differs or off)'}"
+        )
+        for v in self.verdicts:
+            mark = {"ok": " ", "improved": "+", "new": "?"}.get(v.status, "!")
+            lines.append(
+                f"  [{mark}] {v.scenario:<24} {v.status:<19} "
+                f"modeled {_fmt_quantity(v.cur_modeled_ns, 'ns'):<18} "
+                f"({v.modeled_delta_frac * +100:+.2f}% vs baseline)  "
+                f"wall {v.wall_cur_median_s:.3f}s"
+            )
+            if v.failed and v.attribution:
+                lines.append("      slowdown attribution "
+                             "(exclusive-time delta by span family):")
+                for a in v.attribution[:5]:
+                    if a.delta_ns <= 0:
+                        continue
+                    lines.append(
+                        f"        {a.family:<18} "
+                        f"+{_fmt_quantity(a.delta_ns, 'ns'):<16} "
+                        f"({a.share * 100:5.1f}% of the regression)"
+                    )
+        if self.missing:
+            lines.append(
+                f"  (not measured this run: {', '.join(self.missing)})"
+            )
+        top = self.top_family()
+        if top:
+            lines.append(f"  TOP ATTRIBUTED FAMILY: {top}")
+        lines.append("  RESULT: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def compare_runs(
+    baseline_doc: dict,
+    runs: list[dict],
+    *,
+    modeled_gate: float = MODELED_GATE_FRAC,
+    wall_gate: str = "auto",          # auto | on | off
+    iqr_k: float = WALL_IQR_K,
+    cur_env: dict | None = None,
+) -> CompareReport:
+    """Gate ``runs[]`` records against a committed baseline document."""
+    if wall_gate not in ("auto", "on", "off"):
+        raise ValueError(f"wall_gate must be auto|on|off, got {wall_gate!r}")
+    base_scenarios = baseline_doc.get("scenarios", {})
+    envs_match = (
+        env_fingerprint(baseline_doc.get("env"))
+        == env_fingerprint(cur_env)
+    )
+    gated = wall_gate == "on" or (wall_gate == "auto" and envs_match)
+
+    verdicts: list[ScenarioVerdict] = []
+    seen: set[str] = set()
+    for r in runs:
+        m = Measurement.from_run(r)
+        seen.add(m.scenario)
+        base = base_scenarios.get(m.scenario)
+        if base is None:
+            verdicts.append(ScenarioVerdict(
+                m.scenario, "new", cur_modeled_ns=m.modeled_ns,
+                wall_cur_median_s=m.wall.median_s,
+            ))
+            continue
+        base_ns = float(base["modeled_ns"])
+        delta_frac = (m.modeled_ns - base_ns) / base_ns if base_ns else 0.0
+        # jittery scenarios (replayed lock-queueing order) widen their own
+        # gate; declared in the scenario registry and snapshotted in both
+        # the baseline and the run record — take whichever is recorded
+        tol = max(
+            float(base.get("modeled_tolerance_frac") or 0.0),
+            float(m.modeled_tolerance_frac or 0.0),
+        )
+        gate_frac = max(modeled_gate, tol)
+
+        base_wall = base.get("wall", {})
+        wall_median = float(base_wall.get("median_s", 0.0))
+        wall_iqr = float(base_wall.get("iqr_s", 0.0))
+        threshold = wall_median + max(
+            iqr_k * wall_iqr, WALL_FLOOR_FRAC * wall_median, WALL_ABS_FLOOR_S
+        )
+        wall_exceeded = bool(wall_median) and m.wall.median_s > threshold
+
+        if delta_frac > gate_frac:
+            status = "modeled-regression"
+        elif gated and wall_exceeded:
+            status = "wall-regression"
+        elif delta_frac < -gate_frac:
+            status = "improved"
+        else:
+            status = "ok"
+        attribution = attribute_families(
+            base.get("families", {}), m.families
+        ) if status != "ok" else []
+        verdicts.append(ScenarioVerdict(
+            m.scenario, status,
+            base_modeled_ns=base_ns,
+            cur_modeled_ns=m.modeled_ns,
+            modeled_delta_frac=delta_frac,
+            wall_base_median_s=wall_median,
+            wall_cur_median_s=m.wall.median_s,
+            wall_threshold_s=round(threshold, 6),
+            wall_exceeded=wall_exceeded,
+            attribution=attribution,
+        ))
+    missing = sorted(set(base_scenarios) - seen)
+    return CompareReport(
+        verdicts=verdicts,
+        wall_gated=gated,
+        modeled_gate_frac=modeled_gate,
+        missing=missing,
+    )

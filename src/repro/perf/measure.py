@@ -1,0 +1,161 @@
+"""Scenario measurement: exact modeled time + disciplined wall clock.
+
+Each scenario is executed ``repeats`` times with the PR 4 overhead-gate
+timing discipline — GC paused for the timed region (collected between
+samples), ``REPRO_TRACE`` forced to ``full`` so the span families are
+always recorded, and the whole scenario (functional pass + timing pass)
+inside the timed window.  The **modeled** figures come from the first
+execution and are exact/repeat-free; the **wall** figures keep every
+sample so the comparison can derive noise-aware thresholds
+(median + IQR, :mod:`repro.perf.compare`).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import statistics
+import time
+from dataclasses import dataclass, field
+
+from ..telemetry.spans import TRACE_ENV
+from .scenarios import Scenario
+
+#: default wall repeats per scenario (full / --quick runs)
+DEFAULT_REPEATS = 3
+QUICK_REPEATS = 2
+
+
+@dataclass
+class WallStats:
+    """Repeated wall-clock samples of one scenario, summarized."""
+
+    samples: list[float] = field(default_factory=list)
+    best_s: float = 0.0
+    median_s: float = 0.0
+    iqr_s: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "WallStats":
+        if not samples:
+            return cls()
+        med = statistics.median(samples)
+        if len(samples) >= 2:
+            q = statistics.quantiles(samples, n=4, method="inclusive")
+            iqr = q[2] - q[0]
+        else:
+            iqr = 0.0
+        return cls(
+            samples=[round(s, 6) for s in samples],
+            best_s=round(min(samples), 6),
+            median_s=round(med, 6),
+            iqr_s=round(iqr, 6),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "samples": list(self.samples),
+            "best_s": self.best_s,
+            "median_s": self.median_s,
+            "iqr_s": self.iqr_s,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WallStats":
+        return cls(
+            samples=[float(s) for s in d.get("samples", [])],
+            best_s=float(d.get("best_s", 0.0)),
+            median_s=float(d.get("median_s", 0.0)),
+            iqr_s=float(d.get("iqr_s", 0.0)),
+        )
+
+
+@dataclass
+class Measurement:
+    """One scenario's tracked figures (a ``runs[]`` record)."""
+
+    scenario: str
+    group: str
+    deterministic: bool
+    modeled_ns: float
+    families: dict
+    latency: dict
+    wall: WallStats
+    modeled_tolerance_frac: float | None = None
+
+    def as_run(self) -> dict:
+        out = {
+            "scenario": self.scenario,
+            "group": self.group,
+            "deterministic": self.deterministic,
+            "modeled_ns": self.modeled_ns,
+            "families": dict(self.families),
+            "latency": dict(self.latency),
+            "wall": self.wall.as_dict(),
+        }
+        if self.modeled_tolerance_frac is not None:
+            out["modeled_tolerance_frac"] = self.modeled_tolerance_frac
+        return out
+
+    @classmethod
+    def from_run(cls, d: dict) -> "Measurement":
+        tol = d.get("modeled_tolerance_frac")
+        return cls(
+            scenario=d["scenario"],
+            group=d.get("group", ""),
+            deterministic=bool(d.get("deterministic", False)),
+            modeled_ns=float(d["modeled_ns"]),
+            families={k: float(v) for k, v in d.get("families", {}).items()},
+            latency=d.get("latency", {}),
+            wall=WallStats.from_dict(d.get("wall", {})),
+            modeled_tolerance_frac=float(tol) if tol is not None else None,
+        )
+
+
+def measure_scenario(scenario: Scenario,
+                     repeats: int = DEFAULT_REPEATS) -> Measurement:
+    """Run one scenario ``repeats`` times under the timing discipline."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    prev_trace = os.environ.get(TRACE_ENV)
+    os.environ[TRACE_ENV] = "full"
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    record = None
+    samples: list[float] = []
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            rec = scenario.run()
+            samples.append(time.perf_counter() - t0)
+            if record is None:
+                record = rec
+            gc.collect()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        if prev_trace is None:
+            os.environ.pop(TRACE_ENV, None)
+        else:
+            os.environ[TRACE_ENV] = prev_trace
+    return Measurement(
+        scenario=scenario.name,
+        group=scenario.group,
+        deterministic=scenario.deterministic,
+        modeled_ns=float(record["modeled_ns"]),
+        families={k: float(v) for k, v in record["families"].items()},
+        latency=record.get("latency", {}),
+        wall=WallStats.from_samples(samples),
+        modeled_tolerance_frac=scenario.modeled_tolerance_frac,
+    )
+
+
+def measure_all(scenarios, repeats: int = DEFAULT_REPEATS,
+                progress=None) -> list[Measurement]:
+    out = []
+    for s in scenarios:
+        m = measure_scenario(s, repeats)
+        if progress is not None:
+            progress(m)
+        out.append(m)
+    return out

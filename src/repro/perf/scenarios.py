@@ -1,0 +1,283 @@
+"""Declarative registry of tracked perf scenarios.
+
+Every scenario is one named, self-contained measurement job: calling
+:attr:`Scenario.run` executes the workload end to end and returns the
+perf record the observatory tracks::
+
+    {"modeled_ns": float,                 # exact makespan, modeled clock
+     "families":   {family: exclusive_ns},  # span-diff attribution input
+     "latency":    {family: {"p50": ..., "p95": ..., "p99": ...}}}
+
+Scenario classes (ISSUE 5):
+
+- ``fig6.*`` / ``fig7.*`` — the paper's write/read sweep per driver at
+  8/24/48 procs, on a trimmed Fig. 6 workload (4 vars of the 800^3
+  domain, functional buffers shrunk 20x) so a full registry pass stays
+  CI-sized while modeled numbers keep the paper's shape;
+- ``pmdk.*`` — allocator-churn and transaction-commit micros;
+- ``meta.*`` — striped vs. single-lane metadata locking under 8 ranks;
+- ``mem.*`` — the single-rank memcpy/persist hot path.
+
+``deterministic`` marks scenarios whose modeled_ns reproduces *exactly*
+across runs (single-rank jobs).  Multi-rank fig sweeps carry
+parts-per-million jitter from thread-arrival order in the functional
+pass — far below the ±1% modeled gate; the lock-contention scenarios
+jitter ~1% (replayed queueing order) and declare a wider
+``modeled_tolerance_frac`` instead (DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..units import MiB
+
+#: the trimmed Fig. 6/7 workload every fig scenario shares
+PERF_NVARS = 4
+PERF_AXIS_SCALE = 20
+
+#: the paper's x-axis, trimmed to the three interesting operating points
+FIG_PROCS = (8, 24, 48)
+#: the --quick budget keeps only the 8-proc cells
+QUICK_FIG_PROCS = (8,)
+
+GROUPS = ("fig6", "fig7", "pmdk", "meta", "mem")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One tracked perf scenario."""
+
+    name: str            # e.g. "fig6.PMCPY-A.8p"
+    group: str           # one of GROUPS
+    quick: bool          # included in the --quick budget
+    deterministic: bool  # modeled_ns reproduces exactly across runs
+    run: Callable[[], dict]
+    #: scenarios whose replayed lock-queueing order carries known modeled
+    #: jitter widen their own gate beyond the global ±1% (compare takes
+    #: the max); None = the global gate applies
+    modeled_tolerance_frac: float | None = None
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def _register(s: Scenario) -> None:
+    if s.name in _REGISTRY:
+        raise ValueError(f"duplicate scenario {s.name!r}")
+    if s.group not in GROUPS:
+        raise ValueError(f"scenario {s.name!r}: unknown group {s.group!r}")
+    _REGISTRY[s.name] = s
+
+
+def all_scenarios() -> tuple[Scenario, ...]:
+    return tuple(_REGISTRY.values())
+
+
+def get(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def select(*, quick: bool = False, names=None, groups=None) -> list[Scenario]:
+    """The scenarios a run covers, in registration order."""
+    if names:
+        return [get(n) for n in names]
+    out = [
+        s for s in _REGISTRY.values()
+        if (not quick or s.quick) and (not groups or s.group in groups)
+    ]
+    if not out:
+        raise ValueError("selection matched no scenarios")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# shared measurement plumbing
+# ---------------------------------------------------------------------------
+
+def perf_workload():
+    from ..workloads import Domain3D
+
+    return Domain3D(nvars=PERF_NVARS, axis_scale=PERF_AXIS_SCALE)
+
+
+def record_from_spmd(res) -> dict:
+    """Fold a finished :class:`~repro.sim.engine.SpmdResult` into the
+    scenario perf record (the non-harness twin of
+    :meth:`~repro.harness.experiment.JobResult.perf_record`)."""
+    from ..telemetry import exclusive_ns_by_family, merged_metrics
+    from ..telemetry.export import span_latency_percentiles
+
+    return {
+        "modeled_ns": res.time().makespan_ns,
+        "families": exclusive_ns_by_family(res.traces),
+        "latency": span_latency_percentiles(merged_metrics(res.traces)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# fig6 / fig7 sweeps
+# ---------------------------------------------------------------------------
+
+def _fig_run(library: str, nprocs: int, direction: str) -> Callable[[], dict]:
+    def job() -> dict:
+        from ..harness.experiment import run_io_experiment
+
+        r = run_io_experiment(
+            library, nprocs, perf_workload(), directions=(direction,)
+        )[0]
+        return r.perf_record()
+
+    return job
+
+
+# ---------------------------------------------------------------------------
+# pmdk micros
+# ---------------------------------------------------------------------------
+
+def _pool_run(body) -> dict:
+    """One-rank run over a fresh 16 MiB pool; ``body(ctx, pool)``."""
+    from ..mem import PMEMDevice
+    from ..pmdk import PmemPool, RawRegion
+    from ..sim import run_spmd
+
+    size = 16 * MiB
+    device = PMEMDevice(size)
+    region = RawRegion(device, 0, size)
+
+    def fn(ctx):
+        pool = PmemPool.create(ctx, region, size=size, nlanes=4)
+        body(ctx, pool)
+
+    return record_from_spmd(run_spmd(1, fn))
+
+
+def _pmdk_alloc_churn() -> dict:
+    def body(ctx, pool):
+        live = []
+        for i in range(300):
+            live.append(pool.malloc(ctx, 64 + (i % 7) * 512))
+            if len(live) > 40:
+                pool.free(ctx, live.pop(0))
+        for off in live:
+            pool.free(ctx, off)
+
+    return _pool_run(body)
+
+
+def _pmdk_tx_commit() -> dict:
+    def body(ctx, pool):
+        from ..pmdk import Transaction
+
+        off = pool.malloc(ctx, 4096)
+        blob = np.arange(512, dtype=np.uint8)
+        for _ in range(50):
+            with Transaction(pool, ctx) as tx:
+                tx.write(off, blob)
+
+    return _pool_run(body)
+
+
+# ---------------------------------------------------------------------------
+# metadata-concurrency scenarios
+# ---------------------------------------------------------------------------
+
+_META_PROCS = 8
+_META_ROUNDS = 6
+
+
+def _meta_run(meta_stripes: int, meta_rw: bool) -> Callable[[], dict]:
+    def job() -> dict:
+        from .. import Cluster, Communicator, PMEM
+
+        cl = Cluster(pmem_capacity=64 * MiB)
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM(layout="hashtable", meta_stripes=meta_stripes,
+                        meta_rw=meta_rw)
+            pmem.mmap("/pmem/perf_meta", comm)
+            # rank 0 creates every variable first, so the shared metadata
+            # structures mutate in a fixed order — the parallel phase then
+            # only updates rank-disjoint entries (determinism, see module
+            # docstring)
+            if ctx.rank == 0:
+                for r in range(_META_PROCS):
+                    pmem.store(f"r{r}", np.zeros(2048))
+            comm.barrier()
+            data = np.full(2048, float(ctx.rank))
+            name = f"r{ctx.rank}"
+            for _ in range(_META_ROUNDS):
+                pmem.store(name, data)
+                pmem.load(name)
+            comm.barrier()
+            pmem.munmap()
+
+        return record_from_spmd(cl.run(_META_PROCS, fn))
+
+    return job
+
+
+# ---------------------------------------------------------------------------
+# memcpy / persist hot path
+# ---------------------------------------------------------------------------
+
+def _mem_hot_path() -> dict:
+    from .. import Cluster, Communicator, PMEM
+
+    cl = Cluster(pmem_capacity=64 * MiB)
+
+    def fn(ctx):
+        comm = Communicator.world(ctx)
+        pmem = PMEM(layout="hashtable", map_sync=True)
+        pmem.mmap("/pmem/perf_mem", comm)
+        data = np.arange(1 << 19, dtype=np.float64)  # 4 MiB
+        for _ in range(4):
+            pmem.store("hot", data)
+        pmem.load("hot")
+        pmem.munmap()
+
+    return record_from_spmd(cl.run(1, fn))
+
+
+# ---------------------------------------------------------------------------
+# registration
+# ---------------------------------------------------------------------------
+
+def _populate() -> None:
+    from ..harness.experiment import PAPER_LIBRARIES
+
+    for library in PAPER_LIBRARIES:
+        for nprocs in FIG_PROCS:
+            quick = nprocs in QUICK_FIG_PROCS
+            _register(Scenario(
+                f"fig6.{library}.{nprocs}p", "fig6", quick, False,
+                _fig_run(library, nprocs, "write"),
+            ))
+            _register(Scenario(
+                f"fig7.{library}.{nprocs}p", "fig7", quick, False,
+                _fig_run(library, nprocs, "read"),
+            ))
+    _register(Scenario("pmdk.alloc_churn", "pmdk", True, True,
+                       _pmdk_alloc_churn))
+    _register(Scenario("pmdk.tx_commit", "pmdk", True, True,
+                       _pmdk_tx_commit))
+    # lock-contention makespans jitter ~1% with replayed queueing order:
+    # widen their gate to 3% (the selftest's synthetic slowdown is >100x)
+    _register(Scenario("meta.lock_striped", "meta", True, False,
+                       _meta_run(64, True), modeled_tolerance_frac=0.03))
+    _register(Scenario("meta.lock_single", "meta", True, False,
+                       _meta_run(1, False), modeled_tolerance_frac=0.03))
+    _register(Scenario("mem.memcpy_persist", "mem", True, True,
+                       _mem_hot_path))
+
+
+_populate()

@@ -36,6 +36,9 @@ from .spans import (
     TRACE_MODES,
     Span,
     Tracer,
+    as_span_list,
+    exclusive_ns_by_family,
+    family_of,
     span,
     spans_of,
     trace_mode,
@@ -47,6 +50,7 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricRegistry",
     "LOG2_BOUNDS", "LANE_BOUNDS", "metrics_for", "merged_metrics",
     "Span", "Tracer", "span", "tracer_for", "spans_of",
+    "as_span_list", "exclusive_ns_by_family", "family_of",
     "trace_mode", "TRACE_ENV", "TRACE_MODES", "SAMPLE_EVERY",
 ]
 

@@ -179,8 +179,14 @@ def cmd_overhead(args) -> int:
 
     off_s, full_s = best["off"], best["full"]
     overhead = full_s / off_s - 1.0
-    doc = {
-        "benchmark": "telemetry_overhead",
+    # one run record in the unified bench-artifact shape (DESIGN.md §10):
+    # {"schema", "bench", "env", "runs": [...]} — the same top level
+    # ``python -m repro.perf run`` emits, so the bench trajectory can
+    # ingest either artifact.
+    from .bench import bench_doc, write_bench
+
+    run = {
+        "name": "telemetry_overhead",
         "workload": "fig6 smoke, 6 drivers, 4 ranks",
         "repeats": args.repeats,
         "inner": args.inner,
@@ -190,9 +196,7 @@ def cmd_overhead(args) -> int:
         "budget_frac": args.max_overhead,
         "within_budget": overhead <= args.max_overhead,
     }
-    with open(args.out, "w") as f:
-        json.dump(doc, f, indent=1)
-        f.write("\n")
+    write_bench(args.out, bench_doc("telemetry_overhead", [run]))
     print(f"trace=off  {off_s:.3f}s   trace=full {full_s:.3f}s   "
           f"overhead {overhead * 100:+.1f}%  (budget "
           f"{args.max_overhead * 100:.0f}%)")

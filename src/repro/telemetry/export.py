@@ -19,7 +19,7 @@ import json
 
 from .counters import _fmt_quantity
 from .metrics import Histogram, MetricRegistry
-from .spans import Span, spans_of
+from .spans import Span, as_span_list, child_ns_index, family_of
 
 #: span names that carry a ``var`` attribute and count as I/O operations
 #: for the Darshan record table, mapped to their direction
@@ -206,11 +206,7 @@ def span_breakdown(traces_or_spans) -> dict[str, dict]:
     ``self_ns`` is the span's duration minus its recorded children — the
     exclusive time the Fig. 6/7 attribution wants."""
     spans = _as_spans(traces_or_spans)
-    child_ns: dict[int, float] = {}
-    for s in spans:
-        if s.parent_id is not None:
-            child_ns[s.parent_id] = child_ns.get(s.parent_id, 0.0) \
-                + s.duration_ns
+    child_ns = child_ns_index(spans)
     out: dict[str, dict] = {}
     for s in spans:
         b = out.setdefault(s.name, {
@@ -261,11 +257,12 @@ def render_report(metrics: MetricRegistry | None = None,
                 h = metrics.get(name)
                 if not isinstance(h, Histogram) or not h.count:
                     continue
+                pct = h.percentiles((0.5, 0.99))
                 lines.append(
                     f"  {name:<{width}}  n={h.count:<7} "
                     f"mean={_fmt_quantity(h.mean, 'ns'):<20} "
-                    f"p50={_fmt_quantity(h.quantile(0.5), 'ns'):<20} "
-                    f"p99={_fmt_quantity(h.quantile(0.99), 'ns'):<20} "
+                    f"p50={_fmt_quantity(pct['p50'], 'ns'):<20} "
+                    f"p99={_fmt_quantity(pct['p99'], 'ns'):<20} "
                     f"max={_fmt_quantity(h.max, 'ns')}"
                 )
         others = [n for n in metrics.names() if n not in fams]
@@ -330,7 +327,20 @@ def write_json(path: str, doc) -> str:
 
 
 def _as_spans(traces_or_spans) -> list[Span]:
-    seq = list(traces_or_spans)
-    if seq and not isinstance(seq[0], Span):
-        return spans_of(seq)
-    return seq
+    return as_span_list(traces_or_spans)
+
+
+def span_latency_percentiles(
+    metrics: MetricRegistry, ps: tuple[float, ...] = (0.5, 0.95, 0.99)
+) -> dict[str, dict[str, float]]:
+    """``{family: {"p50": ..., "p95": ..., "p99": ...}}`` from the
+    auto-observed ``span.<name>.ns`` latency histograms of a registry —
+    the latency view the perf observatory records per scenario."""
+    out: dict[str, dict[str, float]] = {}
+    for name in metrics.names():
+        if not (name.startswith("span.") and name.endswith(".ns")):
+            continue
+        h = metrics.get(name)
+        if isinstance(h, Histogram) and h.count:
+            out[family_of(name[len("span."):-len(".ns")])] = h.percentiles(ps)
+    return out

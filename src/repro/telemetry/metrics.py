@@ -166,6 +166,16 @@ class Histogram:
                 return min(self.bounds[i], self.max)
         return self.max
 
+    def percentiles(
+        self, ps: tuple[float, ...] = (0.5, 0.95, 0.99)
+    ) -> dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` upper-edge estimates.
+
+        The one shared spelling of percentile extraction — report renderers
+        and the perf observatory consume this instead of re-deriving bucket
+        math.  Keys are ``p<100q>`` (``0.999`` -> ``p99.9``)."""
+        return {f"p{100 * p:g}": self.quantile(p) for p in ps}
+
     def nonzero_buckets(self) -> list[tuple[float, int]]:
         """``[(upper_edge, count)]`` for occupied buckets only."""
         out = []

@@ -1,0 +1,73 @@
+"""Direct coverage of the harness figure/CSV helpers.
+
+These were only exercised through the paper-figure pipeline before; the
+perf observatory reuses them, so they get their own contract tests:
+deterministic float formatting (no repr noise in committed artifacts)
+and directory creation on export.
+"""
+
+import csv
+import math
+
+from repro.harness.figures import (
+    ascii_chart,
+    fmt_float,
+    render_table,
+    series_to_rows,
+    write_csv,
+)
+
+
+def test_fmt_float_is_deterministic_and_repr_noise_free():
+    assert fmt_float(0.1 + 0.2) == "0.3"
+    assert fmt_float(1.0) == "1"
+    assert fmt_float(-4.0) == "-4"
+    assert fmt_float(2.5) == "2.5"
+    assert fmt_float(1234567.0) == "1.23457e+06"  # past the digit budget
+    assert fmt_float(0.000123456789) == "0.000123457"
+    assert fmt_float(float("nan")) == "nan"
+    assert fmt_float(float("inf")) == "inf"
+    assert fmt_float(3) == "3"          # non-floats pass through str()
+    assert fmt_float("PMCPY-A") == "PMCPY-A"
+    assert fmt_float(math.pi, digits=3) == "3.14"
+
+
+def test_render_table_formats_float_cells():
+    out = render_table("t", ["lib", "sec"],
+                       [("PMCPY-A", 0.1 + 0.2), ("ADIOS", 4.0)])
+    assert "0.3" in out and "0.30000000000000004" not in out
+    assert "| 4" in out
+    # header-only table still renders
+    empty = render_table("empty", ["a", "bb"], [])
+    assert "a" in empty and "bb" in empty
+
+
+def test_write_csv_creates_nested_dirs_and_formats_floats(tmp_path):
+    path = tmp_path / "deep" / "nested" / "out.csv"
+    got = write_csv(str(path), ["lib", "np", "sec"],
+                    [("PMCPY-A", 8, 0.1 + 0.2), ("ADIOS", 24, 1.0)])
+    assert got == str(path)
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    assert rows[0] == ["lib", "np", "sec"]
+    assert rows[1] == ["PMCPY-A", "8", "0.3"]
+    assert rows[2] == ["ADIOS", "24", "1"]
+
+
+def test_write_csv_is_byte_stable(tmp_path):
+    rows = [("x", i, 0.1 * i) for i in range(5)]
+    a = tmp_path / "a.csv"
+    b = tmp_path / "b.csv"
+    write_csv(str(a), ["n", "i", "v"], rows)
+    write_csv(str(b), ["n", "i", "v"], rows)
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_ascii_chart_and_series_rows():
+    series = {"PMCPY-A": {8: 1.0, 24: 2.0}, "ADIOS": {8: 4.0}}
+    chart = ascii_chart("fig6", series)
+    assert "#procs = 8" in chart and "#procs = 24" in chart
+    assert "PMCPY-A" in chart and "ADIOS" in chart
+    rows = series_to_rows(series)
+    assert ("PMCPY-A", 8, 1.0) in rows
+    assert ("ADIOS", 8, 4.0) in rows

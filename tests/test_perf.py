@@ -1,0 +1,350 @@
+"""The performance-regression observatory (``repro.perf``).
+
+Covers the ISSUE 5 acceptance bar: registry integrity, exact modeled-ns
+reproducibility of the deterministic scenarios, regression detection on
+a synthetic slowdown, span-family attribution ranking, the unified bench
+schema, and the baseline round-trip.  Real-measurement tests stick to
+the cheap single-rank scenarios so the suite stays tier-1 sized; the
+LOCK_OVERHEAD_NS selftest (which needs the 8-rank meta scenarios) is
+exercised through the same code path the CI job runs.
+"""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    DEFAULT_BASELINE_PATH,
+    MODELED_GATE_FRAC,
+    Measurement,
+    WallStats,
+    all_scenarios,
+    attribute_families,
+    baseline_from_runs,
+    compare_runs,
+    get,
+    load_baseline,
+    measure_scenario,
+    save_baseline,
+    select,
+    sparkline,
+)
+from repro.perf.__main__ import main as perf_main
+from repro.perf.scenarios import FIG_PROCS, GROUPS
+from repro.telemetry.bench import (
+    BENCH_SCHEMA,
+    bench_doc,
+    bench_env,
+    env_fingerprint,
+    load_bench,
+    validate_bench,
+    write_bench,
+)
+
+# ---------------------------------------------------------------------------
+# registry integrity
+# ---------------------------------------------------------------------------
+
+
+def test_registry_names_unique_and_grouped():
+    scenarios = all_scenarios()
+    names = [s.name for s in scenarios]
+    assert len(names) == len(set(names))
+    assert all(s.group in GROUPS for s in scenarios)
+    # every group is populated
+    assert {s.group for s in scenarios} == set(GROUPS)
+
+
+def test_registry_covers_paper_sweep():
+    from repro.harness.experiment import PAPER_LIBRARIES
+
+    names = {s.name for s in all_scenarios()}
+    for lib in PAPER_LIBRARIES:
+        for p in FIG_PROCS:
+            assert f"fig6.{lib}.{p}p" in names
+            assert f"fig7.{lib}.{p}p" in names
+    for micro in ("pmdk.alloc_churn", "pmdk.tx_commit", "meta.lock_striped",
+                  "meta.lock_single", "mem.memcpy_persist"):
+        assert micro in names
+
+
+def test_quick_selection_is_proper_subset():
+    quick = select(quick=True)
+    assert quick
+    assert len(quick) < len(all_scenarios())
+    assert all(s.quick for s in quick)
+    # every group still represented in the quick budget
+    assert {s.group for s in quick} == set(GROUPS)
+
+
+def test_select_by_name_and_group():
+    assert [s.name for s in select(names=["pmdk.tx_commit"])] == \
+        ["pmdk.tx_commit"]
+    assert all(s.group == "mem" for s in select(groups=("mem",)))
+    with pytest.raises(KeyError, match="unknown scenario"):
+        get("no.such.scenario")
+    with pytest.raises(ValueError, match="no scenarios"):
+        select(groups=("nope",))
+
+
+def test_meta_scenarios_declare_wider_tolerance():
+    for name in ("meta.lock_striped", "meta.lock_single"):
+        s = get(name)
+        assert not s.deterministic
+        assert s.modeled_tolerance_frac and \
+            s.modeled_tolerance_frac > MODELED_GATE_FRAC
+
+
+# ---------------------------------------------------------------------------
+# measurement: exact modeled-ns reproducibility
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["pmdk.tx_commit", "mem.memcpy_persist"])
+def test_deterministic_scenarios_reproduce_exactly(name):
+    s = get(name)
+    assert s.deterministic
+    a = measure_scenario(s, repeats=1)
+    b = measure_scenario(s, repeats=1)
+    assert a.modeled_ns == b.modeled_ns
+    assert a.families == b.families
+    assert a.modeled_ns > 0
+    assert a.families, "span families must be recorded"
+
+
+def test_measurement_run_record_round_trips():
+    m = measure_scenario(get("pmdk.tx_commit"), repeats=2)
+    rec = m.as_run()
+    back = Measurement.from_run(json.loads(json.dumps(rec)))
+    assert back.modeled_ns == m.modeled_ns
+    assert back.families == m.families
+    assert back.wall.samples == m.wall.samples
+    assert len(m.wall.samples) == 2
+    # tx scenario exercises the pmdk transaction spans
+    assert "pmdk.tx" in m.families
+
+
+def test_wall_stats_summary():
+    w = WallStats.from_samples([0.30, 0.10, 0.20, 0.40])
+    assert w.best_s == 0.10
+    assert w.median_s == 0.25
+    assert w.iqr_s == pytest.approx(0.15)  # inclusive q3-q1: 0.325-0.175
+    assert WallStats.from_samples([]).median_s == 0.0
+
+
+# ---------------------------------------------------------------------------
+# attribution ranking
+# ---------------------------------------------------------------------------
+
+
+def test_attribute_families_ranks_by_delta_and_shares_sum_to_one():
+    base = {"meta.lock": 100.0, "store.persist": 500.0, "memcpy": 50.0}
+    cur = {"meta.lock": 700.0, "store.persist": 600.0, "memcpy": 40.0}
+    ranked = attribute_families(base, cur)
+    assert [d.family for d in ranked] == \
+        ["meta.lock", "store.persist", "memcpy"]
+    assert ranked[0].delta_ns == 600.0
+    gained = [d for d in ranked if d.delta_ns > 0]
+    assert sum(d.share for d in gained) == pytest.approx(1.0)
+    assert ranked[0].share == pytest.approx(600.0 / 700.0)
+    # families only present on one side still appear
+    ranked2 = attribute_families({}, {"pmdk.tx": 5.0})
+    assert ranked2[0].family == "pmdk.tx" and ranked2[0].share == 1.0
+
+
+# ---------------------------------------------------------------------------
+# regression gating (synthetic records — no measurement needed)
+# ---------------------------------------------------------------------------
+
+
+def _run_record(name="mem.memcpy_persist", modeled=1_000_000.0,
+                families=None, wall=0.05, tol=None, group="mem"):
+    rec = {
+        "scenario": name,
+        "group": group,
+        "deterministic": True,
+        "modeled_ns": modeled,
+        "families": families or {"memcpy": modeled * 0.6,
+                                 "store.persist": modeled * 0.4},
+        "latency": {},
+        "wall": WallStats.from_samples([wall, wall * 1.02]).as_dict(),
+    }
+    if tol is not None:
+        rec["modeled_tolerance_frac"] = tol
+    return rec
+
+
+def test_compare_passes_on_identical_runs():
+    runs = [_run_record()]
+    baseline = baseline_from_runs(runs)
+    rep = compare_runs(baseline, runs, cur_env=bench_env())
+    assert rep.ok
+    assert rep.verdicts[0].status == "ok"
+    assert not rep.missing
+
+
+def test_compare_flags_modeled_regression_with_attribution():
+    base = [_run_record(modeled=1_000_000.0)]
+    slow = [_run_record(
+        modeled=1_060_000.0,
+        families={"memcpy": 600_000.0, "store.persist": 460_000.0},
+    )]
+    rep = compare_runs(baseline_from_runs(base), slow, cur_env=bench_env())
+    assert not rep.ok
+    v = rep.regressions[0]
+    assert v.status == "modeled-regression"
+    assert v.modeled_delta_frac == pytest.approx(0.06)
+    # all of the +60us landed in store.persist
+    assert v.attribution[0].family == "store.persist"
+    assert rep.top_family() == "store.persist"
+    assert "RESULT: FAIL" in rep.render()
+    assert "store.persist" in rep.render()
+
+
+def test_compare_reports_improvement_not_failure():
+    base = [_run_record(modeled=1_000_000.0)]
+    fast = [_run_record(modeled=900_000.0)]
+    rep = compare_runs(baseline_from_runs(base), fast, cur_env=bench_env())
+    assert rep.ok
+    assert rep.verdicts[0].status == "improved"
+
+
+def test_scenario_tolerance_widens_the_modeled_gate():
+    base = [_run_record(tol=0.03)]
+    wobbly = [_run_record(modeled=1_020_000.0, tol=0.03)]  # +2%
+    rep = compare_runs(baseline_from_runs(base), wobbly, cur_env=bench_env())
+    assert rep.ok, "within the declared 3% tolerance"
+    bad = [_run_record(modeled=1_050_000.0, tol=0.03)]     # +5%
+    rep = compare_runs(baseline_from_runs(base), bad, cur_env=bench_env())
+    assert not rep.ok
+
+
+def test_wall_gate_arms_only_on_matching_env():
+    base = [_run_record(wall=0.050)]
+    # modeled identical, wall 3x the baseline median
+    slow_wall = [_run_record(wall=0.150)]
+    baseline = baseline_from_runs(base)
+
+    rep = compare_runs(baseline, slow_wall, cur_env=bench_env())
+    assert rep.wall_gated and not rep.ok
+    assert rep.regressions[0].status == "wall-regression"
+
+    other_env = dict(bench_env(), machine="riscv128")
+    assert env_fingerprint(other_env) != env_fingerprint(bench_env())
+    rep = compare_runs(baseline, slow_wall, cur_env=other_env)
+    assert not rep.wall_gated and rep.ok, "env differs: wall is advisory"
+
+    rep = compare_runs(baseline, slow_wall, cur_env=other_env,
+                       wall_gate="on")
+    assert not rep.ok, "--wall-gate on forces the gate"
+    with pytest.raises(ValueError, match="auto|on|off"):
+        compare_runs(baseline, slow_wall, wall_gate="sometimes")
+
+
+def test_compare_tracks_new_and_missing_scenarios():
+    baseline = baseline_from_runs(
+        [_run_record(), _run_record(name="pmdk.tx_commit", group="pmdk")]
+    )
+    rep = compare_runs(
+        baseline,
+        [_run_record(), _run_record(name="fig6.X.8p", group="fig6")],
+        cur_env=bench_env(),
+    )
+    assert rep.ok  # new/missing are informational, not failures
+    assert {v.status for v in rep.verdicts} == {"ok", "new"}
+    assert rep.missing == ["pmdk.tx_commit"]
+
+
+# ---------------------------------------------------------------------------
+# the gate's own gate: inflated LOCK_OVERHEAD_NS -> meta.lock top-ranked
+# ---------------------------------------------------------------------------
+
+
+def test_selftest_inflated_lock_overhead_fails_with_meta_lock_top(capsys):
+    assert perf_main(["selftest", "--factor", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "TOP ATTRIBUTED FAMILY: meta.lock" in out
+    assert "RESULT: FAIL" in out  # the synthetic regression must fail
+
+
+# ---------------------------------------------------------------------------
+# baseline + bench artifacts
+# ---------------------------------------------------------------------------
+
+
+def test_baseline_round_trip(tmp_path):
+    runs = [_run_record(tol=0.03)]
+    doc = baseline_from_runs(runs)
+    path = save_baseline(str(tmp_path / "results" / "b.json"), doc)
+    back = load_baseline(path)
+    entry = back["scenarios"]["mem.memcpy_persist"]
+    assert entry["modeled_ns"] == 1_000_000.0
+    assert entry["modeled_tolerance_frac"] == 0.03
+    with pytest.raises(FileNotFoundError, match="update-baseline"):
+        load_baseline(str(tmp_path / "missing.json"))
+    with pytest.raises(ValueError, match="not a perf baseline"):
+        save_baseline(str(tmp_path / "x.json"), {"schema": "nope"})
+
+
+def test_bench_schema_validation(tmp_path):
+    doc = bench_doc("perf_scenarios", [_run_record()], quick=True)
+    assert validate_bench(doc) == []
+    assert doc["schema"] == BENCH_SCHEMA
+    path = write_bench(str(tmp_path / "BENCH_PERF.json"), doc)
+    back = load_bench(path)
+    assert back["bench"] == "perf_scenarios"
+    assert back["runs"][0]["scenario"] == "mem.memcpy_persist"
+    assert env_fingerprint(back["env"]) == env_fingerprint(bench_env())
+
+    bad = dict(doc, schema="other/9", runs="nope")
+    errs = validate_bench(bad)
+    assert any("schema" in e for e in errs)
+    assert any("runs" in e for e in errs)
+    with pytest.raises(ValueError, match="invalid bench"):
+        write_bench(str(tmp_path / "bad.json"), bad)
+
+
+def test_committed_baseline_matches_registry():
+    """The checked-in baseline must cover exactly the current registry, so
+    compare never reports spurious new/missing scenarios."""
+    doc = load_baseline(DEFAULT_BASELINE_PATH)
+    assert set(doc["scenarios"]) == {s.name for s in all_scenarios()}
+    for name, entry in doc["scenarios"].items():
+        assert entry["modeled_ns"] > 0, name
+        assert entry["families"], name
+
+
+# ---------------------------------------------------------------------------
+# CLI end-to-end (cheap scenario only)
+# ---------------------------------------------------------------------------
+
+
+def test_cli_run_compare_update_baseline_cycle(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    bench = str(tmp_path / "BENCH_PERF.json")
+    base = str(tmp_path / "results" / "perf_baseline.json")
+    args = ["--scenario", "pmdk.tx_commit", "--repeats", "1"]
+
+    assert perf_main(["run", "--out", bench] + args) == 0
+    # no baseline yet -> exit 2 with a pointer at update-baseline
+    assert perf_main(["compare", "--bench", bench, "--baseline", base]) == 2
+    assert perf_main(["update-baseline", "--bench", bench,
+                      "--baseline", base]) == 0
+    assert perf_main(["compare", "--bench", bench, "--baseline", base,
+                      "--json", str(tmp_path / "v.json"),
+                      "--report", str(tmp_path / "r.txt")]) == 0
+    verdicts = json.loads((tmp_path / "v.json").read_text())
+    assert verdicts["ok"] is True
+    assert verdicts["scenarios"][0]["scenario"] == "pmdk.tx_commit"
+    assert "RESULT: PASS" in (tmp_path / "r.txt").read_text()
+    assert perf_main(["report", "--bench", bench, "--baseline", base,
+                      "--history", bench]) == 0
+    out = capsys.readouterr().out
+    assert "pmdk.tx_commit" in out
+
+
+def test_sparkline_shape():
+    assert sparkline([]) == ""
+    assert len(sparkline([1.0, 2.0, 3.0])) == 3
+    flat = sparkline([5.0, 5.0])
+    assert len(set(flat)) == 1
