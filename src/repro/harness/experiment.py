@@ -39,6 +39,7 @@ class JobResult:
     telemetry: dict[str, float] = field(default_factory=dict)  # merged counters
     metrics: dict = field(default_factory=dict)   # MetricRegistry.as_dict()
     spans: list = field(default_factory=list)     # span dicts (trace export)
+    engine: str = "threads"  # rank engine that executed the run
 
     def row(self) -> tuple:
         return (self.library, self.nprocs, self.direction, round(self.seconds, 3))
@@ -84,6 +85,7 @@ def _job_result(library: str, nprocs: int, direction: str, res, cl) -> JobResult
         tel,
         reg.as_dict(),
         spans_to_dicts(spans_of(res.traces)),
+        engine=res.engine,
     )
 
 
@@ -95,10 +97,12 @@ def run_io_experiment(
     machine: MachineSpec = DEFAULT_MACHINE,
     directions: tuple[str, ...] = ("write", "read"),
     driver_override: tuple[str, dict] | None = None,
+    engine: str | None = None,
 ) -> list[JobResult]:
     """One cell of Fig. 6/7: write the 40 GB domain with ``library`` on
     ``nprocs`` ranks, then read it back symmetrically.  Returns one
-    JobResult per direction."""
+    JobResult per direction.  ``engine`` picks the rank engine (else
+    ``REPRO_ENGINE``, else threads)."""
     workload = workload or Domain3D()
     driver_name, driver_kw = (
         driver_override if driver_override else PAPER_LIBRARIES[library]
@@ -108,7 +112,9 @@ def run_io_experiment(
     out: list[JobResult] = []
 
     res_w = cl.run(
-        nprocs, lambda ctx: write_job(ctx, workload, driver_name, path, driver_kw)
+        nprocs,
+        lambda ctx: write_job(ctx, workload, driver_name, path, driver_kw),
+        engine=engine,
     )
     if "write" in directions:
         out.append(_job_result(library, nprocs, "write", res_w, cl))
@@ -116,6 +122,7 @@ def run_io_experiment(
         res_r = cl.run(
             nprocs,
             lambda ctx: read_job(ctx, workload, driver_name, path, driver_kw),
+            engine=engine,
         )
         out.append(_job_result(library, nprocs, "read", res_r, cl))
     return out

@@ -86,27 +86,17 @@ class Communicator:
         return ("mpi", self.name, self.ranks, self._op_seq, op)
 
     def _exchange(self, op: str, contribution) -> dict[int, object]:
-        """All members deposit; returns {comm_rank: contribution}."""
+        """All members deposit; returns {comm_rank: contribution}.
+
+        Thread engine: references move through the in-process board (the
+        receive paths copy).  Procs engine: contributions travel as pickled
+        blobs in shared-memory buffers — receivers inherently get copies.
+        A peer-rank failure surfaces as
+        :class:`~repro.errors.CollectiveAbortedError` (a casualty the
+        engine's root-cause unwinding skips).
+        """
         key = self._next_key(op)
-        board = self.ctx.board
-        with board.cond:
-            slot = board.data.setdefault(key, {"vals": {}, "taken": 0})
-            slot["vals"][self.rank] = contribution
-            if len(slot["vals"]) == self.size:
-                board.cond.notify_all()
-            else:
-                board.cond.wait_for(
-                    lambda: len(slot["vals"]) == self.size or board.aborted
-                )
-                if len(slot["vals"]) != self.size:
-                    raise CommunicatorError(
-                        f"collective {op} aborted: a peer rank failed"
-                    )
-            vals = slot["vals"]
-            slot["taken"] += 1
-            if slot["taken"] == self.size:
-                del board.data[key]
-            return vals
+        return self.ctx.board.exchange(key, self.rank, self.size, contribution)
 
     # ------------------------------------------------------------------ collectives
 
@@ -313,23 +303,13 @@ class Communicator:
         lo = self.rank < peer
         key = ("p2p", self.name, pair, tag, "lo2hi" if (sending == lo) else "hi2lo")
         if sending:
-            with board.cond:
-                q = board.data.setdefault(key, [])
-                q.append(obj)
-                board.cond.notify_all()
+            board.p2p_put(key, obj)
             charge_net(
                 self.ctx, self.ctx.model_bytes(obj_nbytes(obj)),
                 messages=1, note="send",
             )
             return None
-        with board.cond:
-            board.cond.wait_for(lambda: board.data.get(key) or board.aborted)
-            if not board.data.get(key):
-                raise CommunicatorError("recv aborted: peer rank failed")
-            q = board.data[key]
-            obj = q.pop(0)
-            if not q:
-                del board.data[key]
+        obj = board.p2p_take(key)
         charge_net(
             self.ctx, self.ctx.model_bytes(obj_nbytes(obj)),
             messages=1, note="recv",

@@ -38,7 +38,7 @@ from .baseline import (
     save_baseline,
 )
 from .compare import compare_runs
-from .measure import DEFAULT_REPEATS, QUICK_REPEATS, measure_all
+from .measure import DEFAULT_REPEATS, QUICK_REPEATS, Measurement, measure_all
 from .report import load_history, render_perf_report
 from .scenarios import get, select
 
@@ -47,7 +47,8 @@ BENCH_NAME = "perf_scenarios"
 
 
 def _measure(args) -> list[dict]:
-    scenarios = select(quick=args.quick, names=args.scenario or None)
+    scenarios = select(quick=args.quick, names=args.scenario or None,
+                       groups=getattr(args, "group", None) or None)
     repeats = args.repeats or (QUICK_REPEATS if args.quick
                                else DEFAULT_REPEATS)
 
@@ -165,11 +166,61 @@ def cmd_selftest(args) -> int:
     return 0
 
 
+def cmd_speedup(args) -> int:
+    """Gate the procs-vs-threads wall ratio of the ``procs.*`` twin pairs.
+
+    Small hosts can't demonstrate real parallelism, so the gate skips
+    (exit 0, explicit log line) below ``--min-cores``."""
+    ncpu = os.cpu_count() or 1
+    if ncpu < args.min_cores:
+        print(f"[speedup] SKIP: host has {ncpu} core(s); the "
+              f"procs-vs-threads wall comparison needs >= {args.min_cores} "
+              f"(--min-cores)")
+        return 0
+    doc = load_bench(args.bench)
+    pairs: dict[str, dict[str, Measurement]] = {}
+    for r in doc.get("runs", []):
+        m = Measurement.from_run(r)
+        if not m.scenario.startswith("procs."):
+            continue
+        stem, _, eng = m.scenario.rpartition(".")
+        if eng in ("threads", "procs"):
+            pairs.setdefault(stem, {})[eng] = m
+    checked = 0
+    ok = True
+    for stem in sorted(pairs):
+        pair = pairs[stem]
+        if "threads" not in pair or "procs" not in pair:
+            print(f"[speedup] {stem}: incomplete twin pair "
+                  f"({', '.join(sorted(pair))} only) — skipping")
+            continue
+        t = pair["threads"].wall.median_s
+        p = pair["procs"].wall.median_s
+        if p <= 0:
+            print(f"[speedup] {stem}: procs wall median is 0 — skipping")
+            continue
+        ratio = t / p
+        checked += 1
+        good = ratio >= args.expect
+        ok = ok and good
+        print(f"[speedup] {stem}: threads {t:.3f}s / procs {p:.3f}s "
+              f"= {ratio:.2f}x "
+              f"({'ok' if good else f'below the {args.expect:g}x gate'})")
+    if checked == 0:
+        print(f"[speedup] SKIP: no complete procs.* twin pairs in "
+              f"{args.bench} — run `python -m repro.perf run --group procs` "
+              f"on a multi-core host first")
+        return 0
+    return 0 if ok else 1
+
+
 def _add_measure_args(p, *, out: bool) -> None:
     p.add_argument("--quick", action="store_true",
                    help="small CI budget: quick scenarios, fewer repeats")
     p.add_argument("--scenario", action="append", metavar="NAME",
                    help="measure only NAME (repeatable)")
+    p.add_argument("--group", action="append", metavar="GROUP",
+                   help="measure only scenarios in GROUP (repeatable)")
     p.add_argument("--repeats", type=int, default=None,
                    help="wall samples per scenario")
     if out:
@@ -212,6 +263,15 @@ def main(argv=None) -> int:
     p.add_argument("--history", action="append", metavar="GLOB",
                    help="prior BENCH files (glob, repeatable)")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("speedup",
+                       help="gate procs-vs-threads wall ratio (procs.* pairs)")
+    p.add_argument("--bench", default=DEFAULT_BENCH_PATH)
+    p.add_argument("--min-cores", type=int, default=2,
+                   help="skip (exit 0) on hosts with fewer cores")
+    p.add_argument("--expect", type=float, default=4.0,
+                   help="minimum threads/procs wall ratio")
+    p.set_defaults(fn=cmd_speedup)
 
     p = sub.add_parser("selftest",
                        help="synthetic slowdown must fail with meta.lock top")

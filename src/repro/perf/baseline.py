@@ -23,7 +23,10 @@ import os
 from ..telemetry.bench import bench_env
 from .measure import Measurement
 
-BASELINE_SCHEMA = "repro-perf-baseline/1"
+BASELINE_SCHEMA = "repro-perf-baseline/2"
+#: schema /1 predates the rank-engine column; loaded baselines are shimmed
+#: in memory (every scenario ran under the threads engine back then)
+_BASELINE_SCHEMA_V1 = "repro-perf-baseline/1"
 DEFAULT_BASELINE_PATH = os.path.join("results", "perf_baseline.json")
 
 
@@ -35,6 +38,7 @@ def baseline_from_runs(runs: list[dict], env: dict | None = None) -> dict:
         entry = {
             "group": m.group,
             "deterministic": m.deterministic,
+            "engine": m.engine,
             "modeled_ns": m.modeled_ns,
             "families": dict(m.families),
             "latency": dict(m.latency),
@@ -70,6 +74,8 @@ def load_baseline(path: str) -> dict:
         )
     with open(path) as f:
         doc = json.load(f)
+    if doc.get("schema") == _BASELINE_SCHEMA_V1:
+        doc = migrate_v1(doc)
     if doc.get("schema") != BASELINE_SCHEMA:
         raise ValueError(
             f"{path}: schema {doc.get('schema')!r} is not {BASELINE_SCHEMA!r}"
@@ -77,3 +83,17 @@ def load_baseline(path: str) -> dict:
     if not isinstance(doc.get("scenarios"), dict) or not doc["scenarios"]:
         raise ValueError(f"{path}: baseline has no scenarios")
     return doc
+
+
+def migrate_v1(doc: dict) -> dict:
+    """Shim a schema /1 baseline up to /2: stamp the engine column.
+
+    Every /1 baseline was measured before the procs engine existed, so
+    each scenario entry gains ``engine: "threads"``."""
+    out = dict(doc)
+    out["schema"] = BASELINE_SCHEMA
+    out["scenarios"] = {
+        name: {**entry, "engine": entry.get("engine", "threads")}
+        for name, entry in doc.get("scenarios", {}).items()
+    }
+    return out

@@ -36,7 +36,7 @@ WALL_FLOOR_FRAC = 0.25
 WALL_ABS_FLOOR_S = 0.05
 
 #: verdict statuses that fail the gate
-FAILING = ("modeled-regression", "wall-regression")
+FAILING = ("modeled-regression", "wall-regression", "engine-mismatch")
 
 
 @dataclass
@@ -86,7 +86,11 @@ def attribute_families(base: dict, cur: dict,
 @dataclass
 class ScenarioVerdict:
     scenario: str
-    status: str  # ok | improved | modeled-regression | wall-regression | new
+    # ok | improved | modeled-regression | wall-regression | engine-mismatch
+    # | new
+    status: str
+    base_engine: str = "threads"
+    cur_engine: str = "threads"
     base_modeled_ns: float = 0.0
     cur_modeled_ns: float = 0.0
     modeled_delta_frac: float = 0.0
@@ -104,6 +108,8 @@ class ScenarioVerdict:
         d = {
             "scenario": self.scenario,
             "status": self.status,
+            "base_engine": self.base_engine,
+            "cur_engine": self.cur_engine,
             "base_modeled_ns": self.base_modeled_ns,
             "cur_modeled_ns": self.cur_modeled_ns,
             "modeled_delta_frac": round(self.modeled_delta_frac, 6),
@@ -168,6 +174,12 @@ class CompareReport:
                 f"({v.modeled_delta_frac * +100:+.2f}% vs baseline)  "
                 f"wall {v.wall_cur_median_s:.3f}s"
             )
+            if v.status == "engine-mismatch":
+                lines.append(
+                    f"      baseline engine {v.base_engine!r} vs run engine "
+                    f"{v.cur_engine!r} — re-measure or refresh the baseline "
+                    f"under the matching engine"
+                )
             if v.failed and v.attribution:
                 lines.append("      slowdown attribution "
                              "(exclusive-time delta by span family):")
@@ -217,7 +229,23 @@ def compare_runs(
         base = base_scenarios.get(m.scenario)
         if base is None:
             verdicts.append(ScenarioVerdict(
-                m.scenario, "new", cur_modeled_ns=m.modeled_ns,
+                m.scenario, "new", cur_engine=m.engine,
+                cur_modeled_ns=m.modeled_ns,
+                wall_cur_median_s=m.wall.median_s,
+            ))
+            continue
+        base_engine = str(base.get("engine", "threads"))
+        if m.engine != base_engine:
+            # apples-to-oranges: a run measured under one rank engine must
+            # never silently pass (or fail) against the other engine's
+            # figures — the baseline needs a refresh instead
+            verdicts.append(ScenarioVerdict(
+                m.scenario, "engine-mismatch",
+                base_engine=base_engine, cur_engine=m.engine,
+                base_modeled_ns=float(base["modeled_ns"]),
+                cur_modeled_ns=m.modeled_ns,
+                wall_base_median_s=float(
+                    base.get("wall", {}).get("median_s", 0.0)),
                 wall_cur_median_s=m.wall.median_s,
             ))
             continue
@@ -253,6 +281,7 @@ def compare_runs(
         ) if status != "ok" else []
         verdicts.append(ScenarioVerdict(
             m.scenario, status,
+            base_engine=base_engine, cur_engine=m.engine,
             base_modeled_ns=base_ns,
             cur_modeled_ns=m.modeled_ns,
             modeled_delta_frac=delta_frac,

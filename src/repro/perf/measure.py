@@ -82,12 +82,14 @@ class Measurement:
     latency: dict
     wall: WallStats
     modeled_tolerance_frac: float | None = None
+    engine: str = "threads"
 
     def as_run(self) -> dict:
         out = {
             "scenario": self.scenario,
             "group": self.group,
             "deterministic": self.deterministic,
+            "engine": self.engine,
             "modeled_ns": self.modeled_ns,
             "families": dict(self.families),
             "latency": dict(self.latency),
@@ -109,6 +111,7 @@ class Measurement:
             latency=d.get("latency", {}),
             wall=WallStats.from_dict(d.get("wall", {})),
             modeled_tolerance_frac=float(tol) if tol is not None else None,
+            engine=d.get("engine", "threads"),
         )
 
 
@@ -147,13 +150,19 @@ def measure_scenario(scenario: Scenario,
         latency=record.get("latency", {}),
         wall=WallStats.from_samples(samples),
         modeled_tolerance_frac=scenario.modeled_tolerance_frac,
+        engine=getattr(scenario, "engine", "threads"),
     )
 
 
 def measure_all(scenarios, repeats: int = DEFAULT_REPEATS,
-                progress=None) -> list[Measurement]:
+                progress=None, skip_log=print) -> list[Measurement]:
     out = []
     for s in scenarios:
+        skip = getattr(s, "skip", None)
+        reason = skip() if skip is not None else None
+        if reason:
+            skip_log(f"[perf] SKIP {s.name}: {reason}")
+            continue
         m = measure_scenario(s, repeats)
         if progress is not None:
             progress(m)

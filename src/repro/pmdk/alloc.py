@@ -48,6 +48,35 @@ def _align(n: int) -> int:
     return -(-n // ALIGN) * ALIGN
 
 
+class _SharedHeapGuard:
+    """Cross-process replacement for the heap's RLock: entry refreshes the
+    volatile maps if another process mutated the heap; exit bumps the shared
+    generation (conservatively — guarded sections are almost always
+    mutations, and a spurious peer re-walk is cheap and uncharged)."""
+
+    __slots__ = ("_heap", "_core", "_genblk")
+
+    def __init__(self, heap, core, genblk):
+        self._heap = heap
+        self._core = core
+        self._genblk = genblk
+
+    def __enter__(self):
+        self._core.acquire()
+        gen = self._genblk.u64(0)
+        if gen != self._heap._gen:
+            self._heap._rebuild_from_view()
+            self._heap._gen = gen
+        return self
+
+    def __exit__(self, *exc):
+        gen = self._genblk.u64(0) + 1
+        self._genblk.set_u64(0, gen)
+        self._heap._gen = gen
+        self._core.release()
+        return False
+
+
 class Heap:
     """Allocator over ``[heap_off, heap_off + heap_size)`` of a pool."""
 
@@ -60,14 +89,76 @@ class Heap:
         self._free: dict[int, int] = {}      # block off -> total size
         self._free_sorted: list[int] = []    # offsets, ascending
         self._used: dict[int, int] = {}      # block off -> total size
+        self._gen = -1                       # shared mode: last synced gen
+
+    # ------------------------------------------------------------------ shared mode
+
+    def enable_shared(self, provider) -> None:
+        """Swap the in-process heap lock for a cross-process guard.
+
+        The volatile free/used maps stay per-process *caches* of the durable
+        boundary tags; a generation word in shared memory is bumped on every
+        guarded section, and a process entering the guard with a stale local
+        generation re-walks the device tags — through uncharged ``view``
+        reads, so modeled time is identical to the thread engine, where the
+        maps are simply shared objects.
+        """
+        core = provider.mutex_core(("heap", self.heap_off), reentrant=True)
+        genblk = provider.state_block(("heap-gen", self.heap_off), 16)
+        self._gen = -1
+        self.lock = _SharedHeapGuard(self, core, genblk)
+
+    def _rebuild_from_view(self) -> None:
+        """Re-derive the volatile maps from the on-device boundary tags
+        (uncharged: peers' volatile state was never paid for under threads
+        either — the durable tags are the only truth)."""
+        self._free.clear()
+        self._free_sorted = []
+        self._used.clear()
+        pos = self.heap_off
+        while pos < self.heap_end:
+            raw = bytes(self.pool.view(pos, HEADER_SIZE))
+            size, status, magic, _pad = _HDR.unpack(raw)
+            if magic != BLOCK_MAGIC or size < ALIGN or size % ALIGN or \
+               pos + size > self.heap_end:
+                raise PoolCorruptError(
+                    f"heap corrupt at {pos}: size={size} status={status:#x} "
+                    f"magic={magic:#x}"
+                )
+            if status == STATUS_FREE:
+                self._insert_free(pos, size)
+            elif status == STATUS_USED:
+                self._used[pos] = size
+            else:
+                raise PoolCorruptError(f"heap corrupt at {pos}: bad status")
+            pos += size
 
     # ------------------------------------------------------------------ format/rebuild
 
     @classmethod
     def format(cls, ctx, pool, heap_off: int, heap_size: int) -> "Heap":
+        """Format the heap as free space.
+
+        SPMD formats (``ctx.nprocs > 1``) pre-partition it into one free
+        region per rank lane, separated by minimal *used* fence blocks, so
+        no later allocation ever rewrites a boundary tag inside another
+        rank's lane: every split, header pre-image, and undo-log record a
+        rank produces involves only offsets its own deterministic
+        allocation sequence reaches.  The fences are permanently allocated
+        (64 bytes per boundary), which also keeps coalescing from merging
+        free space across lanes.  Single-rank formats keep the classic
+        one-big-free-block layout.
+        """
         heap = cls(pool, heap_off, heap_size)
-        heap._write_block(ctx, heap_off, heap.heap_size, STATUS_FREE)
-        heap._insert_free(heap_off, heap.heap_size)
+        spans = heap._lane_spans(getattr(ctx, "nprocs", 1) or 1)
+        prev_end = heap_off
+        for lo, hi in spans:
+            if lo > prev_end:
+                heap._write_block(ctx, prev_end, lo - prev_end, STATUS_USED)
+                heap._used[prev_end] = lo - prev_end
+            heap._write_block(ctx, lo, hi - lo, STATUS_FREE)
+            heap._insert_free(lo, hi - lo)
+            prev_end = hi
         return heap
 
     @classmethod
@@ -124,6 +215,63 @@ class Heap:
 
     # ------------------------------------------------------------------ malloc/free
 
+    def _lane_spans(self, nprocs: int) -> list[tuple[int, int]]:
+        """Arithmetic partition of the heap into per-rank lanes.
+
+        Every process computes the same spans from ``(heap_size, nprocs)``
+        alone — no shared allocator state — so concurrent ranks get
+        engine-independent block *addresses* no matter how the thread and
+        process engines interleave their mallocs (libpmemobj stripes
+        per-thread arenas for the same reason, there for lock contention).
+        Lane 0 starts at ``heap_off``; each later lane starts one fence
+        block (:data:`ALIGN` bytes) past its boundary — see
+        :meth:`format`.  Degenerate partitions collapse to one span.
+        """
+        if nprocs <= 1:
+            return [(self.heap_off, self.heap_end)]
+        q = (self.heap_size // nprocs) // ALIGN * ALIGN
+        if q < 4 * MIN_BLOCK:  # lanes too small to be useful
+            return [(self.heap_off, self.heap_end)]
+        spans = []
+        for lane in range(nprocs):
+            lo = self.heap_off + lane * q + (ALIGN if lane else 0)
+            hi = (self.heap_end if lane == nprocs - 1
+                  else self.heap_off + (lane + 1) * q)
+            spans.append((lo, hi))
+        return spans
+
+    def _rank_window(self, ctx) -> tuple[int, int] | None:
+        """Deterministic per-rank allocation window for SPMD runs: rank
+        ``r`` allocates first-fit inside lane ``r`` and falls back to a
+        whole-heap scan only when its lane is exhausted.  Single-rank runs
+        use the classic whole-heap first fit."""
+        nprocs = getattr(ctx, "nprocs", 1) or 1
+        if nprocs <= 1:
+            return None
+        spans = self._lane_spans(nprocs)
+        if len(spans) == 1:
+            return None
+        return spans[getattr(ctx, "rank", 0) % nprocs]
+
+    def _find_block(self, ctx, total: int) -> tuple[int, int]:
+        """Pick a free block and the carve offset inside it for ``total``
+        bytes: first fit within the rank's lane window when one applies,
+        else (or on lane exhaustion) classic whole-heap first fit."""
+        window = self._rank_window(ctx)
+        if window is not None:
+            lo, hi = window
+            for off in self._free_sorted:
+                cut = max(off, lo)
+                if cut + total <= min(off + self._free[off], hi):
+                    return off, cut
+        for off in self._free_sorted:
+            if self._free[off] >= total:
+                return off, off
+        raise AllocationError(
+            f"out of pool memory: need {total} bytes "
+            f"(free: {sum(self._free.values())})"
+        )
+
     def malloc(self, ctx, size: int, tx=None) -> int:
         """Allocate ``size`` user bytes; returns the *user* offset."""
         if size <= 0:
@@ -135,16 +283,7 @@ class Heap:
                 return self.malloc(ctx, size, tx=itx)
         total = _align(HEADER_SIZE + size + FOOTER_SIZE)
         with self.lock:
-            block = None
-            for off in self._free_sorted:
-                if self._free[off] >= total:
-                    block = off
-                    break
-            if block is None:
-                raise AllocationError(
-                    f"out of pool memory: need {total} bytes "
-                    f"(free: {sum(self._free.values())})"
-                )
+            block, cut = self._find_block(ctx, total)
             bsize = self._remove_free(block)
             if tx is not None:
                 tx.add_range(block, HEADER_SIZE)
@@ -152,26 +291,35 @@ class Heap:
                 # used block's); log its pre-image so rollback restores the
                 # boundary tag exactly
                 tx.add_range(block + bsize - FOOTER_SIZE, FOOTER_SIZE)
-            remainder = bsize - total
+            head = cut - block
+            if head:
+                # lane-window carve: the gap before the window boundary
+                # stays a standalone free block (any 64-multiple ≥ ALIGN
+                # is walk-valid, so no MIN_BLOCK floor here)
+                self._write_block(ctx, block, head, STATUS_FREE)
+                self._insert_free(block, head)
+            remainder = bsize - head - total
             if remainder >= MIN_BLOCK:
-                self._write_block(ctx, block + total, remainder, STATUS_FREE)
-                self._insert_free(block + total, remainder)
+                self._write_block(ctx, cut + total, remainder, STATUS_FREE)
+                self._insert_free(cut + total, remainder)
             else:
-                total = bsize
-            self._write_block(ctx, block, total, STATUS_USED)
-            self._used[block] = total
+                total += remainder
+            self._write_block(ctx, cut, total, STATUS_USED)
+            self._used[cut] = total
             if tx is not None:
                 # the undo log restores the device image on abort; these
                 # mirror that restoration in the volatile maps
-                final_total, final_rem = total, remainder
+                final_total, final_rem, final_head = total, remainder, head
                 def _rollback_volatile():
                     with self.lock:
-                        self._used.pop(block, None)
-                        if final_rem >= MIN_BLOCK and (block + final_total) in self._free:
-                            self._remove_free(block + final_total)
+                        self._used.pop(cut, None)
+                        if final_head and block in self._free:
+                            self._remove_free(block)
+                        if final_rem >= MIN_BLOCK and (cut + final_total) in self._free:
+                            self._remove_free(cut + final_total)
                         self._insert_free(block, bsize)
                 tx.on_abort(_rollback_volatile)
-            return block + HEADER_SIZE
+            return cut + HEADER_SIZE
 
     def free(self, ctx, user_off: int, tx=None) -> None:
         if tx is None:

@@ -18,9 +18,9 @@ atomic frees).
 from __future__ import annotations
 
 import struct
-import threading
 
 from ..errors import PmdkError
+from ..shm.sync import CoreLock
 from .locks import LOCK_OVERHEAD_NS, fnv1a64
 from .tx import Transaction
 
@@ -40,7 +40,13 @@ class PmemHashmap:
     def __init__(self, pool, hdr_off: int):
         self.pool = pool
         self.hdr_off = hdr_off
-        self._lock = threading.RLock()
+        # arbitration comes from the pool's lock provider, keyed by the
+        # table's offset: in-process under threads, cross-process when the
+        # pool is attached to a shared domain — the charged map-lock delay
+        # and every chain read are identical either way
+        self._lock = CoreLock(
+            pool.locks.mutex_core(("hashmap", hdr_off), reentrant=True)
+        )
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -106,15 +112,42 @@ class PmemHashmap:
 
     # ------------------------------------------------------------------ public API
 
-    def put(self, ctx, key: bytes, value: bytes) -> None:
-        """Insert or replace, crash-atomically."""
+    def put(self, ctx, key: bytes, value: bytes, *, reserve: int = 0) -> None:
+        """Insert or replace, crash-atomically.
+
+        ``reserve`` asks for at least that much value-blob capacity on
+        insert; a later replace whose value fits the existing blob's
+        capacity is done *in place* (undo-logged overwrite) instead of
+        allocate-new/free-old.  Frequently rewritten records thereby keep
+        one stable blob address for their whole life — which also keeps
+        pool layout independent of how concurrent writers interleave.
+        """
         if not isinstance(key, bytes) or not key:
             raise PmdkError("key must be non-empty bytes")
         with self._lock:
             ctx.delay(LOCK_OVERHEAD_NS, note="map-lock")
             slot, ptr_off, entry, fields = self._find(ctx, key)
+            if entry and value and \
+                    len(value) <= self.pool.usable_size(fields["val_off"]):
+                with Transaction(self.pool, ctx) as tx:
+                    # snapshot the live value bytes plus the length word,
+                    # then overwrite in place
+                    tx.add_range(
+                        fields["val_off"],
+                        max(fields["val_len"], len(value)),
+                    )
+                    self.pool.write(ctx, fields["val_off"], value)
+                    self.pool.persist(ctx, fields["val_off"], len(value))
+                    tx.add_range(entry + 24, 16)
+                    self.pool.write(
+                        ctx, entry + 24,
+                        struct.pack("<QQ", fields["val_off"], len(value)),
+                    )
+                return
             with Transaction(self.pool, ctx) as tx:
-                val_off = self.pool.malloc(ctx, max(len(value), 1), tx=tx)
+                val_off = self.pool.malloc(
+                    ctx, max(len(value), 1, reserve), tx=tx
+                )
                 if value:
                     self.pool.write(ctx, val_off, value)
                     self.pool.persist(ctx, val_off, len(value))

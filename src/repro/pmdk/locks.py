@@ -35,9 +35,8 @@ on independent lock lanes.
 
 from __future__ import annotations
 
-import threading
-
 from ..errors import PmdkError
+from ..shm.sync import _ThreadRWCore as _RWCore  # noqa: F401 - re-export
 from ..telemetry import metrics_for
 
 #: modeled cost of an uncontended persistent-lock acquire/release pair
@@ -65,69 +64,6 @@ def fnv1a64(data: bytes) -> int:
     return h
 
 
-class _RWCore:
-    """Volatile reader-writer arbitration: writer-preferring, non-reentrant.
-
-    ``acquire_*`` return True when the caller had to contend (someone held
-    or was queued for the lock in an incompatible mode at entry) — the
-    signal behind the ``meta.lock.contended`` telemetry counter.
-    """
-
-    __slots__ = ("_cond", "_readers", "_writer", "_waiting_writers")
-
-    def __init__(self):
-        self._cond = threading.Condition()
-        self._readers: set = set()
-        self._writer = None
-        self._waiting_writers = 0
-
-    def _check_reentry(self, me) -> None:
-        if me is self._writer or me in self._readers:
-            raise PmdkError(
-                "non-reentrant lock acquired again by its holding thread"
-            )
-
-    def acquire_read(self) -> bool:
-        me = threading.current_thread()
-        with self._cond:
-            self._check_reentry(me)
-            contended = self._writer is not None or self._waiting_writers > 0
-            while self._writer is not None or self._waiting_writers > 0:
-                self._cond.wait()
-            self._readers.add(me)
-            return contended
-
-    def acquire_write(self) -> bool:
-        me = threading.current_thread()
-        with self._cond:
-            self._check_reentry(me)
-            contended = self._writer is not None or bool(self._readers)
-            self._waiting_writers += 1
-            try:
-                while self._writer is not None or self._readers:
-                    self._cond.wait()
-            finally:
-                self._waiting_writers -= 1
-            self._writer = me
-            return contended
-
-    def release_read(self) -> None:
-        me = threading.current_thread()
-        with self._cond:
-            if me not in self._readers:
-                raise PmdkError("releasing a read lock this thread holds not")
-            self._readers.discard(me)
-            self._cond.notify_all()
-
-    def release_write(self) -> None:
-        me = threading.current_thread()
-        with self._cond:
-            if me is not self._writer:
-                raise PmdkError("releasing a write lock this thread holds not")
-            self._writer = None
-            self._cond.notify_all()
-
-
 class PmemMutex:
     """Robust persistent mutex (``pmemobj_mutex``-style, non-reentrant)."""
 
@@ -136,8 +72,7 @@ class PmemMutex:
         self.pool = pool
         self.off = off
         self.name = name or f"pmem-mutex@{id(pool):x}+{off}"
-        self._vlock = threading.Lock()
-        self._holder_thread = None
+        self._core = pool.locks.mutex_core(("mutex", off))
         if recover:
             if ctx is None:
                 raise PmdkError("recover requires a ctx to charge the store")
@@ -162,14 +97,7 @@ class PmemMutex:
         Re-acquiring from the holding thread raises :class:`PmdkError` —
         the modeled ``pmemobj_mutex`` is non-reentrant.
         """
-        if self._holder_thread is threading.current_thread():
-            raise PmdkError(
-                f"non-reentrant mutex {self.name!r} re-acquired by its holder"
-            )
-        contended = not self._vlock.acquire(blocking=False)
-        if contended:
-            self._vlock.acquire()
-        self._holder_thread = threading.current_thread()
+        contended = self._core.acquire()
         self.pool.write_u64(ctx, self.off, ctx.rank + 1)
         ctx.delay(LOCK_OVERHEAD_NS, note="pmem-lock")
         ctx.lock_acquired(self.name)
@@ -185,8 +113,7 @@ class PmemMutex:
             )
         self.pool.write_u64(ctx, self.off, 0)
         ctx.lock_released(self.name)
-        self._holder_thread = None
-        self._vlock.release()
+        self._core.release()
 
     def holder(self, ctx) -> int | None:
         owner = self.pool.read_u64(ctx, self.off)
@@ -229,7 +156,7 @@ class PmemRWLock:
         self.off = off
         self.name = name or f"pmem-rwlock@{id(pool):x}+{off}"
         self.replay = replay
-        self._core = _RWCore()
+        self._core = pool.locks.rw_core(("rw", off))
         if recover:
             if ctx is None:
                 raise PmdkError("recover requires a ctx to charge the store")
@@ -321,10 +248,10 @@ class VolatileRWLock:
     serialization, and the discipline-checker events are identical.
     """
 
-    def __init__(self, name: str, *, replay: bool = True):
+    def __init__(self, name: str, *, replay: bool = True, core=None):
         self.name = name
         self.replay = replay
-        self._core = _RWCore()
+        self._core = core if core is not None else _RWCore()
 
     def acquire_read(self, ctx) -> bool:
         contended = self._core.acquire_read()

@@ -43,7 +43,14 @@ class Transaction:
     # ------------------------------------------------------------------ lifecycle
 
     def __enter__(self) -> "Transaction":
-        self.lane = self.pool.acquire_lane()
+        # rank-keyed lane preference: a rank's transactions land in the
+        # same lane whenever it is free, so lane-log placement (and hence
+        # which log pages each rank first-touches) does not depend on how
+        # concurrent transactions happened to interleave — the thread and
+        # process engines produce identical pool images and fault charges
+        rank = getattr(self.ctx, "rank", None)
+        preferred = rank % self.pool.nlanes if rank is not None else None
+        self.lane = self.pool.acquire_lane(preferred=preferred)
         self._log_pos = self.pool.lane_offset(self.lane) + 8
         # the tx span covers the whole scope, commit/abort included, and is
         # closed in __exit__'s finally so an aborting exception can't leak it

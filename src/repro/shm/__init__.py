@@ -1,0 +1,44 @@
+"""Cross-process shared memory: heap, locks, atomics, rendezvous board.
+
+This is the substrate the **procs** rank engine runs on
+(:mod:`repro.sim.procengine`).  Everything here follows one discipline,
+borrowed from mpmetrics-style prefork heaps:
+
+- the :class:`~repro.shm.heap.SharedHeap` is an anonymous ``MAP_SHARED``
+  mmap created *before* fork, so every worker inherits the same physical
+  pages;
+- all allocator and primitive *state* lives in the mapping itself (never in
+  Python object attributes), so a handle can be reconstructed in any
+  process from a plain ``(offset, size)`` pair — prefork-created handles
+  survive fork, postfork-created handles are discoverable through the
+  in-mapping registry;
+- every blocking wait is a bounded poll that also watches a domain-wide
+  abort word, so a worker SIGKILLed mid-critical-section can never hang its
+  peers forever — the parent detects the death and aborts the domain.
+"""
+
+from .heap import PAGE_SIZE, SharedHeap, ShmBlock
+from .sync import (
+    LocalLockProvider,
+    ShmBarrier,
+    ShmLaneCell,
+    ShmLockProvider,
+    ShmMutexCore,
+    ShmRWCore,
+    ShmSyncDomain,
+)
+from .board import ProcBoard
+
+__all__ = [
+    "PAGE_SIZE",
+    "SharedHeap",
+    "ShmBlock",
+    "ShmSyncDomain",
+    "ShmMutexCore",
+    "ShmRWCore",
+    "ShmBarrier",
+    "ShmLaneCell",
+    "LocalLockProvider",
+    "ShmLockProvider",
+    "ProcBoard",
+]

@@ -1,0 +1,186 @@
+"""Cross-process rendezvous board: the procs-engine twin of the thread
+engine's ``SharedBoard``.
+
+Values move through *shared buffers*: each deposit pickles its payload into
+a heap blob; the index (key → blob refs) is itself a pickled dict in a
+control block, rewritten under the board semaphore.  One pickle in, one
+pickle out — receivers always get their own copy, which is exactly the MPI
+no-aliasing semantics the thread board emulates with explicit copies.
+
+The board implements the same protocol surface the MPI layer uses on the
+thread board (``exchange`` / ``p2p_put`` / ``p2p_take`` / ``put`` / ``get``
+/ ``functional_barrier`` / ``aborted`` / ``abort_all_barriers``), so
+:mod:`repro.mpi.comm` is engine-agnostic.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+from ..errors import CollectiveAbortedError
+from .sync import ShmBarrier, ShmSyncDomain
+
+
+class ProcBoard:
+    """One per run; construct prefork (the control block must exist in the
+    shared heap before workers fork)."""
+
+    def __init__(self, domain: ShmSyncDomain):
+        self.domain = domain
+        self._sem = domain.sem_for(("board",))
+        # epoch | index blob off | index blob cap | index blob len
+        self._ctl = domain.state_block(("board", "ctl"), 32)
+
+    # -- index management (always under the board semaphore) -------------------
+
+    def _load_index(self) -> dict:
+        if self._ctl.u64(0) != self.domain.epoch:
+            # new run: forget the previous run's index (its blobs die with
+            # the run; the heap is per-cluster and reclaimed wholesale)
+            self._ctl.set_u64(0, self.domain.epoch)
+            self._ctl.set_u64(1, 0)
+            self._ctl.set_u64(3, 0)
+            return {}
+        off, length = self._ctl.u64(1), self._ctl.u64(3)
+        if not off or not length:
+            return {}
+        return pickle.loads(self.domain.heap.read_bytes(off, length))
+
+    def _store_index(self, index: dict) -> None:
+        blob = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
+        off, cap = self._ctl.u64(1), self._ctl.u64(2)
+        if len(blob) > cap:
+            if off:
+                self.domain.heap.free(self.domain.heap.block_at(off, cap))
+            blk = self.domain.heap.alloc(max(len(blob), 4096), zero=False)
+            off, cap = blk.off, blk.size
+            self._ctl.set_u64(1, off)
+            self._ctl.set_u64(2, cap)
+        self.domain.heap.write_bytes(off, blob)
+        self._ctl.set_u64(3, len(blob))
+
+    def _put_blob(self, value) -> tuple[int, int, int]:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blk = self.domain.heap.alloc(max(len(blob), 64), zero=False)
+        self.domain.heap.write_bytes(blk.off, blob)
+        return blk.off, blk.size, len(blob)
+
+    def _get_blob(self, ref) -> object:
+        off, _cap, length = ref
+        return pickle.loads(self.domain.heap.read_bytes(off, length))
+
+    def _free_blob(self, ref) -> None:
+        off, cap, _length = ref
+        self.domain.heap.free(self.domain.heap.block_at(off, cap))
+
+    # -- abort plumbing --------------------------------------------------------
+
+    @property
+    def aborted(self) -> bool:
+        return self.domain.aborted
+
+    def abort_all_barriers(self) -> None:
+        # every shm wait polls the domain abort word; no enumeration needed
+        self.domain.abort()
+
+    def functional_barrier(self, participants: tuple[int, ...]) -> ShmBarrier:
+        return ShmBarrier(
+            self.domain, ("board", "barrier", participants), len(participants)
+        )
+
+    # -- collective exchange ---------------------------------------------------
+
+    def exchange(self, key, rank: int, nparties: int, value) -> dict:
+        """Deposit ``value`` as ``rank``; block until all ``nparties``
+        deposited; return {rank: value}.  The last reader cleans up."""
+        ref = self._put_blob(value)
+        kid = ("x", key)
+        with self._sem:
+            index = self._load_index()
+            slot = index.setdefault(kid, {"vals": {}, "taken": 0})
+            slot["vals"][rank] = ref
+            self._store_index(index)
+
+        def full() -> bool:
+            with self._sem:
+                index = self._load_index()
+                slot = index.get(kid)
+                return slot is not None and len(slot["vals"]) == nparties
+
+        if not self.domain.poll(full):
+            raise CollectiveAbortedError(
+                f"collective {key!r} aborted: a peer rank failed"
+            )
+        with self._sem:
+            index = self._load_index()
+            slot = index[kid]
+            vals = {r: self._get_blob(rf) for r, rf in slot["vals"].items()}
+            slot["taken"] += 1
+            if slot["taken"] == nparties:
+                for rf in slot["vals"].values():
+                    self._free_blob(rf)
+                del index[kid]
+            self._store_index(index)
+        return vals
+
+    # -- point-to-point --------------------------------------------------------
+
+    def p2p_put(self, key, value) -> None:
+        ref = self._put_blob(value)
+        with self._sem:
+            index = self._load_index()
+            index.setdefault(("q", key), []).append(ref)
+            self._store_index(index)
+
+    def p2p_take(self, key):
+        kid = ("q", key)
+
+        def ready() -> bool:
+            with self._sem:
+                return bool(self._load_index().get(kid))
+
+        if not self.domain.poll(ready):
+            raise CollectiveAbortedError("recv aborted: peer rank failed")
+        with self._sem:
+            index = self._load_index()
+            q = index[kid]
+            ref = q.pop(0)
+            value = self._get_blob(ref)
+            self._free_blob(ref)
+            if not q:
+                del index[kid]
+            self._store_index(index)
+        return value
+
+    # -- plain KV (layout metadata) --------------------------------------------
+
+    def put(self, key, value) -> None:
+        """Publish ``value`` under ``key`` (replacing any previous value)."""
+        ref = self._put_blob(value)
+        with self._sem:
+            index = self._load_index()
+            old = index.get(("kv", key))
+            index[("kv", key)] = ref
+            self._store_index(index)
+            if old is not None:
+                self._free_blob(old)
+
+    def get(self, key, default=None):
+        with self._sem:
+            ref = self._load_index().get(("kv", key))
+            if ref is None:
+                return default
+            return self._get_blob(ref)
+
+    def wait_get(self, key):
+        """Block until ``key`` is published, then return its value."""
+        def present() -> bool:
+            with self._sem:
+                return ("kv", key) in self._load_index()
+
+        if not self.domain.poll(present):
+            raise CollectiveAbortedError(
+                f"wait for {key!r} aborted: a peer rank failed"
+            )
+        return self.get(key)

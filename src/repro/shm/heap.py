@@ -1,0 +1,164 @@
+"""Page-granular shared-memory heap with a persistent bump/free-list allocator.
+
+The heap is one anonymous ``MAP_SHARED`` mapping.  Allocator state is kept
+*in the mapping* (header words + free blocks threading a next/size pair
+through their own first bytes), so any process that inherited the mapping
+sees the same allocator — the Python-side object holds nothing but the mmap
+handle and a prefork ``multiprocessing`` lock guarding mutations.
+
+Blocks are handed out in whole pages.  ``alloc`` first carves from the free
+list (first fit, page-exact preferred), then from the bump pointer; ``free``
+pushes onto the free list.  Freed blocks are re-zeroed on reuse so
+state-carrying primitives always start from a clean slate.
+"""
+
+from __future__ import annotations
+
+import mmap
+import multiprocessing
+import struct
+
+import numpy as np
+
+from ..errors import BadAddressError, OutOfSpaceError
+
+PAGE_SIZE = 4096
+
+_MAGIC = 0x53484D48454150  # "SHMHEAP"
+# header: magic | total size | bump pointer | free-list head (0 = empty)
+_HDR = struct.Struct("<QQQQ")
+# free block prologue, stored in the block's own first bytes: next | nbytes
+_FREE = struct.Struct("<QQ")
+
+
+def _round_up(n: int, align: int = PAGE_SIZE) -> int:
+    return (n + align - 1) // align * align
+
+
+class ShmBlock:
+    """A handle to ``[off, off+size)`` of a heap — reconstructable in any
+    process via ``heap.block_at(off, size)`` (prefork/postfork safe)."""
+
+    __slots__ = ("heap", "off", "size")
+
+    def __init__(self, heap: "SharedHeap", off: int, size: int):
+        self.heap = heap
+        self.off = off
+        self.size = size
+
+    @property
+    def view(self) -> memoryview:
+        return memoryview(self.heap.mm)[self.off:self.off + self.size]
+
+    def as_array(self, dtype=np.uint8, count: int | None = None) -> np.ndarray:
+        """A NumPy view over the block's bytes (shared, not a copy)."""
+        if count is None:
+            count = self.size // np.dtype(dtype).itemsize
+        return np.frombuffer(self.heap.mm, dtype=dtype,
+                             count=count, offset=self.off)
+
+    def u64(self, index: int) -> int:
+        off = self.off + 8 * index
+        return struct.unpack_from("<Q", self.heap.mm, off)[0]
+
+    def set_u64(self, index: int, value: int) -> None:
+        struct.pack_into("<Q", self.heap.mm, self.off + 8 * index,
+                         value & 0xFFFFFFFFFFFFFFFF)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShmBlock(off={self.off:#x}, size={self.size})"
+
+
+class SharedHeap:
+    """mmap-backed heap; create *before* fork so children share the pages."""
+
+    def __init__(self, size: int):
+        size = _round_up(max(size, 4 * PAGE_SIZE))
+        self.mm = mmap.mmap(-1, size)  # anonymous MAP_SHARED
+        self.size = size
+        self._lock = multiprocessing.Lock()  # prefork; inherited by workers
+        _HDR.pack_into(self.mm, 0, _MAGIC, size, PAGE_SIZE, 0)
+
+    # -- header accessors (state lives in the mapping) ------------------------
+
+    def _bump(self) -> int:
+        return struct.unpack_from("<Q", self.mm, 16)[0]
+
+    def _set_bump(self, v: int) -> None:
+        struct.pack_into("<Q", self.mm, 16, v)
+
+    def _free_head(self) -> int:
+        return struct.unpack_from("<Q", self.mm, 24)[0]
+
+    def _set_free_head(self, v: int) -> None:
+        struct.pack_into("<Q", self.mm, 24, v)
+
+    # -- allocation ------------------------------------------------------------
+
+    def alloc(self, nbytes: int, *, zero: bool = True) -> ShmBlock:
+        """Allocate ``nbytes`` rounded up to whole pages."""
+        if nbytes <= 0:
+            raise ValueError("alloc size must be positive")
+        want = _round_up(nbytes)
+        with self._lock:
+            # first fit over the in-mapping free list
+            prev = 0
+            off = self._free_head()
+            while off:
+                nxt, size = _FREE.unpack_from(self.mm, off)
+                if size >= want:
+                    remainder = size - want
+                    if remainder:
+                        # keep the tail on the free list
+                        tail = off + want
+                        _FREE.pack_into(self.mm, tail, nxt, remainder)
+                        nxt = tail
+                    if prev:
+                        struct.pack_into("<Q", self.mm, prev, nxt)
+                    else:
+                        self._set_free_head(nxt)
+                    if zero:
+                        self.mm[off:off + want] = b"\0" * want
+                    return ShmBlock(self, off, want)
+                prev, off = off, nxt
+            # bump allocation
+            bump = self._bump()
+            if bump + want > self.size:
+                raise OutOfSpaceError(
+                    f"shared heap exhausted: want {want}, "
+                    f"have {self.size - bump} of {self.size}"
+                )
+            self._set_bump(bump + want)
+            # fresh mmap pages are already zero
+            return ShmBlock(self, bump, want)
+
+    def free(self, block: ShmBlock) -> None:
+        with self._lock:
+            _FREE.pack_into(self.mm, block.off, self._free_head(), block.size)
+            self._set_free_head(block.off)
+
+    def block_at(self, off: int, size: int) -> ShmBlock:
+        """Reconstruct a handle from a raw (offset, size) pair — the
+        postfork path: offsets travel between processes, handles don't."""
+        if off < PAGE_SIZE or off + size > self.size:
+            raise BadAddressError(
+                f"block [{off}, {off + size}) outside heap of {self.size}"
+            )
+        return ShmBlock(self, off, size)
+
+    # -- introspection ---------------------------------------------------------
+
+    def free_bytes(self) -> int:
+        with self._lock:
+            total = self.size - self._bump()
+            off = self._free_head()
+            while off:
+                off, size = _FREE.unpack_from(self.mm, off)
+                total += size
+            return total
+
+    def write_bytes(self, off: int, data: bytes) -> None:
+        self.mm[off:off + len(data)] = data
+
+    def read_bytes(self, off: int, size: int) -> bytes:
+        return self.mm[off:off + size]

@@ -1,0 +1,568 @@
+"""Cross-process synchronization over a :class:`~repro.shm.heap.SharedHeap`.
+
+Futex-style discipline: every primitive's *state* is a few u64 words in the
+shared mapping; a small fixed pool of prefork ``multiprocessing`` locks
+(hashed by tag) guards only the word *transitions*, never a whole critical
+section, and every blocking wait is a bounded poll on the words themselves
+that also watches the domain abort word.  Consequences:
+
+- a worker SIGKILLed while *holding a primitive* (owner word set) cannot
+  hang peers: the parent notices the death, sets the abort word, and every
+  waiter unwinds with :class:`threading.BrokenBarrierError` (the uniform
+  "this run is broken" casualty signal the engine's root-cause unwinding
+  already skips);
+- the only irrecoverable window is dying *inside a word transition* (a few
+  microseconds under the guard semaphore) — same hazard window as a robust
+  futex between ``FUTEX_LOCK_PI`` and the kernel fixup, and far smaller
+  than the critical sections the primitives protect.
+
+State blocks are named by *tag* through an in-mapping registry, so a
+primitive created after fork in one worker is reachable from any sibling by
+constructing with the same tag (postfork-safe handles).  Word 0 of every
+state block is a run-epoch stamp: stale state from a previous run on the
+same heap is lazily zeroed on first touch after ``begin_run``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import struct
+import threading
+import time
+
+from ..errors import OutOfSpaceError, PmdkError
+from .heap import ShmBlock, SharedHeap
+
+_POLL_SLEEP_S = 0.0002
+
+
+def _tag_hash(tag) -> int:
+    """FNV-1a over the tag's repr — stable across processes (no salt)."""
+    h = 0xCBF29CE484222325
+    for b in repr(tag).encode():
+        h ^= b
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h or 1
+
+
+def _token() -> int:
+    """Nonzero holder identity: pid + thread, comparable across processes."""
+    return (os.getpid() << 20) | (threading.get_ident() & 0xFFFFF) | 1
+
+
+class ShmSyncDomain:
+    """One heap + guard semaphores + registry + abort/epoch words.
+
+    Create *before* fork; workers inherit the semaphores and the mapping.
+    """
+
+    N_SEMS = 16
+    REG_SLOTS = 4096
+    _SLOT = struct.Struct("<QQQ")  # tag hash | block off | block size
+
+    def __init__(self, heap: SharedHeap, *, nsems: int = N_SEMS):
+        self.heap = heap
+        self._sems = [multiprocessing.Lock() for _ in range(nsems)]
+        self._reg_lock = multiprocessing.Lock()
+        # control words: abort | run epoch (starts at 1 so zeroed state
+        # blocks are always stale and self-initialize on first touch)
+        self._ctl = heap.alloc(16)
+        self._ctl.set_u64(1, 1)
+        self._reg = heap.alloc(self.REG_SLOTS * self._SLOT.size)
+
+    # -- abort / epoch ---------------------------------------------------------
+
+    @property
+    def aborted(self) -> bool:
+        return bool(self._ctl.u64(0))
+
+    def abort(self) -> None:
+        self._ctl.set_u64(0, 1)
+
+    @property
+    def epoch(self) -> int:
+        return self._ctl.u64(1)
+
+    def begin_run(self) -> None:
+        """Start a new run epoch: clear the abort word; primitives lazily
+        reset their state on first touch under the new epoch."""
+        self._ctl.set_u64(1, self.epoch + 1)
+        self._ctl.set_u64(0, 0)
+
+    # -- guard semaphores ------------------------------------------------------
+
+    def sem_for(self, tag):
+        return self._sems[_tag_hash(tag) % len(self._sems)]
+
+    # -- registry --------------------------------------------------------------
+
+    def state_block(self, tag, nbytes: int) -> ShmBlock:
+        """The state block registered under ``tag`` (allocated zeroed on
+        first use; same tag → same block in every process)."""
+        h = _tag_hash(tag)
+        mm = self.heap.mm
+        with self._reg_lock:
+            for i in range(self.REG_SLOTS):
+                slot = self._reg.off + self._SLOT.size * (
+                    (h + i) % self.REG_SLOTS
+                )
+                sh, soff, ssize = self._SLOT.unpack_from(mm, slot)
+                if sh == h:
+                    return self.heap.block_at(soff, ssize)
+                if sh == 0:
+                    blk = self.heap.alloc(nbytes)
+                    self._SLOT.pack_into(mm, slot, h, blk.off, blk.size)
+                    return blk
+        raise OutOfSpaceError("shm registry full")
+
+    # -- waiting ---------------------------------------------------------------
+
+    def poll(self, pred, *, timeout: float | None = None) -> bool:
+        """Wait until ``pred()`` — returns False if the domain aborts first."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        spins = 0
+        while True:
+            if pred():
+                return True
+            if self.aborted:
+                return False
+            spins += 1
+            time.sleep(0 if spins < 50 else _POLL_SLEEP_S)
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError("shm poll timed out")
+
+
+class _ShmState:
+    """Base: a registered state block whose word 0 is the epoch stamp."""
+
+    #: number of state words after the epoch stamp, zeroed on epoch reset
+    NWORDS = 0
+
+    def __init__(self, domain: ShmSyncDomain, tag):
+        self.domain = domain
+        self.tag = tag
+        self._sem = domain.sem_for(tag)
+        self._blk = domain.state_block(tag, 8 * (self.NWORDS + 1))
+
+    # word index 0 is the epoch; state words are 1-based
+    def _w(self, i: int) -> int:
+        return self._blk.u64(i + 1)
+
+    def _set_w(self, i: int, v: int) -> None:
+        self._blk.set_u64(i + 1, v)
+
+    def _fresh(self) -> None:
+        """Called (under the guard sem) when entering a new run epoch."""
+
+    def _sync_epoch(self) -> None:
+        """Under the guard sem: lazily reset stale state from a prior run."""
+        ep = self.domain.epoch
+        if self._blk.u64(0) != ep:
+            for i in range(self.NWORDS):
+                self._set_w(i, 0)
+            self._fresh()
+            self._blk.set_u64(0, ep)
+
+    def _unwind(self):
+        raise threading.BrokenBarrierError(
+            f"shm wait on {self.tag!r} abandoned: domain aborted"
+        )
+
+
+class ShmMutexCore(_ShmState):
+    """Cross-process mutex: word = holder token.  Non-reentrant unless
+    constructed with ``reentrant=True`` (word 1 tracks depth)."""
+
+    NWORDS = 2
+
+    def __init__(self, domain, tag, *, reentrant: bool = False):
+        super().__init__(domain, tag)
+        self.reentrant = reentrant
+
+    def acquire(self) -> bool:
+        me = _token()
+        contended = False
+        while True:
+            with self._sem:
+                self._sync_epoch()
+                owner = self._w(0)
+                if owner == 0:
+                    self._set_w(0, me)
+                    self._set_w(1, 1)
+                    return contended
+                if owner == me:
+                    if self.reentrant:
+                        self._set_w(1, self._w(1) + 1)
+                        return contended
+                    raise PmdkError(
+                        "non-reentrant lock acquired again by its holder"
+                    )
+            contended = True
+            if not self.domain.poll(lambda: self._w(0) == 0):
+                self._unwind()
+
+    def release(self) -> None:
+        me = _token()
+        with self._sem:
+            if self._w(0) != me:
+                raise PmdkError("releasing a mutex this process holds not")
+            depth = self._w(1) - 1
+            self._set_w(1, depth)
+            if depth == 0:
+                self._set_w(0, 0)
+
+    def holder_token(self) -> int:
+        return self._w(0)
+
+
+class ShmRWCore(_ShmState):
+    """Cross-process reader-writer arbitration: writer-preferring,
+    non-reentrant; same interface as the thread :class:`_ThreadRWCore`
+    (``acquire_*`` return the contended flag)."""
+
+    NWORDS = 3  # readers | writer token | waiting writers
+
+    def acquire_read(self) -> bool:
+        contended = False
+        while True:
+            with self._sem:
+                self._sync_epoch()
+                if self._w(1) == _token():
+                    raise PmdkError(
+                        "non-reentrant lock acquired again by its holding thread"
+                    )
+                if self._w(1) == 0 and self._w(2) == 0:
+                    self._set_w(0, self._w(0) + 1)
+                    return contended
+            contended = True
+            if not self.domain.poll(
+                lambda: self._w(1) == 0 and self._w(2) == 0
+            ):
+                self._unwind()
+
+    def acquire_write(self) -> bool:
+        me = _token()
+        contended = False
+        with self._sem:
+            self._sync_epoch()
+            if self._w(1) == me:
+                raise PmdkError(
+                    "non-reentrant lock acquired again by its holding thread"
+                )
+            self._set_w(2, self._w(2) + 1)
+        try:
+            while True:
+                with self._sem:
+                    if self._w(1) == 0 and self._w(0) == 0:
+                        self._set_w(1, me)
+                        self._set_w(2, self._w(2) - 1)
+                        return contended
+                contended = True
+                if not self.domain.poll(
+                    lambda: self._w(1) == 0 and self._w(0) == 0
+                ):
+                    with self._sem:
+                        self._set_w(2, self._w(2) - 1)
+                    self._unwind()
+        except threading.BrokenBarrierError:
+            raise
+        except BaseException:
+            with self._sem:
+                self._set_w(2, max(0, self._w(2) - 1))
+            raise
+
+    def release_read(self) -> None:
+        with self._sem:
+            if self._w(0) == 0:
+                raise PmdkError("releasing a read lock this thread holds not")
+            self._set_w(0, self._w(0) - 1)
+
+    def release_write(self) -> None:
+        with self._sem:
+            if self._w(1) != _token():
+                raise PmdkError("releasing a write lock this thread holds not")
+            self._set_w(1, 0)
+
+
+class ShmBarrier(_ShmState):
+    """Cross-process cyclic barrier compatible with ``threading.Barrier``'s
+    ``wait``/``abort`` surface (raises ``BrokenBarrierError`` when broken)."""
+
+    NWORDS = 3  # count | generation | broken
+
+    def __init__(self, domain, tag, parties: int):
+        super().__init__(domain, tag)
+        self.parties = parties
+
+    def wait(self) -> int:
+        with self._sem:
+            self._sync_epoch()
+            if self._w(2) or self.domain.aborted:
+                raise threading.BrokenBarrierError(
+                    f"barrier {self.tag!r} broken"
+                )
+            my_gen = self._w(1)
+            arrived = self._w(0) + 1
+            if arrived == self.parties:
+                self._set_w(0, 0)
+                self._set_w(1, my_gen + 1)
+                return 0
+            self._set_w(0, arrived)
+        ok = self.domain.poll(
+            lambda: self._w(1) != my_gen or self._w(2)
+        )
+        if not ok or self._w(2):
+            raise threading.BrokenBarrierError(f"barrier {self.tag!r} broken")
+        return arrived
+
+    def abort(self) -> None:
+        with self._sem:
+            self._sync_epoch()
+            self._set_w(2, 1)
+
+
+class ShmLaneCell(_ShmState):
+    """Cross-process free-lane bitmap (up to 64 lanes, one u64)."""
+
+    NWORDS = 1
+
+    def __init__(self, domain, tag, nlanes: int):
+        if not 1 <= nlanes <= 64:
+            raise ValueError("nlanes must be in [1, 64]")
+        super().__init__(domain, tag)
+        self.nlanes = nlanes
+
+    def _fresh(self) -> None:
+        self._set_w(0, (1 << self.nlanes) - 1)
+
+    def acquire_lane(self, preferred: int | None = None) -> int:
+        while True:
+            with self._sem:
+                self._sync_epoch()
+                bm = self._w(0)
+                if preferred is not None and bm & (1 << preferred):
+                    self._set_w(0, bm & ~(1 << preferred))
+                    return preferred
+                if bm:
+                    idx = (bm & -bm).bit_length() - 1
+                    self._set_w(0, bm & ~(1 << idx))
+                    return idx
+            if not self.domain.poll(lambda: self._w(0) != 0):
+                self._unwind()
+
+    def release_lane(self, idx: int) -> None:
+        with self._sem:
+            self._sync_epoch()
+            self._set_w(0, self._w(0) | (1 << idx))
+
+
+# -- volatile lock cores + providers ------------------------------------------
+#
+# The pmdk lock classes (repro.pmdk.locks) delegate their *runtime
+# arbitration* to a core fetched from a provider keyed by lock identity:
+# thread engine → in-process cores below; procs engine → Shm cores above.
+# Same persistent owner words, same charges, either way.
+
+
+class _ThreadMutexCore:
+    """In-process mutex core matching :class:`ShmMutexCore`'s surface."""
+
+    __slots__ = ("_lock", "_holder", "_depth", "reentrant")
+
+    def __init__(self, *, reentrant: bool = False):
+        self._lock = threading.Lock()
+        self._holder = None
+        self._depth = 0
+        self.reentrant = reentrant
+
+    def acquire(self) -> bool:
+        me = threading.current_thread()
+        if self._holder is me:
+            if self.reentrant:
+                self._depth += 1
+                return False
+            raise PmdkError(
+                "non-reentrant lock acquired again by its holder"
+            )
+        contended = not self._lock.acquire(blocking=False)
+        if contended:
+            self._lock.acquire()
+        self._holder = me
+        self._depth = 1
+        return contended
+
+    def release(self) -> None:
+        if self._holder is not threading.current_thread():
+            raise PmdkError("releasing a mutex this thread holds not")
+        self._depth -= 1
+        if self._depth == 0:
+            self._holder = None
+            self._lock.release()
+
+
+class _ThreadRWCore:
+    """Volatile reader-writer arbitration: writer-preferring, non-reentrant.
+
+    ``acquire_*`` return True when the caller had to contend (someone held
+    or was queued for the lock in an incompatible mode at entry) — the
+    signal behind the ``meta.lock.contended`` telemetry counter.
+    """
+
+    __slots__ = ("_cond", "_readers", "_writer", "_waiting_writers")
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers: set = set()
+        self._writer = None
+        self._waiting_writers = 0
+
+    def _check_reentry(self, me) -> None:
+        if me is self._writer or me in self._readers:
+            raise PmdkError(
+                "non-reentrant lock acquired again by its holding thread"
+            )
+
+    def acquire_read(self) -> bool:
+        me = threading.current_thread()
+        with self._cond:
+            self._check_reentry(me)
+            contended = self._writer is not None or self._waiting_writers > 0
+            while self._writer is not None or self._waiting_writers > 0:
+                self._cond.wait()
+            self._readers.add(me)
+            return contended
+
+    def acquire_write(self) -> bool:
+        me = threading.current_thread()
+        with self._cond:
+            self._check_reentry(me)
+            contended = self._writer is not None or bool(self._readers)
+            self._waiting_writers += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer = me
+            return contended
+
+    def release_read(self) -> None:
+        me = threading.current_thread()
+        with self._cond:
+            if me not in self._readers:
+                raise PmdkError("releasing a read lock this thread holds not")
+            self._readers.discard(me)
+            self._cond.notify_all()
+
+    def release_write(self) -> None:
+        me = threading.current_thread()
+        with self._cond:
+            if me is not self._writer:
+                raise PmdkError("releasing a write lock this thread holds not")
+            self._writer = None
+            self._cond.notify_all()
+
+
+class CoreLock:
+    """Context-manager adapter turning a mutex core (thread or shm) into a
+    drop-in replacement for ``threading.(R)Lock`` usage sites."""
+
+    __slots__ = ("_core",)
+
+    def __init__(self, core):
+        self._core = core
+
+    def __enter__(self):
+        self._core.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self._core.release()
+        return False
+
+
+class LocalLockProvider:
+    """In-process provider: cores are plain thread primitives, memoized by
+    key so every handle to the same lock identity arbitrates together."""
+
+    def __init__(self):
+        self._guard = threading.Lock()
+        self._mutexes: dict = {}
+        self._rws: dict = {}
+
+    def mutex_core(self, key, *, reentrant: bool = False):
+        with self._guard:
+            core = self._mutexes.get(key)
+            if core is None:
+                core = self._mutexes[key] = _ThreadMutexCore(
+                    reentrant=reentrant
+                )
+            return core
+
+    def rw_core(self, key):
+        with self._guard:
+            core = self._rws.get(key)
+            if core is None:
+                core = self._rws[key] = _ThreadRWCore()
+            return core
+
+    def scoped(self, *prefix) -> "_ScopedProvider":
+        return _ScopedProvider(self, prefix)
+
+
+class ShmLockProvider:
+    """Cross-process provider: cores are shm primitives named by key, so a
+    core built postfork in one worker pairs with the same words everywhere."""
+
+    def __init__(self, domain: ShmSyncDomain, prefix=()):
+        self.domain = domain
+        self.prefix = tuple(prefix)
+
+    def _tag(self, kind: str, key):
+        return ("lock", self.prefix, kind, key)
+
+    def mutex_core(self, key, *, reentrant: bool = False) -> ShmMutexCore:
+        return ShmMutexCore(self.domain, self._tag("mu", key),
+                            reentrant=reentrant)
+
+    def rw_core(self, key) -> ShmRWCore:
+        return ShmRWCore(self.domain, self._tag("rw", key))
+
+    def lane_cell(self, key, nlanes: int) -> ShmLaneCell:
+        return ShmLaneCell(self.domain, self._tag("lanes", key), nlanes)
+
+    def state_block(self, key, nbytes: int) -> ShmBlock:
+        return self.domain.state_block(self._tag("state", key), nbytes)
+
+    def scoped(self, *prefix) -> "_ScopedProvider":
+        return _ScopedProvider(self, prefix)
+
+
+class _ScopedProvider:
+    """A provider view that namespaces every key under a prefix."""
+
+    def __init__(self, parent, prefix):
+        self._parent = parent
+        self._prefix = tuple(prefix)
+
+    @property
+    def domain(self):
+        return self._parent.domain
+
+    def mutex_core(self, key, *, reentrant: bool = False):
+        return self._parent.mutex_core(
+            self._prefix + (key,), reentrant=reentrant
+        )
+
+    def rw_core(self, key):
+        return self._parent.rw_core(self._prefix + (key,))
+
+    def lane_cell(self, key, nlanes: int):
+        return self._parent.lane_cell(self._prefix + (key,), nlanes)
+
+    def state_block(self, key, nbytes: int):
+        return self._parent.state_block(self._prefix + (key,), nbytes)
+
+    def scoped(self, *prefix):
+        return _ScopedProvider(self._parent, self._prefix + tuple(prefix))

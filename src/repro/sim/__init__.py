@@ -13,7 +13,16 @@ The stack runs in two passes (DESIGN.md §6):
 from .trace import Acquire, Barrier, Delay, Release, Transfer, TraceOp, RankTrace
 from .resources import Resource, ResourceSet, build_standard_resources
 from .fluid import FluidSimulator, FluidResult
-from .engine import Context, SpmdResult, run_spmd
+from .engine import (
+    ENGINE_ENV,
+    ENGINE_NAMES,
+    Context,
+    RankEngine,
+    SpmdResult,
+    ThreadEngine,
+    resolve_engine,
+    run_spmd,
+)
 from .lockcheck import (
     LockDisciplineReport,
     LockViolation,
@@ -38,7 +47,12 @@ __all__ = [
     "FluidSimulator",
     "FluidResult",
     "Context",
+    "ENGINE_ENV",
+    "ENGINE_NAMES",
+    "RankEngine",
     "SpmdResult",
+    "ThreadEngine",
+    "resolve_engine",
     "run_spmd",
     "PhaseBreakdown",
     "Utilization",

@@ -1,16 +1,28 @@
 """SPMD functional-pass engine.
 
-``run_spmd(nprocs, fn)`` launches one OS thread per rank, each executing
-``fn(ctx)`` against real (scaled-down) buffers.  The :class:`Context` is the
-single funnel through which every substrate records costs:
+``run_spmd(nprocs, fn)`` executes ``fn(ctx)`` on every rank against real
+(scaled-down) buffers.  *How* ranks execute is delegated to a
+:class:`RankEngine`:
+
+- :class:`ThreadEngine` (``threads``, the universal default) — one OS
+  thread per rank, GIL-serialized, deterministic, crash-sim capable;
+- ``ProcEngine`` (``procs``, :mod:`repro.sim.procengine`) — one forked OS
+  *process* per rank over an mmap shared-memory heap, so data-path copies
+  genuinely run in parallel.
+
+Engine selection: the ``engine=`` argument, else the ``REPRO_ENGINE``
+environment variable (``threads`` | ``procs``), else ``threads``.
+
+The :class:`Context` is the single funnel through which every substrate
+records costs:
 
 - ``ctx.delay(ns)`` / ``ctx.transfer(resource, amount, cap)`` append trace ops;
 - ``ctx.model_bytes(n)`` converts functional-pass byte counts to paper-scale
   modeled bytes;
-- ``ctx.barrier()`` both synchronizes the threads *and* records a Barrier op;
+- ``ctx.barrier()`` both synchronizes the ranks *and* records a Barrier op;
 - ``ctx.phase(name)`` labels subsequent ops for breakdown reporting;
 - ``ctx.board`` is a shared rendezvous board the MPI layer builds
-  collectives on.
+  collectives on (thread board here; shm board under procs).
 
 Determinism: each rank appends only to its own trace, and trace contents
 depend only on the rank's logical execution, so the timing pass is
@@ -24,15 +36,21 @@ from __future__ import annotations
 
 import os
 import threading
+from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..config import DEFAULT_MACHINE, MachineSpec
-from ..errors import RankFailedError
+from ..errors import CollectiveAbortedError, EngineUnavailableError, RankFailedError
+from ..shm.sync import LocalLockProvider
 from .fluid import FluidResult, FluidSimulator
 from .resources import ResourceSet, build_standard_resources
 from .trace import Acquire, Barrier, Delay, RankTrace, Release, Transfer
+
+#: environment variable selecting the default rank engine
+ENGINE_ENV = "REPRO_ENGINE"
+ENGINE_NAMES = ("threads", "procs")
 
 
 class SharedBoard:
@@ -40,6 +58,8 @@ class SharedBoard:
 
     The MPI layer uses it to exchange object references for collectives; the
     engine uses it for functional barriers.  Keys are arbitrary hashables.
+    The collective/p2p/KV protocol methods mirror
+    :class:`~repro.shm.board.ProcBoard` so callers are engine-agnostic.
     """
 
     def __init__(self):
@@ -73,6 +93,70 @@ class SharedBoard:
                 b.abort()
             self.cond.notify_all()
 
+    # -- collective exchange (thread ranks share references) -------------------
+
+    def exchange(self, key, rank: int, nparties: int, value) -> dict:
+        """Deposit ``value`` as ``rank``; block until all ``nparties``
+        deposited; return {rank: value}.  The last reader cleans up."""
+        with self.cond:
+            slot = self.data.setdefault(key, {"vals": {}, "taken": 0})
+            slot["vals"][rank] = value
+            if len(slot["vals"]) == nparties:
+                self.cond.notify_all()
+            else:
+                self.cond.wait_for(
+                    lambda: len(slot["vals"]) == nparties or self._aborted
+                )
+                if len(slot["vals"]) != nparties:
+                    raise CollectiveAbortedError(
+                        f"collective {key!r} aborted: a peer rank failed"
+                    )
+            vals = slot["vals"]
+            slot["taken"] += 1
+            if slot["taken"] == nparties:
+                del self.data[key]
+            return vals
+
+    # -- point-to-point --------------------------------------------------------
+
+    def p2p_put(self, key, value) -> None:
+        with self.cond:
+            self.data.setdefault(("q", key), []).append(value)
+            self.cond.notify_all()
+
+    def p2p_take(self, key):
+        qkey = ("q", key)
+        with self.cond:
+            self.cond.wait_for(lambda: self.data.get(qkey) or self._aborted)
+            if not self.data.get(qkey):
+                raise CollectiveAbortedError("recv aborted: peer rank failed")
+            q = self.data[qkey]
+            value = q.pop(0)
+            if not q:
+                del self.data[qkey]
+        return value
+
+    # -- plain KV --------------------------------------------------------------
+
+    def put(self, key, value) -> None:
+        with self.cond:
+            self.data[("kv", key)] = value
+            self.cond.notify_all()
+
+    def get(self, key, default=None):
+        with self.cond:
+            return self.data.get(("kv", key), default)
+
+    def wait_get(self, key):
+        kv = ("kv", key)
+        with self.cond:
+            self.cond.wait_for(lambda: kv in self.data or self._aborted)
+            if kv not in self.data:
+                raise CollectiveAbortedError(
+                    f"wait for {key!r} aborted: a peer rank failed"
+                )
+            return self.data[kv]
+
 
 class Context:
     """Per-rank handle passed to the SPMD function."""
@@ -84,9 +168,11 @@ class Context:
         *,
         machine: MachineSpec,
         scale: int,
-        board: SharedBoard,
+        board,
         trace: RankTrace,
         env=None,
+        engine: str = "threads",
+        locks=None,
     ):
         self.rank = rank
         self.nprocs = nprocs
@@ -97,6 +183,11 @@ class Context:
         #: experiment environment (e.g. a repro.cluster.Cluster) giving the
         #: rank access to the node's devices and filesystems
         self.env = env
+        #: which rank engine is executing this rank ("threads" | "procs")
+        self.engine = engine
+        #: volatile-lock-core provider — in-process cores under threads,
+        #: shared-memory cores under procs (same keys → same arbitration)
+        self.locks = locks if locks is not None else LocalLockProvider()
         self._phase_stack: list[str] = [""]
         self._barrier_counts: dict[tuple[int, ...], int] = {}
         #: running uncontended lower bound of this rank's modeled time — a
@@ -250,6 +341,10 @@ class SpmdResult:
     scale: int
     traces: list[RankTrace]
     returns: list[Any]
+    #: which engine executed the run ("threads" | "procs")
+    engine: str = "threads"
+    #: worker pids under the procs engine (empty for threads)
+    worker_pids: tuple[int, ...] = ()
     _timing: FluidResult | None = field(default=None, repr=False)
 
     def time(self, resources: ResourceSet | None = None) -> FluidResult:
@@ -268,6 +363,107 @@ class SpmdResult:
         return self.time().makespan_ns / 1e9
 
 
+#: exception classes that are *secondary casualties* of another rank's
+#: failure — never the root cause a RankFailedError should surface
+_CASUALTY_TYPES = (threading.BrokenBarrierError, CollectiveAbortedError)
+
+
+def select_root_failure(
+    failures: list[tuple[int, BaseException]],
+) -> tuple[int, BaseException]:
+    """Pick the failure to surface from a multi-rank pile-up.
+
+    When one rank fails, every peer blocked on a barrier or collective
+    unwinds with a casualty exception (``BrokenBarrierError`` or
+    :class:`~repro.errors.CollectiveAbortedError`) — regardless of rank
+    order, the surfaced exception must be the lowest-ranked *non-casualty*.
+    Only if every failure is a casualty (which indicates an engine bug) does
+    the lowest-ranked one surface.
+    """
+    ordered = sorted(failures, key=lambda f: f[0])
+    for rank, exc in ordered:
+        if not isinstance(exc, _CASUALTY_TYPES):
+            return rank, exc
+    return ordered[0]
+
+
+class RankEngine(ABC):
+    """Execution substrate for one SPMD run."""
+
+    name: str
+
+    @abstractmethod
+    def run(
+        self,
+        nprocs: int,
+        fn: Callable[[Context], Any],
+        *,
+        machine: MachineSpec,
+        scale: int,
+        thread_name: str,
+        env,
+    ) -> SpmdResult:
+        """Execute ``fn`` on every rank; return traces and values."""
+
+
+class ThreadEngine(RankEngine):
+    """One OS thread per rank — deterministic, universal, crash-sim capable."""
+
+    name = "threads"
+
+    def run(self, nprocs, fn, *, machine, scale, thread_name, env) -> SpmdResult:
+        board = SharedBoard()
+        locks = LocalLockProvider()
+        traces = [RankTrace(rank=r) for r in range(nprocs)]
+        returns: list[Any] = [None] * nprocs
+        failures: list[tuple[int, BaseException]] = []
+        flock = threading.Lock()
+
+        def runner(r: int) -> None:
+            ctx = Context(
+                r, nprocs, machine=machine, scale=scale, board=board,
+                trace=traces[r], env=env, engine=self.name, locks=locks,
+            )
+            try:
+                returns[r] = fn(ctx)
+            except BaseException as exc:  # noqa: BLE001 - must unblock peers
+                with flock:
+                    failures.append((r, exc))
+                board.abort_all_barriers()
+
+        threads = [
+            threading.Thread(target=runner, args=(r,), name=f"{thread_name}-{r}")
+            for r in range(nprocs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if failures:
+            rank, exc = select_root_failure(failures)
+            raise RankFailedError(rank, exc) from exc
+
+        return SpmdResult(
+            nprocs=nprocs, machine=machine, scale=scale,
+            traces=traces, returns=returns, engine=self.name,
+        )
+
+
+def resolve_engine(engine: str | None = None) -> RankEngine:
+    """Instantiate the requested engine (arg > ``REPRO_ENGINE`` > threads)."""
+    name = engine or os.environ.get(ENGINE_ENV) or "threads"
+    if name == "threads":
+        return ThreadEngine()
+    if name == "procs":
+        from .procengine import ProcEngine
+
+        return ProcEngine()
+    raise EngineUnavailableError(
+        f"unknown rank engine {name!r} (expected one of {ENGINE_NAMES})"
+    )
+
+
 def run_spmd(
     nprocs: int,
     fn: Callable[[Context], Any],
@@ -276,59 +472,25 @@ def run_spmd(
     scale: int = 1,
     thread_name: str = "rank",
     env=None,
+    engine: str | None = None,
 ) -> SpmdResult:
     """Run ``fn`` on ``nprocs`` ranks; gather traces and return values.
 
     Any rank exception aborts all functional barriers (so peers unblock) and
-    re-raises as :class:`RankFailedError` carrying the original.
+    re-raises as :class:`RankFailedError` carrying the root-cause original.
     """
     if nprocs < 1:
         raise ValueError("nprocs must be >= 1")
-    board = SharedBoard()
-    traces = [RankTrace(rank=r) for r in range(nprocs)]
-    returns: list[Any] = [None] * nprocs
-    failures: list[tuple[int, BaseException]] = []
-    flock = threading.Lock()
-
-    def runner(r: int) -> None:
-        ctx = Context(
-            r, nprocs, machine=machine, scale=scale, board=board,
-            trace=traces[r], env=env,
-        )
-        try:
-            returns[r] = fn(ctx)
-        except BaseException as exc:  # noqa: BLE001 - must unblock peers
-            with flock:
-                failures.append((r, exc))
-            board.abort_all_barriers()
-
-    threads = [
-        threading.Thread(target=runner, args=(r,), name=f"{thread_name}-{r}")
-        for r in range(nprocs)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-
-    if failures:
-        failures.sort()
-        rank, exc = failures[0]
-        if isinstance(exc, threading.BrokenBarrierError):
-            # Secondary casualty of an abort; look for the root cause.
-            for r2, e2 in failures:
-                if not isinstance(e2, threading.BrokenBarrierError):
-                    rank, exc = r2, e2
-                    break
-        raise RankFailedError(rank, exc) from exc
+    eng = resolve_engine(engine)
+    result = eng.run(
+        nprocs, fn, machine=machine, scale=scale,
+        thread_name=thread_name, env=env,
+    )
 
     if os.environ.get("REPRO_LOCKCHECK"):
         # fail loudly under the checker-enabled test subset (CI job)
         from .lockcheck import check_lock_discipline
 
-        check_lock_discipline(traces).raise_if_violations()
+        check_lock_discipline(result.traces).raise_if_violations()
 
-    return SpmdResult(
-        nprocs=nprocs, machine=machine, scale=scale,
-        traces=traces, returns=returns,
-    )
+    return result

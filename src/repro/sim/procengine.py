@@ -1,0 +1,244 @@
+"""The procs rank engine: one forked OS process per rank.
+
+Ranks execute over an mmap shared-memory heap (:mod:`repro.shm`): the PMEM
+device's pool bytes, the rendezvous board, barriers, and all volatile lock
+arbitration live in pages every worker maps, so the data path — NumPy
+copies into the pool — runs with no shared GIL.  Entry into the rank
+function is pickling-free: ``fork`` inherits the closure, the environment,
+and the shared mappings directly.
+
+Result plumbing: each worker ships ``(trace, return value, device-counter
+delta)`` back through a per-rank pipe as one length-prefixed pickle.  A
+worker that dies without reporting (SIGKILL mid-critical-section) is
+detected by its reader thread — the parent then aborts the shm domain so
+every peer blocked on a barrier/lock/collective unwinds instead of hanging,
+and the death surfaces as :class:`~repro.errors.WorkerCrashedError`.
+
+Platform gating: requires ``os.fork`` (POSIX).  Crash-simulation devices
+are refused — their journaling hooks are parent-process state that cannot
+be kept coherent across real processes.  Use :func:`procs_available` to
+probe; ``threads`` remains the universal default.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import sys
+import threading
+from typing import Any, Callable
+
+from ..config import MachineSpec
+from ..errors import EngineUnavailableError, RankFailedError, WorkerCrashedError
+from ..shm.board import ProcBoard
+from ..shm.heap import SharedHeap
+from ..shm.sync import ShmLockProvider, ShmSyncDomain
+from .engine import Context, RankEngine, SpmdResult, select_root_failure
+from .trace import RankTrace
+
+_LEN = struct.Struct("<Q")
+
+#: heap size when running without a Cluster environment
+_DEFAULT_HEAP = 64 * 1024 * 1024
+
+
+def procs_available() -> bool:
+    """Can the procs engine run here at all (fork + POSIX shared memory)?"""
+    return os.name == "posix" and hasattr(os, "fork")
+
+
+def _strip_for_pickle(trace: RankTrace) -> RankTrace:
+    """Detach process-local machinery the parent can't (and needn't) load."""
+    trace.tracer = None
+    return trace
+
+
+class ProcEngine(RankEngine):
+    """One forked OS-process worker per rank over a shared-memory heap."""
+
+    name = "procs"
+
+    def run(
+        self,
+        nprocs: int,
+        fn: Callable[[Context], Any],
+        *,
+        machine: MachineSpec,
+        scale: int,
+        thread_name: str,
+        env,
+    ) -> SpmdResult:
+        if not procs_available():
+            raise EngineUnavailableError(
+                "procs engine needs os.fork (POSIX); use REPRO_ENGINE=threads"
+            )
+        if env is not None and getattr(env, "crash_sim", False):
+            raise EngineUnavailableError(
+                "procs engine does not support crash simulation "
+                "(journaling hooks are parent-process state); use threads"
+            )
+
+        if env is not None and hasattr(env, "ensure_shm"):
+            domain = env.ensure_shm()
+        else:
+            domain = ShmSyncDomain(SharedHeap(_DEFAULT_HEAP))
+        domain.begin_run()
+        board = ProcBoard(domain)
+        locks = ShmLockProvider(domain)
+
+        dev = getattr(env, "device", None)
+        pids: list[int] = []
+        pipes: list[tuple[int, int]] = []
+        for r in range(nprocs):
+            rfd, wfd = os.pipe()
+            pipes.append((rfd, wfd))
+            pid = os.fork()
+            if pid == 0:
+                self._child(
+                    r, nprocs, fn, machine=machine, scale=scale, env=env,
+                    board=board, locks=locks, domain=domain,
+                    pipes=pipes, dev=dev,
+                )
+                os._exit(0)  # unreachable; _child exits itself
+            pids.append(pid)
+            os.close(wfd)
+
+        traces: list[RankTrace | None] = [None] * nprocs
+        returns: list[Any] = [None] * nprocs
+        failures: list[tuple[int, BaseException]] = []
+        flock = threading.Lock()
+
+        def reap(r: int) -> None:
+            rfd = pipes[r][0]
+            chunks = []
+            while True:
+                chunk = os.read(rfd, 1 << 20)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            os.close(rfd)
+            _pid, status = os.waitpid(pids[r], 0)
+            payload = b"".join(chunks)
+            record = None
+            if len(payload) >= _LEN.size:
+                (n,) = _LEN.unpack_from(payload)
+                if len(payload) >= _LEN.size + n:
+                    record = pickle.loads(
+                        payload[_LEN.size:_LEN.size + n]
+                    )
+            if record is None:
+                # died without reporting — unblock every peer, then surface
+                domain.abort()
+                with flock:
+                    failures.append(
+                        (r, WorkerCrashedError(r, pids[r], status))
+                    )
+                return
+            if record[0] == "ok":
+                _tag, trace, ret, dev_delta = record
+                traces[r] = trace
+                returns[r] = ret
+            else:
+                _tag, exc, dev_delta = record
+                with flock:
+                    failures.append((r, exc))
+            if dev_delta and dev is not None:
+                dev.merge_counters(dev_delta)
+
+        readers = [
+            threading.Thread(target=reap, args=(r,), name=f"reap-{r}")
+            for r in range(nprocs)
+        ]
+        for t in readers:
+            t.start()
+        for t in readers:
+            t.join()
+
+        if failures:
+            rank, exc = select_root_failure(failures)
+            err = RankFailedError(rank, exc, worker_pids=tuple(pids))
+            raise err from exc
+
+        return SpmdResult(
+            nprocs=nprocs, machine=machine, scale=scale,
+            traces=[t if t is not None else RankTrace(rank=r)
+                    for r, t in enumerate(traces)],
+            returns=returns, engine=self.name, worker_pids=tuple(pids),
+        )
+
+    # -- worker body -----------------------------------------------------------
+
+    def _child(self, r, nprocs, fn, *, machine, scale, env,
+               board, locks, domain, pipes, dev) -> None:
+        # keep only this rank's write end; drop inherited fds of other
+        # ranks (earlier write ends are already closed parent-side, so the
+        # inherited numbers may be dead — EBADF is expected there)
+        for i, (rfd, wfd) in enumerate(pipes):
+            try:
+                os.close(rfd)
+            except OSError:
+                pass
+            if i != r:
+                try:
+                    os.close(wfd)
+                except OSError:
+                    pass
+        wfd = pipes[r][1]
+        # fork clones the parent's span-id counter; give each worker a
+        # disjoint id space so merged traces keep parent/child links exact
+        from ..telemetry.spans import reseed_span_ids
+
+        reseed_span_ids(1 + ((r + 1) << 40))
+        dev_base = dict(dev.persistence_counters()) if dev is not None else {}
+        trace = RankTrace(rank=r)
+        ctx = Context(
+            r, nprocs, machine=machine, scale=scale, board=board,
+            trace=trace, env=env, engine=self.name, locks=locks,
+        )
+        try:
+            ret = fn(ctx)
+            delta = self._dev_delta(dev, dev_base)
+            record = ("ok", _strip_for_pickle(trace), ret, delta)
+            try:
+                blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                # unpicklable return value: ship the trace anyway
+                blob = pickle.dumps(
+                    ("ok", _strip_for_pickle(trace), None, delta),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+        except BaseException as exc:  # noqa: BLE001 - must unblock peers
+            domain.abort()
+            delta = self._dev_delta(dev, dev_base)
+            try:
+                blob = pickle.dumps(("err", exc, delta),
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                import traceback
+
+                fallback = RuntimeError(
+                    f"rank {r} failed with unpicklable "
+                    f"{type(exc).__name__}: {exc}\n"
+                    + "".join(traceback.format_exception(exc))
+                )
+                blob = pickle.dumps(("err", fallback, delta),
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            out = _LEN.pack(len(blob)) + blob
+            sent = 0
+            while sent < len(out):
+                sent += os.write(wfd, out[sent:sent + (1 << 20)])
+            os.close(wfd)
+        finally:
+            sys.stdout.flush()
+            sys.stderr.flush()
+            os._exit(0)
+
+    @staticmethod
+    def _dev_delta(dev, base: dict) -> dict:
+        if dev is None:
+            return {}
+        now = dev.persistence_counters()
+        return {k: v - base.get(k, 0) for k, v in now.items()
+                if v != base.get(k, 0)}

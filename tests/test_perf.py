@@ -348,3 +348,61 @@ def test_sparkline_shape():
     assert len(sparkline([1.0, 2.0, 3.0])) == 3
     flat = sparkline([5.0, 5.0])
     assert len(set(flat)) == 1
+
+
+# ---------------------------------------------------------------------------
+# schema v2: the engine column
+# ---------------------------------------------------------------------------
+
+
+def test_baseline_entries_carry_engine_column():
+    doc = baseline_from_runs([_run_record()])
+    from repro.perf.baseline import BASELINE_SCHEMA
+
+    assert doc["schema"] == BASELINE_SCHEMA
+    assert doc["scenarios"]["mem.memcpy_persist"]["engine"] == "threads"
+
+
+def test_v1_baseline_migrates_on_load(tmp_path):
+    """A committed /1 baseline (pre-procs-engine) loads as /2 with every
+    scenario stamped engine=threads."""
+    from repro.perf.baseline import BASELINE_SCHEMA, migrate_v1
+
+    doc = json.loads(json.dumps(baseline_from_runs([_run_record()])))
+    doc["schema"] = "repro-perf-baseline/1"
+    for entry in doc["scenarios"].values():
+        entry.pop("engine", None)
+
+    migrated = migrate_v1(doc)
+    assert migrated["schema"] == BASELINE_SCHEMA
+    assert migrated["scenarios"]["mem.memcpy_persist"]["engine"] == "threads"
+
+    path = tmp_path / "results" / "b.json"
+    path.parent.mkdir(parents=True)
+    path.write_text(json.dumps(doc))
+    back = load_baseline(str(path))
+    assert back["schema"] == BASELINE_SCHEMA
+    assert back["scenarios"]["mem.memcpy_persist"]["engine"] == "threads"
+
+
+def test_compare_refuses_engine_mismatch():
+    baseline = baseline_from_runs([_run_record()])  # engine: threads
+    cur = [dict(_run_record(), engine="procs")]
+    rep = compare_runs(baseline, cur, cur_env=bench_env())
+    assert not rep.ok
+    v = rep.regressions[0]
+    assert v.status == "engine-mismatch"
+    assert v.base_engine == "threads"
+    assert v.cur_engine == "procs"
+    assert "re-measure or refresh the baseline" in rep.render()
+
+
+def test_procs_twins_match_engines():
+    """Every procs.* twin scenario's declared engine matches its name —
+    the baseline column is derived from the registry, so a mislabel would
+    poison every future compare."""
+    for s in all_scenarios():
+        if s.group == "procs":
+            assert s.name.endswith(f".{s.engine}"), s.name
+        else:
+            assert s.engine == "threads", s.name

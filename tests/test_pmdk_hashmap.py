@@ -282,3 +282,62 @@ class TestModelBased:
             assert m.count(ctx) == len(model)
 
         one_rank(fn)
+
+
+class TestStableValueBlobs:
+    """In-place value replacement + the ``reserve`` hint: overwrites that
+    fit the existing blob keep its address (engine-independent metadata
+    layout — DESIGN.md §11)."""
+
+    def test_equal_size_overwrite_is_in_place(self):
+        _d, _r, _p, m = make_map()
+
+        def fn(ctx):
+            m.put(ctx, b"k", b"A" * 64)
+            before = m.get_ref(ctx, b"k")
+            m.put(ctx, b"k", b"B" * 64)
+            after = m.get_ref(ctx, b"k")
+            assert after == before
+            assert m.get(ctx, b"k") == b"B" * 64
+
+        one_rank(fn)
+
+    def test_shrinking_overwrite_keeps_address(self):
+        _d, _r, _p, m = make_map()
+
+        def fn(ctx):
+            m.put(ctx, b"k", b"A" * 128)
+            off0 = m.get_ref(ctx, b"k")[0]
+            m.put(ctx, b"k", b"B" * 16)
+            off1, vlen = m.get_ref(ctx, b"k")
+            assert off1 == off0
+            assert vlen == 16
+            assert m.get(ctx, b"k") == b"B" * 16
+
+        one_rank(fn)
+
+    def test_reserve_allows_in_place_growth(self):
+        _d, _r, _p, m = make_map()
+
+        def fn(ctx):
+            m.put(ctx, b"k", b"A" * 16, reserve=512)
+            off0 = m.get_ref(ctx, b"k")[0]
+            m.put(ctx, b"k", b"B" * 500)  # fits the reserved blob
+            off1, vlen = m.get_ref(ctx, b"k")
+            assert off1 == off0
+            assert vlen == 500
+            assert m.get(ctx, b"k") == b"B" * 500
+
+        one_rank(fn)
+
+    def test_growth_beyond_usable_size_moves(self):
+        _d, _r, pool, m = make_map()
+
+        def fn(ctx):
+            m.put(ctx, b"k", b"A" * 16)
+            off0 = m.get_ref(ctx, b"k")[0]
+            big = b"B" * (pool.usable_size(off0) + 1)
+            m.put(ctx, b"k", big)
+            assert m.get(ctx, b"k") == big
+
+        one_rank(fn)

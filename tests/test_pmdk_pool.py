@@ -545,3 +545,102 @@ class TestCrashCampaignCoverage:
             budget=30, seed=5,
         )
         assert report.ok, report.render()
+
+
+class TestLaneAllocator:
+    """Per-rank allocation lanes: SPMD formats pre-partition the heap so
+    concurrent mallocs get deterministic, engine-independent addresses
+    (DESIGN.md §11)."""
+
+    NPROCS = 4
+
+    def spmd_offsets(self):
+        size = 2 * MiB
+        device = PMEMDevice(size)
+        region = RawRegion(device, 0, size)
+        holder = {}
+
+        def fn(ctx):
+            if ctx.rank == 0:
+                holder["pool"] = PmemPool.create(
+                    ctx, region, size=size, nlanes=4
+                )
+            ctx.barrier()
+            pool = holder["pool"]
+            offs = [pool.malloc(ctx, 64 + 64 * i) for i in range(6)]
+            ctx.barrier()
+            return offs
+
+        res = run_spmd(self.NPROCS, fn)
+        return holder["pool"], res.returns
+
+    def test_addresses_deterministic_across_runs(self):
+        _, a = self.spmd_offsets()
+        _, b = self.spmd_offsets()
+        assert a == b
+
+    def test_each_rank_allocates_inside_its_lane(self):
+        pool, offsets = self.spmd_offsets()
+        spans = pool.heap._lane_spans(self.NPROCS)
+        for rank, offs in enumerate(offsets):
+            lo, hi = spans[rank]
+            for off in offs:
+                assert lo <= off < hi, (rank, off, spans)
+
+    def test_ranks_get_disjoint_blocks(self):
+        _, offsets = self.spmd_offsets()
+        flat = [off for offs in offsets for off in offs]
+        assert len(set(flat)) == len(flat)
+
+    def test_spmd_formatted_pool_passes_check(self):
+        from repro.pmdk.check import check_pool
+
+        size = 2 * MiB
+        device = PMEMDevice(size)
+        region = RawRegion(device, 0, size)
+        holder = {}
+
+        def fn(ctx):
+            if ctx.rank == 0:
+                holder["pool"] = PmemPool.create(
+                    ctx, region, size=size, nlanes=4
+                )
+            ctx.barrier()
+            holder["pool"].malloc(ctx, 256)
+            ctx.barrier()
+            if ctx.rank == 0:
+                return check_pool(ctx, holder["pool"])
+
+        rep = run_spmd(self.NPROCS, fn).returns[0]
+        assert rep.ok, rep.problems
+
+    def test_lane_exhaustion_falls_back_to_whole_heap(self):
+        size = 2 * MiB
+        device = PMEMDevice(size)
+        region = RawRegion(device, 0, size)
+        holder = {}
+
+        def fn(ctx):
+            if ctx.rank == 0:
+                holder["pool"] = PmemPool.create(
+                    ctx, region, size=size, nlanes=4
+                )
+            ctx.barrier()
+            pool = holder["pool"]
+            if ctx.rank == 1:
+                # allocate well past one lane's capacity (~heap/4): the
+                # overflow must spill into other lanes' free space via
+                # the whole-heap fallback rather than fail
+                return [pool.malloc(ctx, 128 * 1024) for _ in range(8)]
+
+        res = run_spmd(self.NPROCS, fn)
+        offs = res.returns[1]
+        pool = holder["pool"]
+        lo, hi = pool.heap._lane_spans(self.NPROCS)[1]
+        assert len(offs) == 8
+        assert any(not (lo <= off < hi) for off in offs), offs
+
+    def test_single_rank_keeps_classic_layout(self):
+        _d, _r, pool = make_pool()
+        spans = pool.heap._lane_spans(1)
+        assert len(spans) == 1

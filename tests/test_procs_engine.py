@@ -1,0 +1,232 @@
+"""Tests for the procs rank engine: selection, parity, and failure paths."""
+
+import os
+import signal
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import (
+    EngineUnavailableError,
+    RankFailedError,
+    WorkerCrashedError,
+)
+from repro.mpi import Communicator
+from repro.pmemcpy import PMEM
+from repro.sim import ENGINE_ENV, resolve_engine, run_spmd
+from repro.sim.engine import select_root_failure
+from repro.sim.procengine import ProcEngine, procs_available
+from repro.units import MiB
+
+needs_procs = pytest.mark.skipif(
+    not procs_available(), reason="procs engine needs os.fork"
+)
+
+
+class TestEngineSelection:
+    def test_default_is_threads(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        assert resolve_engine().name == "threads"
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "procs")
+        assert resolve_engine().name == "procs"
+
+    def test_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "procs")
+        assert resolve_engine("threads").name == "threads"
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(EngineUnavailableError, match="unknown rank engine"):
+            resolve_engine("fibers")
+
+    @needs_procs
+    def test_env_var_drives_run_spmd(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "procs")
+        res = run_spmd(2, lambda ctx: ctx.rank * 10)
+        assert res.engine == "procs"
+        assert res.returns == [0, 10]
+        assert len(res.worker_pids) == 2
+
+    def test_crash_sim_cluster_refused(self):
+        cl = Cluster(crash_sim=True, pmem_capacity=8 * MiB)
+        with pytest.raises(EngineUnavailableError, match="crash simulation"):
+            cl.run(1, lambda ctx: None, engine="procs")
+
+
+class TestRootCauseSelection:
+    """Satellite: barrier-casualty unwinding surfaces the real failure."""
+
+    def test_casualties_skipped(self):
+        failures = [
+            (0, threading.BrokenBarrierError("peer died")),
+            (2, ValueError("root cause")),
+            (1, threading.BrokenBarrierError("peer died")),
+        ]
+        rank, exc = select_root_failure(failures)
+        assert rank == 2
+        assert isinstance(exc, ValueError)
+
+    def test_all_casualties_lowest_rank_wins(self):
+        failures = [
+            (3, threading.BrokenBarrierError("a")),
+            (1, threading.BrokenBarrierError("b")),
+        ]
+        rank, exc = select_root_failure(failures)
+        assert rank == 1
+
+    def test_threads_rank_failure_is_root_cause(self):
+        def fn(ctx):
+            if ctx.rank == 1:
+                raise RuntimeError("rank 1 exploded")
+            ctx.barrier()  # peers block, then unwind as casualties
+
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(3, fn)
+        assert ei.value.rank == 1
+        assert isinstance(ei.value.__cause__, RuntimeError)
+        assert "exploded" in str(ei.value.__cause__)
+
+    @needs_procs
+    def test_procs_rank_failure_is_root_cause(self):
+        def fn(ctx):
+            if ctx.rank == 1:
+                raise RuntimeError("rank 1 exploded")
+            ctx.barrier()
+
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(3, fn, engine="procs")
+        assert ei.value.rank == 1
+        assert isinstance(ei.value.__cause__, RuntimeError)
+        assert len(ei.value.worker_pids) == 3
+
+
+def _ring_workload(ctx):
+    comm = Communicator.world(ctx)
+    pmem = PMEM(layout="hashtable", map_sync=True)
+    pmem.mmap("/pmem/parity", comm)
+    data = np.arange(2048, dtype=np.float64) + ctx.rank
+    pmem.store(f"r{ctx.rank}", data)
+    comm.barrier()
+    out = pmem.load(f"r{(ctx.rank + 1) % comm.size}")
+    comm.barrier()
+    pmem.munmap()
+    return out
+
+
+@needs_procs
+class TestThreadsProcsParity:
+    def test_readback_and_modeled_time_agree(self):
+        results = {}
+        for engine in ("threads", "procs"):
+            cl = Cluster(pmem_capacity=64 * MiB)
+            results[engine] = cl.run(4, _ring_workload, engine=engine)
+
+        rt, rp = results["threads"], results["procs"]
+        assert rt.engine == "threads"
+        assert rp.engine == "procs"
+        for r in range(4):
+            np.testing.assert_array_equal(rt.returns[r], rp.returns[r])
+            expect = np.arange(2048, dtype=np.float64) + (r + 1) % 4
+            np.testing.assert_array_equal(rt.returns[r], expect)
+        mt = rt.time().makespan_ns
+        mp = rp.time().makespan_ns
+        assert abs(mt - mp) / mt < 0.01, (mt, mp)
+
+    def test_device_counters_merged_from_workers(self):
+        cl = Cluster(pmem_capacity=64 * MiB)
+        cl.run(2, _ring_workload, engine="procs")
+        # worker-side persistence activity must be visible in the parent
+        counters = cl.device.persistence_counters()
+        assert counters["device_store_bytes"] > 0
+        assert counters["device_persists"] > 0
+
+
+@needs_procs
+class TestWorkerCrash:
+    def test_sigkilled_worker_surfaces_and_stale_lock_detected(self):
+        """Satellite: SIGKILL a worker holding a PmemMutex mid-critical-
+        section; the parent reports the crash with real worker pids, and
+        pmempool-check flags the stale owner word against live ranks."""
+        from repro.pmdk import PmemMutex
+        from repro.pmdk.check import check_pool, live_ranks_from_pids
+
+        cl = Cluster(pmem_capacity=32 * MiB)
+
+        def fn(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM()
+            pmem.mmap("/pmem/kill", comm)
+            if ctx.rank == 1:
+                pool = pmem.layout.pool
+                m = PmemMutex.alloc(ctx, pool)
+                pmem.store("mu_off", np.array([m.off], dtype=np.float64))
+                m.acquire(ctx)
+                pool.persist(ctx, m.off, 8)
+                os.kill(os.getpid(), signal.SIGKILL)
+            comm.barrier()  # rank 0 parks here until the abort unwinds it
+
+        with pytest.raises(RankFailedError) as ei:
+            cl.run(2, fn, engine="procs")
+        err = ei.value
+        assert err.rank == 1
+        assert isinstance(err.__cause__, WorkerCrashedError)
+        assert len(err.worker_pids) == 2
+        assert all(p > 0 for p in err.worker_pids)
+
+        # every worker is reaped by now, so no rank is live — exactly the
+        # post-mortem view a recovery tool would compute
+        live = live_ranks_from_pids(err.worker_pids)
+        assert 1 not in live
+
+        def check(ctx):
+            comm = Communicator.world(ctx)
+            pmem = PMEM()
+            pmem.mmap("/pmem/kill", comm)
+            off = int(pmem.load("mu_off")[0])
+            rep = check_pool(
+                ctx, pmem.layout.pool,
+                live_ranks=frozenset(live), lock_offsets=(off,),
+            )
+            pmem.munmap()
+            return rep
+
+        rep = cl.run(1, check).returns[0]
+        assert not rep.ok
+        assert any("stale owner" in p for p in rep.problems)
+
+    def test_worker_death_does_not_hang_peers(self):
+        cl = Cluster(pmem_capacity=16 * MiB)
+
+        def fn(ctx):
+            if ctx.rank == 2:
+                os.kill(os.getpid(), signal.SIGKILL)
+            ctx.barrier()
+
+        with pytest.raises(RankFailedError) as ei:
+            cl.run(3, fn, engine="procs")
+        assert isinstance(ei.value.__cause__, WorkerCrashedError)
+        assert ei.value.__cause__.rank == 2
+
+
+class TestProcEngineGating:
+    def test_engine_object_refuses_crash_sim_env(self):
+        cl = Cluster(crash_sim=True, pmem_capacity=8 * MiB)
+        eng = ProcEngine()
+        if not procs_available():
+            pytest.skip("no fork")
+        with pytest.raises(EngineUnavailableError):
+            eng.run(1, lambda ctx: None, machine=cl.machine,
+                    scale=cl.scale, thread_name="rank", env=cl)
+
+    def test_unavailable_platform_message(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.sim.procengine.procs_available", lambda: False
+        )
+        with pytest.raises(EngineUnavailableError, match="os.fork"):
+            ProcEngine().run(
+                1, lambda ctx: None, machine=Cluster().machine,
+                scale=1, thread_name="rank", env=None,
+            )

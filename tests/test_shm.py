@@ -1,0 +1,346 @@
+"""Tests for the shared-memory heap and cross-process sync primitives."""
+
+import os
+import queue
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import BadAddressError, OutOfSpaceError, PmdkError
+from repro.shm.heap import PAGE_SIZE, SharedHeap
+from repro.shm.sync import (
+    CoreLock,
+    LocalLockProvider,
+    ShmBarrier,
+    ShmLaneCell,
+    ShmLockProvider,
+    ShmMutexCore,
+    ShmRWCore,
+    ShmSyncDomain,
+)
+
+FORK = os.name == "posix" and hasattr(os, "fork")
+needs_fork = pytest.mark.skipif(not FORK, reason="needs os.fork")
+
+
+def fork_child(fn):
+    """Run ``fn`` in a forked child; return its pid (0 exit = success)."""
+    pid = os.fork()
+    if pid == 0:
+        code = 1
+        try:
+            fn()
+            code = 0
+        finally:
+            os._exit(code)
+    return pid
+
+
+def assert_child_ok(pid):
+    _, status = os.waitpid(pid, 0)
+    assert os.waitstatus_to_exitcode(status) == 0
+
+
+class TestSharedHeap:
+    def test_alloc_rounds_to_pages_and_zeroes(self):
+        heap = SharedHeap(1 << 20)
+        blk = heap.alloc(100)
+        assert blk.size == PAGE_SIZE
+        assert bytes(blk.view) == b"\0" * PAGE_SIZE
+
+    def test_free_then_alloc_reuses_and_rezeroes(self):
+        heap = SharedHeap(1 << 20)
+        a = heap.alloc(PAGE_SIZE)
+        a.view[:4] = b"\xde\xad\xbe\xef"
+        off = a.off
+        heap.free(a)
+        b = heap.alloc(PAGE_SIZE)
+        assert b.off == off
+        assert bytes(b.view[:4]) == b"\0\0\0\0"
+
+    def test_first_fit_splits_large_free_block(self):
+        heap = SharedHeap(1 << 20)
+        big = heap.alloc(4 * PAGE_SIZE)
+        heap.free(big)
+        small = heap.alloc(PAGE_SIZE)
+        assert small.off == big.off
+        tail = heap.alloc(3 * PAGE_SIZE)
+        assert tail.off == big.off + PAGE_SIZE
+
+    def test_exhaustion_raises(self):
+        heap = SharedHeap(4 * PAGE_SIZE)
+        with pytest.raises(OutOfSpaceError):
+            heap.alloc(heap.size)  # header page makes a full-size ask fail
+
+    def test_free_bytes_accounting(self):
+        heap = SharedHeap(1 << 20)
+        before = heap.free_bytes()
+        blk = heap.alloc(2 * PAGE_SIZE)
+        assert heap.free_bytes() == before - 2 * PAGE_SIZE
+        heap.free(blk)
+        assert heap.free_bytes() == before
+
+    def test_block_at_bounds_checked(self):
+        heap = SharedHeap(1 << 20)
+        blk = heap.alloc(PAGE_SIZE)
+        again = heap.block_at(blk.off, blk.size)
+        again.set_u64(0, 12345)
+        assert blk.u64(0) == 12345
+        with pytest.raises(BadAddressError):
+            heap.block_at(0, 16)  # header page is not addressable
+        with pytest.raises(BadAddressError):
+            heap.block_at(heap.size - 8, 16)
+
+    def test_as_array_is_a_shared_view(self):
+        heap = SharedHeap(1 << 20)
+        blk = heap.alloc(PAGE_SIZE)
+        arr = blk.as_array(np.uint64)
+        blk.set_u64(3, 77)
+        assert arr[3] == 77
+        arr[4] = 88
+        assert blk.u64(4) == 88
+
+
+class TestSyncDomain:
+    def test_state_block_same_tag_same_block(self):
+        dom = ShmSyncDomain(SharedHeap(1 << 20))
+        a = dom.state_block(("x", 1), 64)
+        b = dom.state_block(("x", 1), 64)
+        assert (a.off, a.size) == (b.off, b.size)
+        c = dom.state_block(("x", 2), 64)
+        assert c.off != a.off
+
+    def test_abort_and_begin_run(self):
+        dom = ShmSyncDomain(SharedHeap(1 << 20))
+        assert not dom.aborted
+        dom.abort()
+        assert dom.aborted
+        ep = dom.epoch
+        dom.begin_run()
+        assert not dom.aborted
+        assert dom.epoch == ep + 1
+
+    def test_poll_returns_false_on_abort(self):
+        dom = ShmSyncDomain(SharedHeap(1 << 20))
+        dom.abort()
+        assert dom.poll(lambda: False) is False
+
+
+class TestShmMutexCore:
+    def dom(self):
+        return ShmSyncDomain(SharedHeap(1 << 20))
+
+    def test_acquire_release_uncontended(self):
+        mu = ShmMutexCore(self.dom(), "m")
+        assert mu.acquire() is False
+        assert mu.holder_token() != 0
+        mu.release()
+        assert mu.holder_token() == 0
+
+    def test_non_reentrant_reacquire_raises(self):
+        mu = ShmMutexCore(self.dom(), "m")
+        mu.acquire()
+        with pytest.raises(PmdkError):
+            mu.acquire()
+
+    def test_reentrant_depth(self):
+        mu = ShmMutexCore(self.dom(), "m", reentrant=True)
+        mu.acquire()
+        mu.acquire()
+        mu.release()
+        assert mu.holder_token() != 0
+        mu.release()
+        assert mu.holder_token() == 0
+
+    def test_release_by_non_holder_raises(self):
+        dom = self.dom()
+        mu = ShmMutexCore(dom, "m")
+        with pytest.raises(PmdkError):
+            mu.release()
+
+    def test_epoch_reset_clears_stale_owner(self):
+        dom = self.dom()
+        ShmMutexCore(dom, "m").acquire()  # holder never releases
+        dom.begin_run()
+        mu2 = ShmMutexCore(dom, "m")
+        assert mu2.acquire() is False  # stale word lazily zeroed
+
+
+class TestShmRWCore:
+    def test_write_reentry_raises(self):
+        dom = ShmSyncDomain(SharedHeap(1 << 20))
+        rw = ShmRWCore(dom, "rw")
+        rw.acquire_write()
+        with pytest.raises(PmdkError):
+            rw.acquire_write()
+        rw.release_write()
+
+    def test_release_without_hold_raises(self):
+        dom = ShmSyncDomain(SharedHeap(1 << 20))
+        rw = ShmRWCore(dom, "rw")
+        with pytest.raises(PmdkError):
+            rw.release_read()
+        with pytest.raises(PmdkError):
+            rw.release_write()
+
+    def test_readers_share(self):
+        dom = ShmSyncDomain(SharedHeap(1 << 20))
+        rw = ShmRWCore(dom, "rw")
+        assert rw.acquire_read() is False
+        assert rw.acquire_read() is False
+        rw.release_read()
+        rw.release_read()
+        assert rw.acquire_write() is False
+        rw.release_write()
+
+
+class TestShmLaneCell:
+    def test_preferred_lane_and_fallback(self):
+        dom = ShmSyncDomain(SharedHeap(1 << 20))
+        cell = ShmLaneCell(dom, "lanes", 8)
+        assert cell.acquire_lane(preferred=3) == 3
+        got = cell.acquire_lane(preferred=3)  # taken: lowest free wins
+        assert got == 0
+        cell.release_lane(3)
+        assert cell.acquire_lane(preferred=3) == 3
+
+    def test_nlanes_bounds(self):
+        dom = ShmSyncDomain(SharedHeap(1 << 20))
+        with pytest.raises(ValueError):
+            ShmLaneCell(dom, "bad", 65)
+        with pytest.raises(ValueError):
+            ShmLaneCell(dom, "bad", 0)
+
+
+class TestAbortUnblocksWaiters:
+    def test_barrier_waiter_unwinds_on_abort(self):
+        dom = ShmSyncDomain(SharedHeap(1 << 20))
+        bar = ShmBarrier(dom, "b", parties=2)
+        got = queue.Queue()
+
+        def waiter():
+            try:
+                bar.wait()
+                got.put("passed")
+            except threading.BrokenBarrierError:
+                got.put("broken")
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        dom.abort()
+        t.join(timeout=5)
+        assert got.get(timeout=1) == "broken"
+
+    def test_mutex_waiter_unwinds_on_abort(self):
+        dom = ShmSyncDomain(SharedHeap(1 << 20))
+        ShmMutexCore(dom, "m").acquire()  # holder never releases
+        got = queue.Queue()
+
+        def waiter():
+            mu = ShmMutexCore(dom, "m")
+            try:
+                mu.acquire()
+                got.put("acquired")
+            except threading.BrokenBarrierError:
+                got.put("broken")
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        dom.abort()
+        t.join(timeout=5)
+        assert got.get(timeout=1) == "broken"
+
+
+@needs_fork
+class TestCrossProcess:
+    def test_barrier_across_fork(self):
+        heap = SharedHeap(1 << 20)
+        dom = ShmSyncDomain(heap)
+        dom.begin_run()
+        bar = ShmBarrier(dom, "b", parties=2)
+        pid = fork_child(lambda: ShmBarrier(dom, "b", parties=2).wait())
+        bar.wait()
+        assert_child_ok(pid)
+
+    def test_mutex_excludes_across_fork(self):
+        heap = SharedHeap(1 << 20)
+        dom = ShmSyncDomain(heap)
+        dom.begin_run()
+        counter = heap.alloc(8)
+
+        def bump(n):
+            mu = ShmMutexCore(dom, "ctr")
+            for _ in range(n):
+                mu.acquire()
+                v = counter.u64(0)
+                time.sleep(0)  # widen the race window
+                counter.set_u64(0, v + 1)
+                mu.release()
+
+        pids = [fork_child(lambda: bump(200)) for _ in range(2)]
+        bump(200)
+        for pid in pids:
+            assert_child_ok(pid)
+        assert counter.u64(0) == 600
+
+    def test_lane_cell_across_fork(self):
+        heap = SharedHeap(1 << 20)
+        dom = ShmSyncDomain(heap)
+        dom.begin_run()
+        cell = ShmLaneCell(dom, "lanes", 4)
+        lane = cell.acquire_lane(preferred=2)
+        assert lane == 2
+
+        def child():
+            c = ShmLaneCell(dom, "lanes", 4)
+            got = c.acquire_lane(preferred=2)  # parent holds 2
+            assert got != 2
+            c.release_lane(got)
+
+        pid = fork_child(child)
+        assert_child_ok(pid)
+        cell.release_lane(lane)
+
+    def test_state_travels_by_offset(self):
+        heap = SharedHeap(1 << 20)
+        blk = heap.alloc(16)
+
+        def child():
+            heap.block_at(blk.off, blk.size).set_u64(1, 4242)
+
+        pid = fork_child(child)
+        assert_child_ok(pid)
+        assert blk.u64(1) == 4242
+
+
+class TestLockProviders:
+    def test_local_provider_memoizes(self):
+        prov = LocalLockProvider()
+        assert prov.mutex_core("a") is prov.mutex_core("a")
+        assert prov.mutex_core("a") is not prov.mutex_core("b")
+        assert prov.rw_core("r") is prov.rw_core("r")
+
+    def test_scoped_provider_namespaces(self):
+        prov = LocalLockProvider()
+        s1 = prov.scoped("fs1")
+        s2 = prov.scoped("fs2")
+        assert s1.mutex_core("k") is not s2.mutex_core("k")
+        assert s1.mutex_core("k") is prov.scoped("fs1").mutex_core("k")
+
+    def test_shm_provider_same_key_same_words(self):
+        dom = ShmSyncDomain(SharedHeap(1 << 20))
+        prov = ShmLockProvider(dom)
+        a = prov.mutex_core("k")
+        b = prov.mutex_core("k")
+        a.acquire()
+        assert b.holder_token() == a.holder_token() != 0
+        a.release()
+
+    def test_core_lock_context_manager(self):
+        prov = LocalLockProvider()
+        with CoreLock(prov.mutex_core("c", reentrant=True)):
+            pass
