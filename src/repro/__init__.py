@@ -29,7 +29,7 @@ persistent hashtable), :mod:`repro.kernel` (DAX fs + MAP_SYNC model),
 from .cluster import Cluster
 from .config import DEFAULT_MACHINE, MachineSpec
 from .mpi import Communicator
-from .pmemcpy import PMEM, Dimensions
+from .pmemcpy import PMEM, Dimensions, Hyperslab, PointSelection, Selection
 from .sim import run_spmd
 
 __version__ = "1.0.0"
@@ -39,6 +39,9 @@ __all__ = [
     "Communicator",
     "PMEM",
     "Dimensions",
+    "Hyperslab",
+    "PointSelection",
+    "Selection",
     "MachineSpec",
     "DEFAULT_MACHINE",
     "run_spmd",

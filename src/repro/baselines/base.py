@@ -8,6 +8,8 @@ from contextlib import contextmanager
 import numpy as np
 
 from ..errors import BaselineError
+from ..mem.memcpy import charge_dram_copy
+from ..pmemcpy.selection import Hyperslab, Selection
 from ..telemetry import record, span
 
 
@@ -96,6 +98,53 @@ class PIODriver(ABC):
     @abstractmethod
     def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
         """Load a block of ``name``."""
+
+    def read_selection(self, ctx, name: str, selection: Selection) -> np.ndarray:
+        """Load an arbitrary :class:`~repro.pmemcpy.selection.Selection` of
+        ``name`` (already bounds-checked against the variable's extent).
+
+        Default: fetch the selection's bounding box with :meth:`read` and
+        gather the selected elements out of the staging block — the honest
+        cost model for libraries without sub-block addressing (POSIX
+        blocks, ADIOS process-group payloads), which must move the whole
+        enclosing region before striding over it in DRAM.  Libraries with
+        real sub-block reads (HDF5 dataspaces, netCDF ``get_vars``,
+        pMEMCPY selections) override this with their native path."""
+        offsets, dims = selection.bbox()
+        block = np.asarray(self.read(ctx, name, offsets, dims))
+        out = np.empty(selection.out_shape, dtype=block.dtype)
+        with span(ctx, "driver.gather", var=name, driver=self.name,
+                  bytes=int(out.nbytes)):
+            charge_dram_copy(ctx, ctx.model_bytes(out.nbytes),
+                             note="stage-gather")
+            record(ctx, "driver_selection_staged_bytes", int(block.nbytes))
+            selection.scatter_into(out, block.reshape(dims), offsets)
+        return out
+
+    def write_selection(self, ctx, name: str, data, selection: Selection) -> None:
+        """Store ``data`` (shaped ``selection.out_shape``) into an arbitrary
+        hyperslab of ``name``.
+
+        Default: decompose the selection into its maximal contiguous block
+        cells and issue one :meth:`write` per cell — every library can
+        write strided data, it just degenerates to per-block puts unless
+        the driver overrides with a native strided path."""
+        if not isinstance(selection, Hyperslab):
+            raise BaselineError(
+                f"{self.name}: write_selection needs a hyperslab; "
+                f"{type(selection).__name__} has no block decomposition"
+            )
+        data = np.asarray(data)
+        if tuple(data.shape) != selection.out_shape:
+            raise BaselineError(
+                f"{self.name}: data shape {tuple(data.shape)} vs selection "
+                f"shape {selection.out_shape}"
+            )
+        for (cell_off, _cell_dims), result_sl in zip(
+            selection.blocks(), selection.block_result_slices()
+        ):
+            self.write(ctx, name, np.ascontiguousarray(data[result_sl]),
+                       cell_off)
 
     @abstractmethod
     def close(self, ctx) -> None:

@@ -26,7 +26,7 @@ import struct
 
 import numpy as np
 
-from ..errors import BaselineError, FormatError
+from ..errors import BaselineError, DimensionMismatchError, FormatError
 from ..kernel.vfs import OpenFlags
 from ..mem.memcpy import charge_cpu, charge_dram_copy
 from ..mpi.datatypes import (
@@ -35,6 +35,7 @@ from ..mpi.datatypes import (
     subarray_run_starts,
     subarray_runs,
 )
+from ..pmemcpy.selection import Hyperslab, PointSelection, Selection
 from ..serial.base import dtype_from_token, dtype_to_token
 from ..serial.filters import FilterPipeline
 from .base import PIODriver, register_driver
@@ -185,22 +186,51 @@ class H5Group:
 
 
 class Dataspace:
-    """H5Screate_simple: an n-d extent, with optional hyperslab selection."""
+    """H5Screate_simple: an n-d extent, with optional hyperslab/point
+    selection (strided hyperslabs and point lists route reads through
+    :meth:`H5Dataset.read_selection`)."""
 
     def __init__(self, dims):
         self.dims = tuple(int(d) for d in dims)
         self.selection: tuple[tuple, tuple] | None = None
+        #: strided/point selection (None for whole-extent or plain blocks)
+        self.sel: Selection | None = None
 
-    def select_hyperslab(self, offsets, counts) -> "Dataspace":
+    def select_hyperslab(self, offsets, counts, stride=None,
+                         block=None) -> "Dataspace":
         offsets, counts = tuple(offsets), tuple(counts)
         if len(offsets) != len(self.dims) or len(counts) != len(self.dims):
             raise BaselineError("hyperslab rank mismatch")
+        if stride is not None or block is not None:
+            # the full H5Sselect_hyperslab start/stride/count/block form
+            try:
+                hs = Hyperslab(offsets, counts, stride, block)
+                hs.normalized(self.dims)
+            except DimensionMismatchError as e:
+                raise BaselineError(str(e)) from e
+            if hs == Hyperslab.from_block(*hs.bbox()):
+                # degenerate strides: keep the fast contiguous-block path
+                self.selection, self.sel = hs.bbox(), None
+            else:
+                self.selection, self.sel = None, hs
+            return self
         for o, c, d in zip(offsets, counts, self.dims):
             if o < 0 or c < 0 or o + c > d:
                 raise BaselineError(
                     f"hyperslab ({offsets}, {counts}) outside extent {self.dims}"
                 )
         self.selection = (offsets, counts)
+        self.sel = None
+        return self
+
+    def select_elements(self, points) -> "Dataspace":
+        """H5Sselect_elements: an explicit point list, read in list order."""
+        try:
+            sel = PointSelection(points)
+            sel.normalized(self.dims)
+        except DimensionMismatchError as e:
+            raise BaselineError(str(e)) from e
+        self.selection, self.sel = None, sel
         return self
 
     @property
@@ -208,6 +238,11 @@ class Dataspace:
         return math.prod(self.dims)
 
     def effective(self) -> tuple[tuple, tuple]:
+        if self.sel is not None:
+            raise BaselineError(
+                "strided/point selections have no single block extent; "
+                "use the selection read path"
+            )
         if self.selection is None:
             return tuple(0 for _ in self.dims), self.dims
         return self.selection
@@ -259,7 +294,28 @@ class H5Dataset:
         ``memspace`` (optional) must match the selection extent; ``xfer``
         may switch collective/independent transfer."""
         data = np.ascontiguousarray(data, dtype=self.dtype)
-        offsets, counts = (filespace or self.space).effective()
+        space = filespace or self.space
+        if getattr(space, "sel", None) is not None:
+            # strided hyperslab write: one plain block write per maximal
+            # contiguous cell of the selection
+            sel = space.sel
+            if not isinstance(sel, Hyperslab):
+                raise BaselineError(
+                    "H5Dwrite supports hyperslab selections only"
+                )
+            if tuple(data.shape) != sel.out_shape:
+                raise BaselineError(
+                    f"memory space {data.shape} != selection {sel.out_shape}"
+                )
+            for (cell_off, cell_dims), result_sl in zip(
+                sel.blocks(), sel.block_result_slices()
+            ):
+                fs = Dataspace(self.space.dims).select_hyperslab(
+                    cell_off, cell_dims)
+                self.write(ctx, np.ascontiguousarray(data[result_sl]), fs,
+                           collective=collective)
+            return
+        offsets, counts = space.effective()
         if memspace is not None and memspace.nelems != math.prod(counts):
             raise BaselineError(
                 f"memory space {memspace.dims} != selection {counts}"
@@ -417,7 +473,10 @@ class H5Dataset:
              *, collective: bool = True) -> np.ndarray:
         if xfer is not None:
             collective = xfer.collective
-        offsets, counts = (filespace or self.space).effective()
+        space = filespace or self.space
+        if getattr(space, "sel", None) is not None:
+            return self.read_selection(ctx, space.sel, collective=collective)
+        offsets, counts = space.effective()
         if self.layout == COMPACT:
             arr = np.frombuffer(bytes(self._compact), dtype=self.dtype)
             arr = arr.reshape(self.space.dims)
@@ -464,6 +523,61 @@ class H5Dataset:
                 out.reshape(-1), sub, counts,
                 tuple(l - o for l, o in zip(lo, offsets)),
             )
+        return out
+
+    def read_selection(self, ctx, sel: Selection, *,
+                       collective: bool = True) -> np.ndarray:
+        """Read an arbitrary selection with the layout's native cost:
+
+        - *contiguous* datasets turn the selection's row segments into
+          MPI-IO extents directly — only selected bytes cross the wire
+          (modulo collective-buffering stripes);
+        - *chunked* datasets read every intersecting chunk whole (the real
+          HDF5 granularity: a chunk is fetched and decoded in full before
+          sub-selection) and gather in DRAM;
+        - *compact* datasets gather from the in-header copy.
+        """
+        itemsize = self.dtype.itemsize
+        out = np.empty(sel.out_shape, dtype=self.dtype)
+        flat = out.reshape(-1)
+        if self.layout == COMPACT:
+            arr = np.frombuffer(bytes(self._compact), dtype=self.dtype)
+            arr = arr.reshape(self.space.dims)
+            charge_dram_copy(
+                ctx, ctx.model_bytes(out.nbytes), note="compact")
+            sel.scatter_into(out, arr, tuple(0 for _ in self.space.dims))
+            return out
+        if self.layout == CONTIGUOUS:
+            origin = tuple(0 for _ in self.space.dims)
+            runs = list(sel.runs(origin, self.space.dims))
+            reqs = [
+                (self.data_off + r.src * itemsize, r.nelems * itemsize)
+                for r in runs
+            ]
+            if collective:
+                got = self.file.mpifile.read_at_all(ctx, reqs)
+            else:
+                got = [
+                    self.file.mpifile.read_at(
+                        ctx, off, size, model_bytes=ctx.model_bytes(size))
+                    for off, size in reqs
+                ]
+            for r, raw in zip(runs, got):
+                flat[r.dst : r.dst + r.nelems] = np.frombuffer(
+                    raw.tobytes(), dtype=self.dtype)
+            return out
+        # chunked: fetch each intersecting chunk whole, gather in DRAM
+        out.fill(0)  # unallocated chunks read as zeros/fill
+        bb_off, bb_dims = sel.bbox()
+        for cc in self._chunks_overlapping(bb_off, bb_dims):
+            c_off, c_dims, _nb = self._chunk_geom(cc)
+            if not sel.intersects(c_off, c_dims):
+                continue
+            raw = self._read_chunk_bytes(ctx, cc)
+            if raw is None:
+                continue
+            chunk = np.frombuffer(raw.tobytes(), dtype=self.dtype)
+            sel.scatter_into(out, chunk.reshape(c_dims), c_off)
         return out
 
     def _chunks_overlapping(self, offsets, counts) -> list[tuple]:
@@ -786,6 +900,23 @@ class H5Driver(PIODriver):
             out = ds.read(ctx, fs)
             op.done(out)
             return out
+
+    def read_selection(self, ctx, name: str, selection) -> np.ndarray:
+        # native dataspace selections: contiguous datasets fetch only the
+        # selection's row segments, chunked ones each intersecting chunk
+        with self.read_op(ctx, name) as op:
+            ds = self.file.dataset(name)
+            out = ds.read_selection(ctx, selection)
+            op.done(out)
+            return out
+
+    def write_selection(self, ctx, name: str, data, selection) -> None:
+        data = np.asarray(data)
+        with self.write_op(ctx, name, data):
+            ds = self.file.dataset(name)
+            fs = Dataspace(ds.space.dims)
+            fs.sel = selection
+            ds.write(ctx, data, fs)
 
     def close(self, ctx) -> None:
         with self.op_span(ctx, "close"):

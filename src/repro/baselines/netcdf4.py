@@ -92,6 +92,23 @@ class NetCDFFile:
         charge_cpu(ctx, ctx.model_bytes(out.nbytes), CONVERT_BW, note="nc-unpack")
         return out
 
+    def get_selection(self, ctx, name: str, selection) -> np.ndarray:
+        """nc_get_vars-style strided/point read: the underlying HDF5
+        dataspace selection fetches only the selected row segments, then
+        the usual external-format conversion pass runs over the result."""
+        ds = self.h5.dataset(name)
+        out = ds.read_selection(ctx, selection)
+        charge_cpu(ctx, ctx.model_bytes(out.nbytes), CONVERT_BW, note="nc-unpack")
+        return out
+
+    def get_vars(self, ctx, name: str, start, count, stride) -> np.ndarray:
+        """nc_get_vars: start/count/stride subsampled read."""
+        ds = self.h5.dataset(name)
+        fs = Dataspace(ds.space.dims).select_hyperslab(start, count, stride)
+        out = ds.read(ctx, fs)
+        charge_cpu(ctx, ctx.model_bytes(out.nbytes), CONVERT_BW, note="nc-unpack")
+        return out
+
     def inq_var_dims(self, name: str) -> tuple[int, ...]:
         return self.h5.dataset(name).space.dims
 
@@ -150,6 +167,12 @@ class NetCDF4Driver(PIODriver):
     def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
         with self.read_op(ctx, name) as op:
             out = self.nc.get_vara(ctx, name, offsets, dims)
+            op.done(out)
+            return out
+
+    def read_selection(self, ctx, name: str, selection) -> np.ndarray:
+        with self.read_op(ctx, name) as op:
+            out = self.nc.get_selection(ctx, name, selection)
             op.done(out)
             return out
 

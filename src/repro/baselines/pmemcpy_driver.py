@@ -18,12 +18,16 @@ class PmemcpyDriver(PIODriver):
                  map_sync: bool = False, pool_size: int | None = None,
                  filters: tuple | list = (),
                  meta_stripes: int | None = None,
-                 meta_rw: bool | None = None):
+                 meta_rw: bool | None = None,
+                 chunk_shape=None):
         self.kw = dict(
             serializer=serializer, layout=layout, map_sync=map_sync,
             pool_size=pool_size, filters=filters,
             meta_stripes=meta_stripes, meta_rw=meta_rw,
         )
+        #: aligned-chunk grid applied to every def_var (None = store-shaped
+        #: chunks); drives the partial-read scenarios' chunked layouts
+        self.chunk_shape = tuple(chunk_shape) if chunk_shape else None
         self.pmem: PMEM | None = None
 
     def open(self, ctx, comm, path: str, mode: str) -> None:
@@ -33,7 +37,8 @@ class PmemcpyDriver(PIODriver):
 
     def def_var(self, ctx, name: str, global_dims, dtype) -> None:
         with self.op_span(ctx, "define", var=name):
-            self.pmem.alloc(name, tuple(global_dims), dtype)
+            self.pmem.alloc(name, tuple(global_dims), dtype,
+                            chunk_shape=self.chunk_shape)
 
     def write(self, ctx, name: str, array: np.ndarray, offsets) -> None:
         with self.write_op(ctx, name, array):
@@ -44,6 +49,20 @@ class PmemcpyDriver(PIODriver):
             out = self.pmem.load(name, offsets=offsets, dims=dims)
             op.done(out)
             return out
+
+    def read_selection(self, ctx, name: str, selection) -> np.ndarray:
+        # native path: PMEM.load restricts each chunk to the selection (and
+        # raw-serialized chunks fetch only intersecting row segments), so no
+        # bounding-box staging happens here
+        with self.read_op(ctx, name) as op:
+            out = self.pmem.load(name, selection=selection)
+            op.done(out)
+            return out
+
+    def write_selection(self, ctx, name: str, data, selection) -> None:
+        data = np.asarray(data)
+        with self.write_op(ctx, name, data):
+            self.pmem.store(name, data, selection=selection)
 
     def close(self, ctx) -> None:
         with self.op_span(ctx, "close"):

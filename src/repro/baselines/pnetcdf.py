@@ -171,6 +171,28 @@ class PnetcdfFile:
         charge_cpu(ctx, ctx.model_bytes(out.nbytes), CONVERT_BW, note="nc-unpack")
         return out
 
+    def get_vars_all(self, ctx, name: str, selection) -> np.ndarray:
+        """ncmpi_get_vars-style strided/point read: the selection's row
+        segments become MPI-IO extents over the variable's contiguous
+        global layout — only selected bytes are requested."""
+        if self.defining:
+            raise BaselineError("still in define mode — call enddef()")
+        dtype, shape, begin = self._var(name)
+        itemsize = dtype.itemsize
+        origin = tuple(0 for _ in shape)
+        runs = list(selection.runs(origin, shape))
+        reqs = [
+            (begin + r.src * itemsize, r.nelems * itemsize) for r in runs
+        ]
+        got = self.file.read_at_all(ctx, reqs)
+        out = np.empty(selection.out_shape, dtype=dtype)
+        flat = out.reshape(-1)
+        for r, raw in zip(runs, got):
+            flat[r.dst : r.dst + r.nelems] = np.frombuffer(
+                raw.tobytes(), dtype=dtype)
+        charge_cpu(ctx, ctx.model_bytes(out.nbytes), CONVERT_BW, note="nc-unpack")
+        return out
+
     def close(self, ctx) -> None:
         self.file.close(ctx)
 
@@ -206,6 +228,12 @@ class PnetcdfDriver(PIODriver):
     def read(self, ctx, name: str, offsets, dims) -> np.ndarray:
         with self.read_op(ctx, name) as op:
             out = self.f.get_vara_all(ctx, name, offsets, dims)
+            op.done(out)
+            return out
+
+    def read_selection(self, ctx, name: str, selection) -> np.ndarray:
+        with self.read_op(ctx, name) as op:
+            out = self.f.get_vars_all(ctx, name, selection)
             op.done(out)
             return out
 

@@ -44,7 +44,7 @@ FIG_PROCS = (8, 24, 48)
 #: the --quick budget keeps only the 8-proc cells
 QUICK_FIG_PROCS = (8,)
 
-GROUPS = ("fig6", "fig7", "pmdk", "meta", "mem", "procs")
+GROUPS = ("fig6", "fig7", "pmdk", "meta", "mem", "procs", "partial")
 
 
 @dataclass(frozen=True)
@@ -229,6 +229,92 @@ def _procs_fig_run(nprocs: int, engine: str) -> Callable[[], dict]:
 
 
 # ---------------------------------------------------------------------------
+# partial-read scenarios (selections across every driver)
+# ---------------------------------------------------------------------------
+#
+# One variable of the trimmed domain is written with 8 ranks, then every
+# rank issues the same :class:`~repro.pmemcpy.selection.Selection` through
+# ``driver.read_selection`` — the symmetric partial read-back.  The pMEMCPY
+# series store the variable on an aligned 10^3 chunk grid, so their reads
+# touch only intersecting chunks (and, for raw-serialized chunks, only the
+# selected row segments); libraries without sub-block addressing pay the
+# bounding-box staging cost instead.  Three access shapes are tracked:
+#
+# - ``1pct``   — a dense 9^3 corner block, ~1.1% of the 40^3 domain;
+# - ``plane``  — a single k-plane (worst-case row fragmentation);
+# - ``points`` — 64 scattered elements (bounding box ~ whole domain).
+
+_PARTIAL_NPROCS = 8
+_PARTIAL_CHUNK = (10, 10, 10)
+
+
+def _partial_selection(kind: str):
+    from ..pmemcpy.selection import Hyperslab, PointSelection
+
+    n = PERF_AXIS_SCALE * 2  # the trimmed functional axis (40)
+    if kind == "1pct":
+        return Hyperslab((n // 2, n // 2, n // 2), (9, 9, 9))
+    if kind == "plane":
+        return Hyperslab((0, 0, n // 2), (n, n, 1))
+    if kind == "points":
+        return PointSelection(
+            [((7 * i) % n, (11 * i) % n, (13 * i) % n) for i in range(64)]
+        )
+    raise ValueError(f"unknown partial kind {kind!r}")
+
+
+def _partial_run(library: str, kind: str) -> Callable[[], dict]:
+    def job() -> dict:
+        from ..baselines import get_driver
+        from ..cluster import Cluster
+        from ..errors import BaselineError
+        from ..harness.experiment import PAPER_LIBRARIES
+        from ..mpi import Communicator
+        from ..workloads import Domain3D, write_job
+
+        workload = Domain3D(nvars=1, axis_scale=PERF_AXIS_SCALE)
+        driver_name, driver_kw = PAPER_LIBRARIES[library]
+        if driver_name == "pmemcpy":
+            driver_kw = {**driver_kw, "chunk_shape": _PARTIAL_CHUNK}
+        cl = Cluster(
+            scale=workload.scale,
+            pmem_capacity=max(64 * MiB, 8 * workload.functional_total_bytes),
+        )
+        path = "/pmem/perf_partial"
+        cl.run(
+            _PARTIAL_NPROCS,
+            lambda ctx: write_job(ctx, workload, driver_name, path, driver_kw),
+        )
+
+        sel = _partial_selection(kind)
+        name = workload.var_name(0)
+        want = np.empty(sel.out_shape, workload.dtype)
+        sel.scatter_into(
+            want,
+            workload.generate(0, (0, 0, 0), workload.functional_dims),
+            (0, 0, 0),
+        )
+
+        def read_fn(ctx):
+            comm = Communicator.world(ctx)
+            d = get_driver(driver_name, **driver_kw)
+            with ctx.phase("open"):
+                d.open(ctx, comm, path, "r")
+            with ctx.phase("read"):
+                out = d.read_selection(ctx, name, sel)
+            with ctx.phase("close"):
+                d.close(ctx)
+            if not np.array_equal(np.asarray(out), want):
+                raise BaselineError(
+                    f"{driver_name}: rank {comm.rank} read bad partial data"
+                )
+
+        return record_from_spmd(cl.run(_PARTIAL_NPROCS, read_fn))
+
+    return job
+
+
+# ---------------------------------------------------------------------------
 # metadata-concurrency scenarios
 # ---------------------------------------------------------------------------
 
@@ -339,6 +425,13 @@ def _populate() -> None:
                     0.06 if nprocs == _PROCS_NPROCS else None
                 ),
                 engine=eng, skip=_procs_skip,
+            ))
+    for library in PAPER_LIBRARIES:
+        for kind in ("1pct", "plane", "points"):
+            _register(Scenario(
+                f"partial.{kind}.{library}", "partial",
+                kind == "1pct", False,
+                _partial_run(library, kind),
             ))
 
 

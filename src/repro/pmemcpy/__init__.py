@@ -12,6 +12,14 @@ The Python rendering of the Fig. 2 C++ API::
     dims = pmem.load_dims("A")
     pmem.munmap()
 
+Partial I/O goes through first-class selections (see
+:mod:`repro.pmemcpy.selection`)::
+
+    plane = Hyperslab(start=(0, 0, 0), count=(5, 1, 1),
+                      stride=(8, 1, 1), block=(1, ny, nz))
+    out = pmem.load("A", selection=plane)          # strided read
+    pts = pmem.load("A", selection=PointSelection([(1, 2, 3), (4, 5, 6)]))
+
 Two layouts (§3 "Data Layout"): ``"hashtable"`` — a flat namespace in a
 PMDK pool's persistent hashtable; ``"hierarchical"`` — a directory tree on
 the DAX filesystem, one file per variable, directories created for every
@@ -21,5 +29,9 @@ the DAX filesystem, one file per variable, directories created for every
 from .api import PMEM
 from .types import Dimensions
 from .dataset import Chunk, VariableMeta
+from .selection import Hyperslab, PointSelection, Selection
 
-__all__ = ["PMEM", "Dimensions", "Chunk", "VariableMeta"]
+__all__ = [
+    "PMEM", "Dimensions", "Chunk", "VariableMeta",
+    "Hyperslab", "PointSelection", "Selection",
+]

@@ -1,0 +1,89 @@
+"""LRU cache of decoded *filtered* chunks.
+
+Filtered chunks are the one place the load path must stage: the blob has
+to be fetched and run backwards through the filter pipeline before any
+element is addressable.  Without a cache, every partial read of the same
+chunk pays the full fetch + decode again — exactly the repeated-decode
+tax the openPMD particle-read pattern (many small gathers against one
+compressed chunk) magnifies.  The cache keeps the *decoded ndarray* (not
+the blob), so a hit skips the PMEM fetch, the filter decode, and the
+deserialize, and costs only the numpy gather into the caller's buffer.
+
+Policy:
+
+- keyed by ``(var_id, blob_off, blob_len)`` — the chunk record's durable
+  identity; capacity is bounded in decoded bytes and evicts
+  least-recently-used whole chunks;
+- entries are marked read-only; callers copy out through their selection,
+  never mutate in place;
+- coherence is **per rank** (it is a DRAM-side cache, like the page cache
+  a DAX mapping bypasses): every local ``store``/``delete`` of a variable
+  invalidates its entries, and ``munmap`` clears the cache.  A chunk
+  rewritten by *another* rank mid-session reuses its pool offset only
+  after a free+realloc, which the invariants of the three-phase store
+  make visible via fresh chunk records on the next metadata fetch.
+
+Unfiltered chunks are never cached: their reads are already zero-staging
+views of the device, and caching them would *add* the DRAM copy the paper
+is about avoiding.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..units import MiB
+
+#: default capacity of decoded chunk bytes kept per PMEM handle
+DEFAULT_CHUNK_CACHE_BYTES = 32 * MiB
+
+Key = tuple[str, int, int]  # (var_id, blob_off, blob_len)
+
+
+class ChunkCache:
+    """Byte-bounded LRU of decoded chunk arrays (see module docstring)."""
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CHUNK_CACHE_BYTES):
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: OrderedDict[Key, np.ndarray] = OrderedDict()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+    def get(self, key: Key) -> np.ndarray | None:
+        arr = self._entries.get(key)
+        if arr is not None:
+            self._entries.move_to_end(key)
+        return arr
+
+    def put(self, key: Key, arr: np.ndarray) -> None:
+        if arr.nbytes > self.capacity_bytes:
+            return  # larger than the whole cache: never worth evicting for
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old.nbytes
+        arr = arr if arr.flags.owndata else arr.copy()
+        arr.setflags(write=False)
+        self._entries[key] = arr
+        self._bytes += arr.nbytes
+        while self._bytes > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+
+    def invalidate(self, var_id: str) -> int:
+        """Drop every entry of ``var_id``; returns entries dropped."""
+        stale = [k for k in self._entries if k[0] == var_id]
+        for k in stale:
+            self._bytes -= self._entries.pop(k).nbytes
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0

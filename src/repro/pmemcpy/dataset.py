@@ -6,13 +6,19 @@ ADIOS-like, rearrangement-free layout the paper adopts).  Each chunk
 records where its serialized blob lives.
 
 The record is packed to a compact binary form for the hashtable value /
-metadata file::
+metadata file.  Format **v1** (magic ``"PMVA"``, written for unchunked
+variables — and still unpacked forever)::
 
     magic u32 | ndims u16 | nchunks u16 | dtype_len u16 | ser_len u16
     flt_len u16 | next_index u32
     global dims  ndims × u64
     dtype token | serializer name | filter names (comma-joined)
     per chunk: offsets ndims × u64 | dims ndims × u64 | blob u64 | len u64
+
+Format **v2** (magic ``"PMVB"``) is identical except a ``chunk_shape``
+record (ndims × u64) follows the global dims; it is emitted exactly when
+the variable declares a chunked layout, so unchunked metadata blobs stay
+byte-identical to v1 and old blobs keep unpacking.
 """
 
 from __future__ import annotations
@@ -25,7 +31,8 @@ import numpy as np
 from ..errors import DimensionMismatchError, SerializationError
 from ..serial.base import dtype_from_token, dtype_to_token
 
-MAGIC = 0x504D5641  # "PMVA"
+MAGIC = 0x504D5641     # "PMVA" — format v1 (no chunk_shape)
+MAGIC_V2 = 0x504D5642  # "PMVB" — format v2 (chunk_shape after global dims)
 _HDR = struct.Struct("<IHHHHHI")
 
 
@@ -62,6 +69,11 @@ class VariableMeta:
     #: *before* the (unlocked) payload write, so concurrent writers of one
     #: variable never collide on a chunk slot
     next_index: int = 0
+    #: aligned-chunk grid for the variable (None = store-shaped chunks,
+    #: the v1 behaviour).  When set, every store is split at multiples of
+    #: this shape, so each stored chunk lies inside one grid cell — the
+    #: unit of per-chunk filtering and of the decoded-chunk cache.
+    chunk_shape: tuple[int, ...] | None = None
 
     def validate_subarray(self, offsets, dims) -> None:
         if len(offsets) != len(self.global_dims) or len(dims) != len(self.global_dims):
@@ -86,10 +98,20 @@ class VariableMeta:
         ser = self.serializer.encode()
         flt = self.filters.encode()
         ndims = len(self.global_dims)
+        magic = MAGIC if self.chunk_shape is None else MAGIC_V2
         parts = [
-            _HDR.pack(MAGIC, ndims, len(self.chunks), len(dt), len(ser),
+            _HDR.pack(magic, ndims, len(self.chunks), len(dt), len(ser),
                       len(flt), self.next_index),
             struct.pack(f"<{ndims}Q", *self.global_dims),
+        ]
+        if self.chunk_shape is not None:
+            if len(self.chunk_shape) != ndims:
+                raise DimensionMismatchError(
+                    f"{self.name}: chunk_shape rank {len(self.chunk_shape)} "
+                    f"vs variable rank {ndims}"
+                )
+            parts.append(struct.pack(f"<{ndims}Q", *self.chunk_shape))
+        parts += [
             dt,
             ser,
             flt,
@@ -107,11 +129,15 @@ class VariableMeta:
              next_index) = _HDR.unpack_from(raw, 0)
         except struct.error as e:
             raise SerializationError(f"truncated variable meta for {name!r}") from e
-        if magic != MAGIC:
+        if magic not in (MAGIC, MAGIC_V2):
             raise SerializationError(f"bad variable-meta magic for {name!r}")
         pos = _HDR.size
         global_dims = struct.unpack_from(f"<{ndims}Q", raw, pos)
         pos += 8 * ndims
+        chunk_shape = None
+        if magic == MAGIC_V2:
+            chunk_shape = struct.unpack_from(f"<{ndims}Q", raw, pos)
+            pos += 8 * ndims
         dtype = dtype_from_token(raw[pos : pos + dt_len].decode())
         pos += dt_len
         serializer = raw[pos : pos + ser_len].decode()
@@ -130,8 +156,37 @@ class VariableMeta:
         return cls(
             name=name, dtype=dtype, global_dims=global_dims,
             serializer=serializer, chunks=chunks, filters=filters,
-            next_index=next_index,
+            next_index=next_index, chunk_shape=chunk_shape,
         )
+
+
+def split_at_chunk_grid(
+    chunk_shape, offsets, dims
+) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Split the block ``(offsets, dims)`` at multiples of ``chunk_shape``.
+
+    Returns the aligned pieces as ``(offsets, dims)`` cells in row-major
+    grid order; each piece lies inside exactly one chunk-grid cell (its
+    extent is clipped to the block, so edge pieces may be smaller than the
+    grid).  A block already inside one cell comes back whole."""
+    per_axis: list[list[tuple[int, int]]] = []
+    for o, d, c in zip(offsets, dims, chunk_shape):
+        cells: list[tuple[int, int]] = []
+        pos = int(o)
+        end = int(o) + int(d)
+        while pos < end:
+            cell_end = (pos // c + 1) * c
+            take = min(end, cell_end) - pos
+            cells.append((pos, take))
+            pos += take
+        if not cells:  # zero-extent axis: keep a single empty cell
+            cells.append((int(o), 0))
+        per_axis.append(cells)
+    out = []
+    for combo in np.ndindex(*[len(c) for c in per_axis]):
+        picked = [per_axis[ax][i] for ax, i in enumerate(combo)]
+        out.append((tuple(p[0] for p in picked), tuple(p[1] for p in picked)))
+    return out
 
 
 def dims_key(var_id: str) -> bytes:

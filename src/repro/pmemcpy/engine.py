@@ -19,6 +19,11 @@ questions:
    ``token`` is persisted in the chunk record; ``extent_sink`` /
    ``extent_source`` stream bytes directly in and out of PMEM (the paper's
    zero-staging path); ``free_extent`` releases a chunk by its record.
+   Sources are **segment-granular**: beyond the sequential ``read`` cursor
+   they serve ``read_at(offset, nbytes)`` ranged reads, so a selection
+   load can fetch only the intersecting row segments of a record straight
+   off the mapped device — bytes outside the selection are never moved or
+   charged.
 3. *Lifecycle*: ``setup`` / ``teardown`` (collective map/unmap).
 4. *Introspection*: ``occupancy`` reports backend capacity usage for
    ``PMEM.stats()``.
@@ -159,7 +164,12 @@ class Layout(ABC):
 
     @abstractmethod
     def extent_source(self, ctx, name: str, chunk: Chunk) -> Source:
-        """A streaming unpack origin over a stored chunk's payload."""
+        """A streaming unpack origin over a stored chunk's payload.
+
+        The returned source must honour the segment-granular contract:
+        ``read_at(offset, nbytes)`` serves an absolute-offset ranged read
+        within the record without staging the rest of it (see module
+        docstring, point 2)."""
 
     @abstractmethod
     def free_extent(self, ctx, name: str, chunk: Chunk) -> None:

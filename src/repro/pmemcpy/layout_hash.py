@@ -269,7 +269,9 @@ class HashtableLayout(Layout):
 
     def extent_source(self, ctx, name: str, chunk) -> PmemSource:
         # read through *this rank's* mapping so another rank's munmap can't
-        # invalidate an in-flight load
+        # invalidate an in-flight load.  PmemSource over the pool region is
+        # segment-granular: ``read_at`` views any (offset, nbytes) range of
+        # the record in place, so partial reads touch only their segments.
         return PmemSource(
             ctx, _RankPoolRegion(self.pool, ctx),
             base=chunk.blob_off, size=chunk.blob_len,

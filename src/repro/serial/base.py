@@ -116,6 +116,16 @@ class Source(ABC):
     @abstractmethod
     def tell(self) -> int: ...
 
+    def read_at(self, offset: int, n: int, *, payload: bool = False) -> np.ndarray:
+        """Ranged read: ``n`` bytes at absolute ``offset`` without moving
+        the sequential cursor.  This is the segment-granular contract the
+        partial-read path uses to fetch only a selection's intersecting
+        row segments; sources over byte-addressable media serve it as a
+        charged view, with no staging of the rest of the record."""
+        raise SerializationError(
+            f"{type(self).__name__} does not support ranged reads"
+        )
+
 
 class DramSource(Source):
     """Unpack from a DRAM buffer (after a staging read)."""
@@ -142,6 +152,18 @@ class DramSource(Source):
 
     def tell(self) -> int:
         return self.pos
+
+    def read_at(self, offset: int, n: int, *, payload: bool = False) -> np.ndarray:
+        if offset < 0 or offset + n > self.data.size:
+            raise SerializationError(
+                f"short buffer: wanted {n} at {offset}, have {self.data.size}"
+            )
+        charge_dram_copy(
+            self.ctx,
+            self.ctx.model_bytes(n) if payload else float(n),
+            note="stage-copy",
+        )
+        return self.data[offset : offset + n]
 
 
 class PmemSource(Source):
@@ -184,6 +206,27 @@ class PmemSource(Source):
     def tell(self) -> int:
         return self.pos
 
+    def read_at(self, offset: int, n: int, *, payload: bool = False) -> np.ndarray:
+        """Segment read straight off the mapped device: a charged view at
+        an absolute record offset (no cursor, no staging) — what the
+        selection partial-read path issues per intersecting row segment."""
+        if offset < 0 or offset + n > self.size:
+            raise SerializationError(
+                f"short region: wanted {n} at {offset}, have {self.size}"
+            )
+        if self._touch is not None:
+            self._touch(self.ctx, self.base + offset, n)
+        if payload:
+            with span(self.ctx, "memcpy", bytes=n):
+                out = self.region.view(self.base + offset, n)
+                charge_pmem_read(
+                    self.ctx, self.ctx.model_bytes(n), note="pmem-deserialize"
+                )
+        else:
+            out = self.region.view(self.base + offset, n)
+            charge_pmem_read(self.ctx, float(n), note="pmem-deserialize")
+        return out
+
 
 # ---------------------------------------------------------------------------
 # Serializer base
@@ -200,10 +243,22 @@ class Serializer(ABC):
     name: str = "abstract"
     cpu_pack_bw: float = 3.0
     cpu_unpack_bw: float = 3.5
+    #: True when the wire format places the payload at a fixed offset so a
+    #: partial read can fetch row segments via ``Source.read_at`` without
+    #: decoding the record (``read_header`` must then be implemented)
+    supports_ranged_unpack: bool = False
 
     @abstractmethod
     def packed_size(self, name: str, array: np.ndarray) -> int:
         """Exact wire size for pre-allocating the destination."""
+
+    def read_header(self, ctx, source: Source):
+        """For ranged formats: decode only the record header, returning an
+        object with ``dtype``, ``shape`` and ``payload_off`` (the absolute
+        byte offset of element 0)."""
+        raise SerializationError(
+            f"{self.name} serializer does not support ranged unpack"
+        )
 
     @abstractmethod
     def pack(self, ctx, name: str, array: np.ndarray, sink: Sink) -> int:

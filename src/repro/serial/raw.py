@@ -11,6 +11,7 @@ Header (64B)::
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -31,10 +32,23 @@ MAX_DIMS = 4
 _HDR = struct.Struct("<IIII4Q")
 
 
+@dataclass(frozen=True)
+class RawHeader:
+    """Decoded raw-record header: enough to address any element without
+    touching the payload (the ranged-unpack contract)."""
+
+    dtype: np.dtype
+    shape: tuple[int, ...]
+    payload_off: int  # absolute byte offset of element 0 in the record
+
+
 class RawSerializer(Serializer):
     name = "raw"
     cpu_pack_bw = 4.5    # effectively memcpy speed
     cpu_unpack_bw = 5.0
+    #: fixed header + dtype token, then a bare row-major payload: row
+    #: segments are directly addressable for zero-staging partial reads
+    supports_ranged_unpack = True
 
     def _header(self, array: np.ndarray) -> bytes:
         if array.ndim > MAX_DIMS:
@@ -56,7 +70,9 @@ class RawSerializer(Serializer):
         self._charge_pack_cpu(ctx, array.nbytes)
         return n
 
-    def unpack(self, ctx, source: Source) -> tuple[str, np.ndarray]:
+    def read_header(self, ctx, source: Source) -> RawHeader:
+        """Decode the header only (the two face-value reads ``unpack``
+        starts with), leaving the payload untouched for ranged reads."""
         raw = bytes(source.read(_HDR.size))
         magic, ndims, dt_len, _pad, *dims = _HDR.unpack(raw)
         if magic != MAGIC:
@@ -64,9 +80,12 @@ class RawSerializer(Serializer):
         take = max(dt_len, MAX_INLINE_DTYPE) if dt_len <= MAX_INLINE_DTYPE else dt_len
         dt_raw = bytes(source.read(take))[:dt_len]
         dtype = dtype_from_token(dt_raw.decode())
-        shape = tuple(dims[:ndims])
-        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        return RawHeader(dtype, tuple(dims[:ndims]), _HDR.size + take)
+
+    def unpack(self, ctx, source: Source) -> tuple[str, np.ndarray]:
+        hdr = self.read_header(ctx, source)
+        nbytes = int(np.prod(hdr.shape, dtype=np.int64)) * hdr.dtype.itemsize
         payload = source.read(nbytes, payload=True)
-        array = array_from_bytes(payload, dtype, shape)
+        array = array_from_bytes(payload, hdr.dtype, hdr.shape)
         self._charge_unpack_cpu(ctx, array.nbytes)
         return "", array

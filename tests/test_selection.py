@@ -1,0 +1,328 @@
+"""Unit and property tests for the selection algebra
+(:mod:`repro.pmemcpy.selection`) — hyperslabs, point selections, row-run
+enumeration, and the numpy transfer paths, all checked against brute-force
+index arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DimensionMismatchError, PmemcpyError
+from repro.pmemcpy.selection import (
+    Hyperslab,
+    PointSelection,
+    Run,
+    as_selection,
+)
+
+
+def axis_indices(hs: Hyperslab, axis: int) -> np.ndarray:
+    """Brute-force selected global indices on one axis."""
+    s, st, c, b = hs.start[axis], hs.stride[axis], hs.count[axis], hs.block[axis]
+    return np.concatenate(
+        [np.arange(s + i * st, s + i * st + b) for i in range(c)]
+    ) if c else np.empty(0, dtype=np.int64)
+
+
+def slab_ground_truth(hs: Hyperslab, full: np.ndarray) -> np.ndarray:
+    """The dense result a hyperslab should produce from ``full``."""
+    idx = [axis_indices(hs, ax) for ax in range(hs.rank)]
+    return full[np.ix_(*idx)] if hs.rank else full[()]
+
+
+def assemble_via_runs(sel, full: np.ndarray, boxes) -> np.ndarray:
+    """Rebuild the dense result purely from :meth:`Selection.runs` over a
+    tiling of the region — the contract the zero-staging read path uses."""
+    out = np.zeros(sel.out_shape, dtype=full.dtype).reshape(-1)
+    covered = 0
+    for offsets, dims in boxes:
+        region = full[tuple(slice(o, o + d) for o, d in zip(offsets, dims))]
+        flat = np.ascontiguousarray(region).reshape(-1)
+        for run in sel.runs(offsets, dims):
+            out[run.dst : run.dst + run.nelems] = flat[run.src : run.src + run.nelems]
+            covered += run.nelems
+    assert covered == sel.nelems  # tiling covers every element exactly once
+    return out.reshape(sel.out_shape)
+
+
+class TestHyperslabConstruction:
+    def test_defaults(self):
+        hs = Hyperslab((2, 3), (4, 5))
+        assert hs.stride == (1, 1)
+        assert hs.block == (1, 1)
+        assert hs.out_shape == (4, 5)
+        assert hs.nelems == 20
+
+    def test_stride_defaults_to_block(self):
+        hs = Hyperslab((0,), (3,), block=(2,))
+        # back-to-back blocks canonicalize to one contiguous run
+        assert hs == Hyperslab((0,), (6,))
+
+    def test_scalar_broadcast(self):
+        hs = Hyperslab((0, 0), 3, stride=4, block=2)
+        assert hs.count == (3, 3)
+        assert hs.stride == (4, 4)
+        assert hs.block == (2, 2)
+
+    def test_canonical_single_block(self):
+        assert Hyperslab((5,), (1,), stride=(9,), block=(4,)) == \
+            Hyperslab((5,), (4,))
+
+    def test_overlapping_blocks_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            Hyperslab((0,), (2,), stride=(1,), block=(2,))
+
+    def test_negative_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            Hyperslab((-1,), (2,))
+        with pytest.raises(DimensionMismatchError):
+            Hyperslab((0,), (2,), stride=(0,), block=(0,))
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            Hyperslab((0, 0), (2,))
+
+    def test_eq_hash(self):
+        a = Hyperslab((1, 2), (3, 4), stride=(5, 6), block=(2, 2))
+        b = Hyperslab((1, 2), (3, 4), stride=(5, 6), block=(2, 2))
+        assert a == b and hash(a) == hash(b)
+        assert a != Hyperslab((1, 2), (3, 4))
+
+    def test_from_block_and_all(self):
+        assert Hyperslab.from_block((2, 3), (4, 5)) == Hyperslab((2, 3), (4, 5))
+        assert Hyperslab.all((7, 8)) == Hyperslab((0, 0), (7, 8))
+
+
+class TestHyperslabAlgebra:
+    def test_normalized_bounds(self):
+        Hyperslab((0,), (5,), stride=(2,)).normalized((9,))
+        with pytest.raises(DimensionMismatchError):
+            Hyperslab((0,), (5,), stride=(2,)).normalized((8,))
+        with pytest.raises(DimensionMismatchError):
+            Hyperslab((0,), (2,)).normalized((3, 3))
+
+    def test_bbox(self):
+        hs = Hyperslab((2, 1), (3, 2), stride=(4, 5), block=(2, 3))
+        off, dims = hs.bbox()
+        assert off == (2, 1)
+        assert dims == (2 * 4 + 2, 1 * 5 + 3)
+
+    def test_overlap_count_brute_force(self):
+        hs = Hyperslab((1, 0), (4, 3), stride=(3, 4), block=(2, 2))
+        gi = [set(axis_indices(hs, ax).tolist()) for ax in range(2)]
+        for off in [(0, 0), (2, 3), (5, 5), (11, 7)]:
+            for dims in [(3, 3), (6, 2), (1, 1), (12, 12)]:
+                want = sum(
+                    1
+                    for i in range(off[0], off[0] + dims[0])
+                    for j in range(off[1], off[1] + dims[1])
+                    if i in gi[0] and j in gi[1]
+                )
+                assert hs.overlap_count(off, dims) == want
+
+    def test_runs_full_region(self):
+        full = np.arange(15 * 14).reshape(15, 14)
+        hs = Hyperslab((1, 2), (4, 3), stride=(3, 4), block=(2, 2))
+        got = assemble_via_runs(hs, full, [((0, 0), full.shape)])
+        assert np.array_equal(got, slab_ground_truth(hs, full))
+
+    def test_runs_tiled_region(self):
+        full = np.arange(12 * 12).reshape(12, 12)
+        hs = Hyperslab((0, 1), (5, 4), stride=(2, 3), block=(1, 2))
+        boxes = [
+            ((i, j), (4, 6))
+            for i in range(0, 12, 4)
+            for j in range(0, 12, 6)
+        ]
+        got = assemble_via_runs(hs, full, boxes)
+        assert np.array_equal(got, slab_ground_truth(hs, full))
+
+    def test_runs_disjoint_box(self):
+        hs = Hyperslab((0,), (3,), stride=(4,))  # {0, 4, 8}
+        assert list(hs.runs((1,), (3,))) == []
+        assert hs.overlap_count((1, ), (3,)) == 0
+        assert not hs.intersects((1,), (3,))
+
+    def test_scatter_gather_roundtrip(self):
+        full = np.arange(10 * 9, dtype=np.float64).reshape(10, 9)
+        hs = Hyperslab((1, 0), (3, 4), stride=(3, 2))
+        out = np.empty(hs.out_shape)
+        assert hs.scatter_into(out, full, (0, 0)) == hs.nelems
+        assert np.array_equal(out, slab_ground_truth(hs, full))
+        blank = np.zeros_like(full)
+        assert hs.gather_from(out, blank, (0, 0)) == hs.nelems
+        want = np.zeros_like(full)
+        idx = [axis_indices(hs, ax) for ax in range(2)]
+        want[np.ix_(*idx)] = out
+        assert np.array_equal(blank, want)
+
+    def test_scatter_into_strided_out(self):
+        full = np.arange(8 * 8, dtype=np.float64).reshape(8, 8)
+        hs = Hyperslab((0, 0), (3, 3), stride=(2, 2))
+        backing = np.zeros((6, 6))
+        view = backing[::2, ::2]  # non-contiguous destination
+        hs.scatter_into(view, full, (0, 0))
+        assert np.array_equal(view, slab_ground_truth(hs, full))
+
+    def test_blocks_cover_selection(self):
+        full = np.arange(13 * 11).reshape(13, 11)
+        hs = Hyperslab((1, 0), (3, 2), stride=(4, 5), block=(2, 3))
+        got = np.zeros(hs.out_shape, dtype=full.dtype)
+        seen = 0
+        for (off, dims), rsl in zip(hs.blocks(), hs.block_result_slices()):
+            cell = full[tuple(slice(o, o + d) for o, d in zip(off, dims))]
+            got[rsl] = cell
+            seen += cell.size
+        assert seen == hs.nelems
+        assert np.array_equal(got, slab_ground_truth(hs, full))
+
+    def test_blocks_merge_contiguous_axis(self):
+        # a contiguous axis is one cell, not count×block cells
+        hs = Hyperslab((0, 0), (6, 3), stride=(1, 4), block=(1, 2))
+        assert sum(1 for _ in hs.blocks()) == 3
+
+    def test_compose_hyperslab(self):
+        outer = Hyperslab((2, 3), (8, 6), stride=(2, 1))
+        inner = Hyperslab((1, 2), (3, 2), stride=(2, 3))
+        comp = outer.compose(inner)
+        full = np.arange(30 * 30).reshape(30, 30)
+        outer_res = slab_ground_truth(outer, full)
+        assert np.array_equal(
+            slab_ground_truth(comp, full), slab_ground_truth(inner, outer_res)
+        )
+
+    def test_compose_points(self):
+        outer = Hyperslab((1, 1), (4, 4), stride=(3, 2))
+        inner = PointSelection([(0, 0), (2, 3), (3, 1)])
+        comp = outer.compose(inner)
+        full = np.arange(20 * 20).reshape(20, 20)
+        outer_res = slab_ground_truth(outer, full)
+        want = np.array([outer_res[tuple(p)] for p in inner.points])
+        out = np.empty(comp.out_shape, dtype=full.dtype)
+        comp.scatter_into(out, full, (0, 0))
+        assert np.array_equal(out, want)
+
+    def test_compose_unrepresentable(self):
+        outer = Hyperslab((0,), (3,), stride=(4,), block=(2,))
+        with pytest.raises(PmemcpyError):
+            outer.compose(Hyperslab((0,), (2,), stride=(2,)))
+
+    def test_rank0(self):
+        hs = Hyperslab((), ())
+        assert hs.out_shape == ()
+        assert hs.nelems == 1
+        assert list(hs.runs((), ())) == [Run(0, 0, 1)]
+        out = np.empty(())
+        hs.scatter_into(out, np.array(7.5), ())
+        assert out[()] == 7.5
+
+
+class TestPointSelection:
+    def test_basic(self):
+        ps = PointSelection([(1, 2), (0, 0), (3, 1)])
+        assert ps.rank == 2
+        assert ps.out_shape == (3,)
+        off, dims = ps.bbox()
+        assert off == (0, 0) and dims == (4, 3)
+
+    def test_normalized_bounds(self):
+        PointSelection([(1, 2)]).normalized((3, 3))
+        with pytest.raises(DimensionMismatchError):
+            PointSelection([(1, 3)]).normalized((3, 3))
+        with pytest.raises(DimensionMismatchError):
+            PointSelection([(1,)]).normalized((3, 3))
+
+    def test_scatter_list_order(self):
+        full = np.arange(5 * 5, dtype=np.float64).reshape(5, 5)
+        pts = [(4, 4), (0, 0), (2, 3), (0, 0)]  # duplicates allowed
+        ps = PointSelection(pts)
+        out = np.empty(4)
+        assert ps.scatter_into(out, full, (0, 0)) == 4
+        assert np.array_equal(out, [full[p] for p in pts])
+
+    def test_runs_coalesce(self):
+        # list-adjacent + row-adjacent points collapse into one run
+        ps = PointSelection([(0, 1), (0, 2), (0, 3), (2, 0)])
+        runs = list(ps.runs((0, 0), (3, 4)))
+        assert runs == [Run(1, 0, 3), Run(8, 3, 1)]
+
+    def test_partial_box(self):
+        full = np.arange(6 * 6, dtype=np.float64).reshape(6, 6)
+        ps = PointSelection([(0, 0), (5, 5), (2, 2)])
+        out = np.full(3, -1.0)
+        n = ps.scatter_into(out, full[:3, :3], (0, 0))
+        assert n == 2
+        assert out[0] == full[0, 0] and out[2] == full[2, 2] and out[1] == -1.0
+        assert ps.overlap_count((0, 0), (3, 3)) == 2
+
+    def test_empty(self):
+        ps = PointSelection([])
+        assert ps.nelems == 0
+        assert list(ps.runs((0,), (5,))) == []
+
+
+class TestAsSelection:
+    def test_dual_convention(self):
+        sel = as_selection((1, 2), (3, 4), None, (10, 10))
+        assert sel == Hyperslab((1, 2), (3, 4))
+        assert as_selection(None, None, None, (5,)) == Hyperslab((0,), (5,))
+        hs = Hyperslab((0,), (2,), stride=(2,))
+        assert as_selection(None, None, hs, (4,)) is hs
+
+    def test_conflicts(self):
+        with pytest.raises(DimensionMismatchError):
+            as_selection((0,), (2,), Hyperslab((0,), (1,)), (4,))
+        with pytest.raises(DimensionMismatchError):
+            as_selection((0,), None, None, (4,))
+
+
+# ---------------------------------------------------------------------------
+# property tests: random hyperslabs vs brute force
+# ---------------------------------------------------------------------------
+
+axis_st = st.tuples(
+    st.integers(0, 4),    # start
+    st.integers(1, 4),    # count
+    st.integers(1, 4),    # stride pad (stride = block + pad - 1 >= block)
+    st.integers(1, 3),    # block
+)
+
+
+def slab_from(axes):
+    start = tuple(a[0] for a in axes)
+    count = tuple(a[1] for a in axes)
+    block = tuple(a[3] for a in axes)
+    stride = tuple(a[3] + a[2] - 1 for a in axes)
+    return Hyperslab(start, count, stride, block)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(axis_st, min_size=1, max_size=3))
+def test_property_scatter_matches_ix(axes):
+    hs = slab_from(axes)
+    gdims = tuple(s + (c - 1) * st + b
+                  for s, st, c, b in zip(hs.start, hs.stride, hs.count, hs.block))
+    hs.normalized(gdims)
+    full = np.arange(np.prod(gdims), dtype=np.float64).reshape(gdims)
+    out = np.empty(hs.out_shape)
+    assert hs.scatter_into(out, full, (0,) * hs.rank) == hs.nelems
+    assert np.array_equal(out, slab_ground_truth(hs, full))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(axis_st, min_size=1, max_size=3), st.integers(1, 3))
+def test_property_runs_tile_invariant(axes, split):
+    """Assembling from runs over any axis-0 tiling equals the ground truth,
+    and per-box overlap counts sum to nelems."""
+    hs = slab_from(axes)
+    gdims = tuple(s + (c - 1) * st + b
+                  for s, st, c, b in zip(hs.start, hs.stride, hs.count, hs.block))
+    full = np.arange(np.prod(gdims), dtype=np.float64).reshape(gdims)
+    step = max(1, gdims[0] // split)
+    boxes = []
+    for lo in range(0, gdims[0], step):
+        d0 = min(step, gdims[0] - lo)
+        boxes.append(((lo,) + (0,) * (hs.rank - 1), (d0,) + gdims[1:]))
+    got = assemble_via_runs(hs, full, boxes)
+    assert np.array_equal(got, slab_ground_truth(hs, full))
+    assert sum(hs.overlap_count(o, d) for o, d in boxes) == hs.nelems
