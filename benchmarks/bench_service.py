@@ -1,0 +1,67 @@
+"""Service RPC costs and the saturation curve (DESIGN.md §13).
+
+Two artifacts off the same plumbing the regression gate tracks:
+
+- the modeled cost of the two gated RPC scenarios (``service.rpc_store``,
+  ``service.rpc_load_partial``) with their per-endpoint latency
+  percentiles — the numbers ``results/perf_baseline.json`` pins;
+- a quick virtual-time saturation sweep (10^2..10^5 simulated clients)
+  showing throughput flattening while admission control sheds load, with
+  zero protocol errors at every point.  The committed full-scale curve
+  (10^6 clients) lives in ``results/service_saturation.*`` via
+  ``python -m repro.service bench``.
+"""
+
+from conftest import emit
+
+from repro.harness.figures import render_table, write_csv
+from repro.perf.scenarios import get as get_scenario
+from repro.service.loadgen import (LoadgenConfig, render_table as
+                                   render_saturation, saturation_sweep)
+
+SWEEP = (100, 1_000, 10_000, 100_000)
+QUICK = LoadgenConfig(duration_ms=50.0, keys=64, max_representatives=64,
+                      real_batch_budget=40)
+
+
+def run_rpc_scenarios():
+    """[(scenario, modeled seconds, {endpoint: p99 us})] for the two
+    perf-gated RPC scripts."""
+    rows = []
+    for name in ("service.rpc_store", "service.rpc_load_partial"):
+        rec = get_scenario(name).run()
+        for endpoint, pct in sorted(rec["latency"].items()):
+            endpoint = endpoint.removeprefix("service.rpc.")
+            rows.append((name, round(rec["modeled_ns"] / 1e9, 6), endpoint,
+                         round(pct["p50"] / 1e3, 2),
+                         round(pct["p99"] / 1e3, 2)))
+    return rows
+
+
+def run_saturation():
+    return saturation_sweep(SWEEP, base=QUICK)
+
+
+def test_service(once):
+    rpc_rows, reports = once(lambda: (run_rpc_scenarios(), run_saturation()))
+    text = render_table(
+        "Gated RPC scenarios: modeled cost and per-endpoint latency",
+        ["scenario", "modeled_s", "endpoint", "p50_us", "p99_us"],
+        rpc_rows,
+    )
+    text += "\n\n" + render_saturation(reports)
+    emit("service_bench", text)
+    write_csv("results/service_bench.csv",
+              ["clients", "throughput_rps", "reject_rate"],
+              [(r.clients, round(r.throughput_rps, 1),
+                round(r.reject_rate, 4)) for r in reports])
+
+    # the pipeline stays clean at every fleet size
+    assert all(r.protocol_errors == 0 for r in reports)
+    assert all(r.completed > 0 for r in reports)
+    # saturation: the big fleet is shedding load, the small one is not
+    assert reports[0].reject_rate == 0.0
+    assert reports[-1].reject_rate > 0.5
+    # both gated scenarios produced latency histograms for their endpoint
+    endpoints = {r[2] for r in rpc_rows}
+    assert "store" in endpoints and "load" in endpoints

@@ -169,6 +169,62 @@ class NotMappedError(PmemcpyError):
     """API used before ``mmap`` or after ``munmap``."""
 
 
+# -- service ------------------------------------------------------------------
+
+class ServiceError(ReproError):
+    """Base for the pMEMCPY-as-a-service layer (:mod:`repro.service`).
+
+    Every subclass carries a stable wire code (see
+    :mod:`repro.service.wire`) so typed errors round-trip the RPC boundary:
+    the server encodes the exception, the client re-raises the same type.
+    """
+
+
+class ProtocolError(ServiceError):
+    """Malformed frame: bad magic, short frame, unknown opcode, or a body
+    that does not decode.  A protocol error means one side violated the
+    wire format — the load harness counts these separately from typed
+    application errors and requires zero of them."""
+
+
+class ProtocolVersionError(ProtocolError):
+    """Peer speaks a different wire-protocol version."""
+
+    def __init__(self, theirs: int, ours: int):
+        super().__init__(
+            f"wire protocol version mismatch: peer speaks v{theirs}, "
+            f"this side speaks v{ours}"
+        )
+        self.theirs = theirs
+        self.ours = ours
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected the request: the bounded in-flight queue
+    is full.  Typed backpressure — clients back off and retry after
+    ``retry_after_ms`` instead of piling onto the queue."""
+
+    def __init__(self, inflight: int, limit: int, retry_after_ms: float = 50.0):
+        super().__init__(
+            f"service overloaded: {inflight} requests in flight "
+            f"(admission limit {limit}); retry after {retry_after_ms:g} ms"
+        )
+        self.inflight = inflight
+        self.limit = limit
+        self.retry_after_ms = retry_after_ms
+
+
+class ShardUnavailableError(ServiceError):
+    """The shard owning the requested variable is marked down (draining,
+    crashed, or administratively removed from the ring)."""
+
+    def __init__(self, shard: int, var_id: str = ""):
+        detail = f" (variable {var_id!r})" if var_id else ""
+        super().__init__(f"shard {shard} unavailable{detail}")
+        self.shard = shard
+        self.var_id = var_id
+
+
 # -- baselines ------------------------------------------------------------------
 
 class BaselineError(ReproError):

@@ -44,7 +44,8 @@ FIG_PROCS = (8, 24, 48)
 #: the --quick budget keeps only the 8-proc cells
 QUICK_FIG_PROCS = (8,)
 
-GROUPS = ("fig6", "fig7", "pmdk", "meta", "mem", "procs", "partial")
+GROUPS = ("fig6", "fig7", "pmdk", "meta", "mem", "procs", "partial",
+          "service")
 
 
 @dataclass(frozen=True)
@@ -377,6 +378,77 @@ def _mem_hot_path() -> dict:
 
 
 # ---------------------------------------------------------------------------
+# service RPC hot paths
+# ---------------------------------------------------------------------------
+#
+# The service runs on its own modeled clock (wire cost model + engine
+# batch makespans — repro.service.core docstring), so the whole RPC
+# pipeline is deterministic and gates like any single-rank scenario.
+# modeled_ns is the service-clock delta over a fixed request script;
+# families fold the lifecycle spans (service.accept/decode/dispatch/
+# engine/encode) together with the absorbed engine spans of the shard
+# batches, so a regression in either layer moves the attribution.
+
+def _service_record(core, t0: float) -> dict:
+    from ..telemetry import exclusive_ns_by_family, metrics_for
+    from ..telemetry.export import registry_percentiles
+
+    latency = {
+        name[:-len(".ns")]: pct
+        for name, pct in registry_percentiles(metrics_for(core.ctx)).items()
+        if name.startswith("service.rpc.")
+    }
+    return {
+        "modeled_ns": core.clock_ns - t0,
+        "families": exclusive_ns_by_family([core.ctx.trace]),
+        "latency": latency,
+    }
+
+
+def _service_rpc_store() -> dict:
+    from ..service import ServiceConfig, ServiceCore
+    from ..service import wire as svc_wire
+
+    core = ServiceCore(ServiceConfig(nshards=2))
+    t0 = core.clock_ns
+    data = np.arange(1 << 13, dtype=np.float64)  # 64 KiB values
+    seq = 0
+    for wave in range(2):  # second wave overwrites in place
+        for k in range(16):
+            seq += 1
+            core.handle_payload(
+                svc_wire.encode_store(seq, f"svc/v{k}",
+                                      data * (wave + 1))[4:])
+    return _service_record(core, t0)
+
+
+def _service_rpc_load_partial() -> dict:
+    from ..pmemcpy.selection import Hyperslab
+    from ..service import ServiceConfig, ServiceCore
+    from ..service import wire as svc_wire
+
+    core = ServiceCore(ServiceConfig(nshards=2))
+    grid = np.arange(96 * 96, dtype=np.float64).reshape(96, 96)
+    t0 = core.clock_ns
+    seq = 0
+    for k in range(4):
+        seq += 1
+        core.handle_payload(
+            svc_wire.encode_store(seq, f"svc/grid{k}", grid)[4:])
+    slab = Hyperslab(start=(0, 0), count=(12, 12), stride=(8, 8))
+    for rnd in range(8):
+        for k in range(4):
+            seq += 1
+            core.handle_payload(svc_wire.encode_load(
+                seq, f"svc/grid{k}",
+                offsets=(rnd * 8, 16), dims=(24, 48))[4:])
+            seq += 1
+            core.handle_payload(svc_wire.encode_load(
+                seq, f"svc/grid{k}", selection=slab)[4:])
+    return _service_record(core, t0)
+
+
+# ---------------------------------------------------------------------------
 # registration
 # ---------------------------------------------------------------------------
 
@@ -433,6 +505,10 @@ def _populate() -> None:
                 kind == "1pct", False,
                 _partial_run(library, kind),
             ))
+    _register(Scenario("service.rpc_store", "service", True, True,
+                       _service_rpc_store))
+    _register(Scenario("service.rpc_load_partial", "service", True, True,
+                       _service_rpc_load_partial))
 
 
 _populate()

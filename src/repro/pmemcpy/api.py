@@ -51,6 +51,7 @@ from ..serial import DramSink, DramSource, get_serializer
 from ..serial.base import array_from_bytes
 from ..serial.filters import FilterPipeline
 from ..telemetry import LANE_BOUNDS, counters_for, metrics_for, record, span
+from ..telemetry.export import registry_percentiles
 from .cache import DEFAULT_CHUNK_CACHE_BYTES, ChunkCache
 from .dataset import Chunk, VariableMeta, split_at_chunk_grid
 from .engine import Layout
@@ -695,6 +696,10 @@ class PMEM:
         out.update(self.layout.occupancy(ctx))
         out["telemetry"] = counters_for(ctx).as_dict()
         out["metrics"] = metrics_for(ctx).as_dict()
+        # p50/p95/p99 for every populated histogram, through the same
+        # registry_percentiles code path the service SLO report and the
+        # perf observatory render from
+        out["percentiles"] = registry_percentiles(metrics_for(ctx))
         if ctx.env is not None and getattr(ctx.env, "device", None) is not None:
             out["device"] = ctx.env.device.persistence_counters()
         return copy.deepcopy(out)

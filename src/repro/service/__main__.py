@@ -1,0 +1,207 @@
+"""CLI for the service layer.
+
+``python -m repro.service serve``  — run the asyncio server
+``python -m repro.service bench``  — saturation sweep → results/
+``python -m repro.service smoke``  — live server + real clients, CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .core import ServiceConfig
+from .loadgen import (
+    DEFAULT_SWEEP,
+    LoadgenConfig,
+    render_csv,
+    render_table,
+    saturation_sweep,
+)
+from .server import ServiceClient, ServiceServer
+
+
+def _service_config(ns) -> ServiceConfig:
+    return ServiceConfig(
+        nshards=ns.nshards,
+        max_inflight=ns.max_inflight,
+        batch_max=ns.batch_max,
+        collect_engine_spans=False,
+    )
+
+
+def cmd_serve(ns) -> int:
+    async def main():
+        server = await ServiceServer(
+            host=ns.host, port=ns.port, config=_service_config(ns)).start()
+        print(f"repro.service listening on {server.host}:{server.port} "
+              f"({ns.nshards} shards, window {ns.max_inflight})",
+              flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def cmd_bench(ns) -> int:
+    clients = tuple(int(c) for c in ns.clients) if ns.clients \
+        else DEFAULT_SWEEP
+    base = LoadgenConfig(
+        duration_ms=ns.duration_ms,
+        real_batch_budget=ns.budget,
+        max_representatives=ns.representatives,
+        seed=ns.seed,
+    )
+    reports = saturation_sweep(clients, base=base,
+                               service=_service_config(ns))
+    table = render_table(reports)
+    print(table)
+    outdir = Path(ns.out)
+    outdir.mkdir(parents=True, exist_ok=True)
+    (outdir / "service_saturation.csv").write_text(render_csv(reports))
+    (outdir / "service_saturation.txt").write_text(table)
+    print(f"wrote {outdir / 'service_saturation.csv'} and .txt")
+    bad = [r for r in reports if r.protocol_errors]
+    if bad:
+        print(f"FAIL: protocol errors at {[r.clients for r in bad]}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_smoke(ns) -> int:
+    """Live-path gate: a real asyncio server, real multiplexing clients,
+    a wall-clock budget; exits nonzero on any protocol error."""
+
+    async def client_loop(client: ServiceClient, cid: int, stop: float,
+                          counts: dict) -> None:
+        rng = np.random.default_rng(1000 + cid)
+        value = np.arange(512, dtype=np.float64)
+        while time.monotonic() < stop:
+            key = f"smoke/{int(rng.integers(0, 32))}"
+            try:
+                if rng.random() < 0.5:
+                    await client.store(key, value * cid)
+                    counts["store"] += 1
+                elif rng.random() < 0.5:
+                    await client.load(key, offsets=(128,), dims=(256,))
+                    counts["load_partial"] += 1
+                else:
+                    await client.load(key)
+                    counts["load"] += 1
+            except Exception as exc:  # typed service errors are survivable
+                counts["errors"] += 1
+                counts.setdefault("error_types", {}).setdefault(
+                    type(exc).__name__, 0)
+                counts["error_types"][type(exc).__name__] += 1
+
+    async def main() -> int:
+        server = await ServiceServer(config=_service_config(ns)).start()
+        counts = {"store": 0, "load": 0, "load_partial": 0, "errors": 0}
+        # prime so loads can't miss
+        seed_client = await ServiceClient.connect("127.0.0.1", server.port)
+        value = np.arange(512, dtype=np.float64)
+        for k in range(32):
+            await seed_client.store(f"smoke/{k}", value)
+        stop = time.monotonic() + ns.seconds
+        clients = [await ServiceClient.connect("127.0.0.1", server.port)
+                   for _ in range(ns.connections)]
+        await asyncio.gather(*[
+            client_loop(c, i, stop, counts)
+            for i, c in enumerate(clients)
+        ])
+        stats = await seed_client.stats()
+        for c in clients:
+            await c.close()
+        await seed_client.close()
+        await server.close()
+
+        proto = int(stats["counters"].get("service.protocol_errors", 0))
+        report = {
+            "seconds": ns.seconds,
+            "connections": ns.connections,
+            "ops": counts,
+            "protocol_errors": proto,
+            "latency": stats["latency"],
+            "counters": stats["counters"],
+            "shards": [
+                {k: v for k, v in s.items() if k != "telemetry"}
+                for s in stats["shards"]
+            ],
+        }
+        out = Path(ns.report)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True))
+        done = counts["store"] + counts["load"] + counts["load_partial"]
+        print(f"smoke: {done} ops over {ns.connections} connections in "
+              f"{ns.seconds:.0f}s, {counts['errors']} typed errors, "
+              f"{proto} protocol errors -> {out}")
+        if proto or done == 0:
+            print("FAIL: protocol errors or no ops completed",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    return asyncio.run(main())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="python -m repro.service",
+                                description=__doc__)
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    def common(sp):
+        sp.add_argument("--nshards", type=int, default=4)
+        sp.add_argument("--max-inflight", type=int, default=1024)
+        sp.add_argument("--batch-max", type=int, default=64)
+
+    serve = sub.add_parser("serve", help="run the asyncio server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7227)
+    common(serve)
+    serve.set_defaults(fn=cmd_serve)
+
+    bench = sub.add_parser("bench",
+                           help="virtual-time saturation sweep -> results/")
+    bench.add_argument("--clients", nargs="*",
+                       help=f"fleet sizes (default {list(DEFAULT_SWEEP)})")
+    bench.add_argument("--duration-ms", type=float, default=100.0)
+    bench.add_argument("--budget", type=int, default=60,
+                       help="real engine batches per point")
+    bench.add_argument("--representatives", type=int, default=128)
+    bench.add_argument("--seed", type=int, default=2021)
+    bench.add_argument("--out", default="results")
+    common(bench)
+    bench.set_defaults(fn=cmd_bench)
+
+    smoke = sub.add_parser("smoke",
+                           help="live asyncio smoke test (CI gate)")
+    smoke.add_argument("--seconds", type=float, default=30.0)
+    smoke.add_argument("--connections", type=int, default=8)
+    smoke.add_argument("--report", default="results/service_smoke.json")
+    common(smoke)
+    smoke.set_defaults(fn=cmd_smoke)
+    return p
+
+
+def main(argv=None) -> int:
+    ns = build_parser().parse_args(argv)
+    return ns.fn(ns)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,338 @@
+"""The service core: a synchronous request pipeline on a modeled clock.
+
+Every request moves through five instrumented stages —
+``service.accept`` → ``service.decode`` → ``service.dispatch`` →
+``service.engine`` → ``service.encode`` — each recorded as a
+:mod:`repro.telemetry` span on the core's **service clock**.  The clock is
+modeled, not wall time: wire stages charge the :func:`~.wire.wire_cost_ns`
+cost model and the engine stage charges the batch's exact modeled makespan
+from the shard's single-rank SPMD run.  That makes the whole RPC path
+deterministic, which is what lets ``service.*`` scenarios sit in the perf
+observatory behind the same ±1% modeled-ns gate as the library hot paths.
+
+Admission control is a bounded in-flight window: :meth:`ServiceCore.admit`
+raises :class:`~repro.errors.ServiceOverloadedError` (typed backpressure,
+carrying ``retry_after_ms``) the moment ``max_inflight`` requests are
+between accept and response.  Rejected requests never touch a shard — the
+reject path costs two wire frames and nothing else, which is why the
+saturation curve flattens instead of collapsing when 10^6 clients arrive.
+
+Thread model: the asyncio front-end decodes/encodes on the event loop and
+runs shard batches on worker threads, so every clock/span/metric mutation
+here takes the core lock for a short, non-blocking section; spans are
+recorded as *closed* intervals (begin → advance → end under the lock),
+never held open across an engine run.  The pipeline itself is fully
+synchronous — :meth:`handle_payload` is the whole server in one call,
+which is exactly what the perf scenarios and the virtual-time load
+generator drive.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import (
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from ..sim.trace import RankTrace
+from ..telemetry import metrics_for, span
+from ..telemetry.export import registry_percentiles
+from ..units import MiB
+from . import wire
+from .shard import ShardExecutor, ShardRing
+from .wire import (
+    OP_DELETE,
+    OP_LOAD,
+    OP_PING,
+    OP_STATS,
+    OP_STORE,
+    Request,
+    wire_cost_ns,
+)
+
+#: modeled per-byte request parse cost (header walk + ndarray wrap)
+DECODE_BYTE_NS = 0.02
+#: modeled fixed costs of the non-wire pipeline stages
+DECODE_OVERHEAD_NS = 500.0
+DISPATCH_NS = 300.0
+
+
+class ServiceContext:
+    """A minimal telemetry context for the service's modeled clock.
+
+    Quacks like the corner of :class:`repro.sim.engine.Context` the
+    telemetry layer uses — ``lb_ns`` plus a :class:`RankTrace` to hang
+    spans, counters, and metric families on — without being an SPMD rank.
+    """
+
+    __slots__ = ("trace", "lb_ns")
+
+    def __init__(self):
+        self.trace = RankTrace(rank=0)
+        self.lb_ns = 0.0
+
+    def advance(self, ns: float) -> None:
+        self.lb_ns += ns
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one service instance."""
+
+    nshards: int = 4
+    #: admission-control window: requests between accept and response
+    max_inflight: int = 1024
+    #: max requests one shard batch may carry
+    batch_max: int = 64
+    #: capacity of each shard's private PMEM device
+    shard_capacity: int = 64 * MiB
+    layout: str = "hashtable"
+    serializer: str = "bp4"
+    map_sync: bool = True
+    #: suggested client backoff carried in overload errors
+    retry_after_ms: float = 50.0
+    #: collect shard-engine spans into the service trace (rebased onto the
+    #: service clock) — perf scenarios want the attribution; the load
+    #: generator turns it off to keep million-request runs flat in memory
+    collect_engine_spans: bool = True
+
+
+@dataclass
+class Envelope:
+    """One accepted request travelling through the pipeline."""
+
+    req: Request
+    #: service-clock timestamp at accept (latency measurements anchor here)
+    t_accept: float = 0.0
+    frame_bytes: int = 0
+
+
+class ServiceCore:
+    """Sharded pMEMCPY store behind the wire protocol (see module doc)."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.cfg = config or ServiceConfig()
+        self.ring = ShardRing(self.cfg.nshards)
+        self.shards = [
+            ShardExecutor(
+                i, pmem_capacity=self.cfg.shard_capacity,
+                layout=self.cfg.layout, serializer=self.cfg.serializer,
+                map_sync=self.cfg.map_sync,
+            )
+            for i in range(self.cfg.nshards)
+        ]
+        self.ctx = ServiceContext()
+        self._lock = threading.Lock()
+        self._inflight = 0
+
+    # ------------------------------------------------------------------ clock
+
+    def _stage(self, name: str, ns: float, **attrs):
+        """Record stage ``name`` as a closed span advancing the clock."""
+        with span(self.ctx, name, **attrs):
+            self.ctx.advance(ns)
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        metrics_for(self.ctx).counter(name).add(amount)
+
+    @property
+    def clock_ns(self) -> float:
+        return self.ctx.lb_ns
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    # ------------------------------------------------------------------ admission
+
+    def admit(self, n: int = 1) -> None:
+        """Claim ``n`` admission slots or raise typed backpressure."""
+        with self._lock:
+            if self._inflight + n > self.cfg.max_inflight:
+                self._count("service.rejected", n)
+                raise ServiceOverloadedError(
+                    self._inflight, self.cfg.max_inflight,
+                    self.cfg.retry_after_ms,
+                )
+            self._inflight += n
+            self._count("service.admitted", n)
+            g = metrics_for(self.ctx).gauge("service.inflight")
+            g.set(max(g.value, float(self._inflight)))
+
+    def release(self, n: int = 1) -> None:
+        with self._lock:
+            self._inflight = max(0, self._inflight - n)
+
+    # ------------------------------------------------------------------ stages
+
+    def accept(self, payload: bytes) -> Envelope:
+        """Stages 1+2: charge the inbound frame, decode it.
+
+        Raises :class:`ProtocolError`/:class:`ProtocolVersionError` on
+        malformed frames (counted in ``service.protocol_errors``)."""
+        with self._lock:
+            t0 = self.ctx.lb_ns
+            self._stage("service.accept", wire_cost_ns(len(payload)),
+                        bytes=len(payload))
+            self._count("service.frames.in")
+            self._count("service.bytes.in", len(payload))
+            try:
+                with span(self.ctx, "service.decode"):
+                    self.ctx.advance(
+                        DECODE_OVERHEAD_NS + DECODE_BYTE_NS * len(payload))
+                    kind, seq, body = wire.decode_frame_payload(payload)
+                    req = wire.decode_request(kind, seq, body)
+            except ProtocolError:
+                self._count("service.protocol_errors")
+                raise
+            return Envelope(req, t_accept=t0, frame_bytes=len(payload))
+
+    def shard_of(self, env: Envelope) -> int:
+        """Stage 3: route the request to its shard (consistent hashing)."""
+        with self._lock:
+            with span(self.ctx, "service.dispatch", var=env.req.name):
+                self.ctx.advance(DISPATCH_NS)
+        return self.ring.shard_of(env.req.name)
+
+    def execute_batch(self, shard: int, envelopes: list[Envelope]
+                      ) -> list[bytes]:
+        """Stages 4+5 for one shard batch: engine run, then per-request
+        response encoding.  Returns the encoded response frames in order.
+
+        The engine run itself executes outside the core lock (shards run
+        truly concurrently under the asyncio front-end); only the clock
+        and span bookkeeping serialize."""
+        executor = self.shards[shard]
+        batch = [e.req for e in envelopes]
+        try:
+            result = executor.apply(batch)
+        except ReproError as exc:
+            # shard-level fault: every request in the batch fails typed
+            with self._lock:
+                self._count("service.shard_errors", len(batch))
+                return [self._encode_response(e, exc) for e in envelopes]
+        with self._lock:
+            self._stage("service.engine", result.engine_ns, shard=shard,
+                        batch=len(batch))
+            if result.coalesced:
+                self._count("service.store.coalesced", result.coalesced)
+            metrics_for(self.ctx).histogram("service.batch.requests").observe(
+                float(len(batch)))
+            if self.cfg.collect_engine_spans:
+                self._absorb_engine_spans(result.spans)
+            return [
+                self._encode_response(env, out)
+                for env, out in zip(envelopes, result.outcomes)
+            ]
+
+    def _absorb_engine_spans(self, spans) -> None:
+        """Rebase the batch's engine spans onto the service clock so one
+        scenario trace attributes RPC *and* engine families together."""
+        base = self.ctx.lb_ns
+        shift = base - max((s.end_ns for s in spans), default=0.0)
+        for s in spans:
+            s.start_ns += shift
+            s.end_ns += shift
+            self.ctx.trace.spans.append(s)
+
+    def _encode_response(self, env: Envelope, outcome) -> bytes:
+        """Stage 5 (caller holds the lock): encode, charge, observe SLO."""
+        seq = env.req.seq
+        if isinstance(outcome, BaseException):
+            resp = wire.encode_error(seq, outcome)
+            self._count("service.errors")
+        elif outcome is None:
+            resp = wire.encode_ok_empty(seq)
+        elif isinstance(outcome, (np.ndarray, np.generic, float, int)):
+            resp = wire.encode_ok_array(seq, np.asarray(outcome))
+        else:
+            resp = wire.encode_ok_json(seq, outcome)
+        self._stage("service.encode", wire_cost_ns(len(resp)),
+                    bytes=len(resp))
+        self._count("service.frames.out")
+        self._count("service.bytes.out", len(resp))
+        metrics_for(self.ctx).histogram(
+            f"service.rpc.{env.req.op_name}.ns"
+        ).observe(self.ctx.lb_ns - env.t_accept)
+        return resp
+
+    # ------------------------------------------------------------------ one-shot
+
+    def handle_payload(self, payload: bytes) -> bytes:
+        """The whole pipeline for one request frame payload, synchronously.
+
+        This is the reference execution path: the perf scenarios and the
+        virtual-time load generator call it directly; the asyncio server
+        reproduces the same stages with batching between them.  Protocol
+        violations are answered with a typed ERR frame (seq 0 when the
+        frame never yielded one)."""
+        try:
+            env = self.accept(payload)
+        except ProtocolError as exc:
+            with self._lock:
+                return self._encode_response(
+                    Envelope(Request(OP_PING, 0), t_accept=self.ctx.lb_ns),
+                    exc)
+        local = self._handle_local(env)
+        if local is not None:
+            return local
+        try:
+            self.admit()
+        except ServiceOverloadedError as exc:
+            with self._lock:
+                return self._encode_response(env, exc)
+        try:
+            shard = self.shard_of(env)
+            return self.execute_batch(shard, [env])[0]
+        finally:
+            self.release()
+
+    def _handle_local(self, env: Envelope) -> bytes | None:
+        """STATS/PING never touch a shard (they must answer even when the
+        data path is saturated); returns None for data-path ops."""
+        if env.req.op == OP_PING:
+            with self._lock:
+                return self._encode_response(env, None)
+        if env.req.op == OP_STATS:
+            doc = self.stats()
+            with self._lock:
+                return self._encode_response(env, doc)
+        if env.req.op not in (OP_STORE, OP_LOAD, OP_DELETE):
+            with self._lock:
+                return self._encode_response(
+                    env, ServiceError(f"unroutable op {env.req.op}"))
+        return None
+
+    # ------------------------------------------------------------------ stats
+
+    def stats(self) -> dict:
+        """Service-level stats: counters, per-endpoint latency percentiles
+        (via the shared :func:`registry_percentiles` code path), shard
+        inventory, and the admission window."""
+        with self._lock:
+            reg = metrics_for(self.ctx)
+            counters = {
+                name: reg.get(name).value
+                for name in reg.names()
+                if getattr(reg.get(name), "kind", "") in ("counter", "gauge")
+            }
+            latency = {
+                name: pct
+                for name, pct in registry_percentiles(reg).items()
+                if name.startswith("service.rpc.")
+            }
+            return {
+                "clock_ns": self.ctx.lb_ns,
+                "inflight": self._inflight,
+                "max_inflight": self.cfg.max_inflight,
+                "nshards": self.cfg.nshards,
+                "counters": counters,
+                "latency": latency,
+                "shards": [s.stats() for s in self.shards],
+            }

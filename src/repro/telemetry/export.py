@@ -330,17 +330,31 @@ def _as_spans(traces_or_spans) -> list[Span]:
     return as_span_list(traces_or_spans)
 
 
+def registry_percentiles(
+    metrics: MetricRegistry, ps: tuple[float, ...] = (0.5, 0.95, 0.99)
+) -> dict[str, dict[str, float]]:
+    """``{histogram_name: {"p50": ..., "p95": ..., "p99": ...}}`` for every
+    populated histogram of a registry.
+
+    The one shared spelling of registry-wide percentile extraction:
+    ``PMEM.stats()``, the service SLO report, and the perf observatory all
+    consume this instead of re-deriving bucket math per caller."""
+    out: dict[str, dict[str, float]] = {}
+    for name in metrics.names():
+        h = metrics.get(name)
+        if isinstance(h, Histogram) and h.count:
+            out[name] = h.percentiles(ps)
+    return out
+
+
 def span_latency_percentiles(
     metrics: MetricRegistry, ps: tuple[float, ...] = (0.5, 0.95, 0.99)
 ) -> dict[str, dict[str, float]]:
     """``{family: {"p50": ..., "p95": ..., "p99": ...}}`` from the
     auto-observed ``span.<name>.ns`` latency histograms of a registry —
     the latency view the perf observatory records per scenario."""
-    out: dict[str, dict[str, float]] = {}
-    for name in metrics.names():
-        if not (name.startswith("span.") and name.endswith(".ns")):
-            continue
-        h = metrics.get(name)
-        if isinstance(h, Histogram) and h.count:
-            out[family_of(name[len("span."):-len(".ns")])] = h.percentiles(ps)
-    return out
+    return {
+        family_of(name[len("span."):-len(".ns")]): pct
+        for name, pct in registry_percentiles(metrics, ps).items()
+        if name.startswith("span.") and name.endswith(".ns")
+    }

@@ -291,6 +291,66 @@ def test_chunk_cache_pays_decode_once():
     assert tel["pmemcpy_stored_read_bytes"] < 2 * tel["pmemcpy_stored_write_bytes"]
 
 
+def test_chunk_cache_lru_bound_across_variables():
+    """Eviction is LRU in decoded bytes over ALL variables — one greedy
+    variable's chunks push out another's, and the byte bound holds at
+    every step."""
+    from repro.pmemcpy.cache import ChunkCache
+
+    chunk = np.ones(64, dtype=np.float64)  # 512 decoded bytes
+    cache = ChunkCache(capacity_bytes=2 * chunk.nbytes)
+
+    cache.put(("a", 0, 100), chunk)
+    cache.put(("b", 0, 100), chunk * 2)
+    assert len(cache) == 2 and cache.nbytes == 2 * chunk.nbytes
+    # touch a: b becomes LRU, so c's arrival evicts b, not a
+    assert cache.get(("a", 0, 100)) is not None
+    cache.put(("c", 0, 100), chunk * 3)
+    assert cache.nbytes <= cache.capacity_bytes
+    assert cache.get(("b", 0, 100)) is None
+    assert cache.get(("a", 0, 100)) is not None
+    assert cache.get(("c", 0, 100)) is not None
+    # invalidating one variable never touches the others
+    assert cache.invalidate("a") == 1
+    assert cache.nbytes == chunk.nbytes
+    assert cache.get(("c", 0, 100)) is not None
+
+
+def test_chunk_cache_eviction_interleaved_partial_reads():
+    """Interleaved partial reads of three filtered variables through a
+    two-chunk cache: hit/miss counters follow LRU order exactly, and the
+    decoded-byte bound holds across variables."""
+    data = np.arange(64, dtype=np.float64).reshape(8, 8)
+    sel = Hyperslab((1, 1), (3, 3))
+    cap = 2 * data.nbytes  # room for exactly two decoded (8, 8) chunks
+
+    def job(ctx):
+        pmem = PMEM(serializer="bp4", layout="hashtable",
+                    filters=("deflate",), chunk_cache_bytes=cap)
+        pmem.mmap("/pmem/partial_evict", Communicator.world(ctx))
+        for name, k in (("a", 1), ("b", 2), ("c", 3)):
+            pmem.alloc(name, data.shape, np.float64, chunk_shape=(8, 8))
+            pmem.store(name, data * k, (0, 0))
+        for name, k in (("a", 1), ("b", 2)):       # 2 misses
+            assert np.array_equal(pmem.load(name, selection=sel),
+                                  data[1:4, 1:4] * k)
+        for name, k in (("a", 1), ("b", 2)):       # 2 hits
+            assert np.array_equal(pmem.load(name, selection=sel),
+                                  data[1:4, 1:4] * k)
+        pmem.load("c", selection=sel)              # miss; evicts LRU = a
+        pmem.load("b", selection=sel)              # hit (still resident)
+        pmem.load("a", selection=sel)              # miss again: was evicted
+        assert pmem._chunk_cache.nbytes <= cap
+        assert len(pmem._chunk_cache) == 2
+        st = pmem.stats()
+        pmem.munmap()
+        return st
+
+    tel = run1(job).returns[0]["telemetry"]
+    assert tel["pmemcpy_chunk_cache_misses"] == 4
+    assert tel["pmemcpy_chunk_cache_hits"] == 3
+
+
 def test_chunk_cache_invalidated_on_overwrite():
     data = np.ones((8, 8))
 
