@@ -15,17 +15,23 @@ without touching the library underneath:
   stage a ``repro.telemetry`` span, so the RPC hot path is deterministic
   and perf-gated like everything else (``service.*`` scenarios);
 - :mod:`.server` — the asyncio front-end (``python -m repro.service
-  serve``) and a multiplexing asyncio client;
+  serve``) and a multiplexing asyncio client that mints a per-call trace
+  id into the wire v2 trace-context extension;
+- :mod:`.console` — the ``python -m repro.service top`` live view over
+  the STATS/METRICS ops (flight recorder, counters, SLO percentiles);
 - :mod:`.loadgen` — a closed-loop load generator scaling to 10^6
   simulated clients (zipfian keys, read/write mix), producing
   per-endpoint p50/p95/p99 SLO reports and the throughput-vs-clients
   saturation curve (``results/service_saturation.{csv,txt}``).
 
-See DESIGN.md §13 for the architecture and backpressure semantics.
+See DESIGN.md §13 for the architecture and backpressure semantics, and
+§14 for request observability (trace propagation, the flight recorder,
+and Prometheus exposition).
 """
 
 from .core import ServiceConfig, ServiceCore
 from .shard import ShardRing
-from .wire import WIRE_VERSION
+from .wire import MIN_WIRE_VERSION, WIRE_VERSION
 
-__all__ = ["ServiceConfig", "ServiceCore", "ShardRing", "WIRE_VERSION"]
+__all__ = ["ServiceConfig", "ServiceCore", "ShardRing",
+           "WIRE_VERSION", "MIN_WIRE_VERSION"]

@@ -3,6 +3,7 @@
 ``python -m repro.service serve``  — run the asyncio server
 ``python -m repro.service bench``  — saturation sweep → results/
 ``python -m repro.service smoke``  — live server + real clients, CI gate
+``python -m repro.service top``    — live console view of a running server
 """
 
 from __future__ import annotations
@@ -33,6 +34,8 @@ def _service_config(ns) -> ServiceConfig:
         max_inflight=ns.max_inflight,
         batch_max=ns.batch_max,
         collect_engine_spans=False,
+        flight_slo_ns=getattr(ns, "flight_slo_ns", None),
+        flight_dump_dir=getattr(ns, "flight_dump_dir", None),
     )
 
 
@@ -125,6 +128,37 @@ def cmd_smoke(ns) -> int:
             for i, c in enumerate(clients)
         ])
         stats = await seed_client.stats()
+
+        # observability gate: live Prometheus page + flight-recorder dump
+        # must validate, and the dump must re-render as a Chrome trace;
+        # a v1 (no trace context) client must still round-trip
+        from ..telemetry import (
+            flight_chrome_trace,
+            validate_flight_dump,
+            validate_prometheus_text,
+        )
+        from ..telemetry.export import validate_chrome_trace
+
+        prom = await seed_client.metrics()
+        dump = await seed_client.flight()
+        obs_errors = [f"prometheus: {e}"
+                      for e in validate_prometheus_text(prom)]
+        obs_errors += [f"flight: {e}" for e in validate_flight_dump(dump)]
+        trace_doc = flight_chrome_trace(dump)
+        obs_errors += [f"chrome: {e}"
+                       for e in validate_chrome_trace(trace_doc)]
+        v1 = await ServiceClient.connect("127.0.0.1", server.port,
+                                         version=1)
+        try:
+            await v1.ping()
+            await v1.store("smoke/v1", value)
+            v1_back = await v1.load("smoke/v1")
+            if not np.array_equal(v1_back, value):
+                obs_errors.append("v1 client: store/load round trip "
+                                  "mismatch")
+        finally:
+            await v1.close()
+
         for c in clients:
             await c.close()
         await seed_client.close()
@@ -138,6 +172,8 @@ def cmd_smoke(ns) -> int:
             "protocol_errors": proto,
             "latency": stats["latency"],
             "counters": stats["counters"],
+            "flight": stats["flight"],
+            "observability_errors": obs_errors,
             "shards": [
                 {k: v for k, v in s.items() if k != "telemetry"}
                 for s in stats["shards"]
@@ -146,17 +182,62 @@ def cmd_smoke(ns) -> int:
         out = Path(ns.report)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(report, indent=2, sort_keys=True))
+        art = out.parent
+        (art / "service_metrics.prom").write_text(prom)
+        (art / "service_flight.json").write_text(
+            json.dumps(dump, indent=2, sort_keys=True, default=float))
+        (art / "service_flight.trace.json").write_text(
+            json.dumps(trace_doc, sort_keys=True, default=float))
         done = counts["store"] + counts["load"] + counts["load_partial"]
         print(f"smoke: {done} ops over {ns.connections} connections in "
               f"{ns.seconds:.0f}s, {counts['errors']} typed errors, "
-              f"{proto} protocol errors -> {out}")
-        if proto or done == 0:
-            print("FAIL: protocol errors or no ops completed",
+              f"{proto} protocol errors, "
+              f"{len(dump['records'])} flight records -> {out}")
+        for e in obs_errors:
+            print(f"[observability] {e}", file=sys.stderr)
+        if proto or done == 0 or obs_errors:
+            print("FAIL: protocol/observability errors or no ops completed",
                   file=sys.stderr)
             return 1
         return 0
 
     return asyncio.run(main())
+
+
+def cmd_top(ns) -> int:
+    """Poll a running server's STATS op and render the console view."""
+    from .console import CLEAR, render_top
+
+    async def main() -> int:
+        client = await ServiceClient.connect(ns.host, ns.port)
+        try:
+            if ns.prometheus:
+                print(await client.metrics(), end="")
+                return 0
+            prev = None
+            shown = 0
+            while True:
+                stats = await client.stats()
+                screen = render_top(stats, prev, ns.interval)
+                if not ns.no_clear:
+                    print(CLEAR, end="")
+                print(screen, flush=True)
+                prev = stats
+                shown += 1
+                if ns.iterations and shown >= ns.iterations:
+                    return 0
+                await asyncio.sleep(ns.interval)
+        finally:
+            await client.close()
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        return 0
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {ns.host}:{ns.port}: {exc}",
+              file=sys.stderr)
+        return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -172,6 +253,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="run the asyncio server")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7227)
+    serve.add_argument("--flight-slo-ns", type=float, default=None,
+                       help="latency SLO (modeled ns) for the recorder")
+    serve.add_argument("--flight-dump-dir", default=None,
+                       help="directory for SLO-burn auto-dumps")
     common(serve)
     serve.set_defaults(fn=cmd_serve)
 
@@ -193,8 +278,26 @@ def build_parser() -> argparse.ArgumentParser:
     smoke.add_argument("--seconds", type=float, default=30.0)
     smoke.add_argument("--connections", type=int, default=8)
     smoke.add_argument("--report", default="results/service_smoke.json")
+    smoke.add_argument("--flight-slo-ns", type=float, default=None,
+                       help="latency SLO (modeled ns) armed on the server")
+    smoke.add_argument("--flight-dump-dir", default=None,
+                       help="directory for SLO-burn auto-dumps")
     common(smoke)
     smoke.set_defaults(fn=cmd_smoke)
+
+    top = sub.add_parser("top",
+                         help="live console view of a running server")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7227)
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between STATS polls")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="screens to render before exiting (0 = forever)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="do not clear the screen between frames")
+    top.add_argument("--prometheus", action="store_true",
+                     help="print the raw Prometheus exposition page once")
+    top.set_defaults(fn=cmd_top)
     return p
 
 

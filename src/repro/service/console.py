@@ -1,0 +1,87 @@
+"""``service top``: a live console view over the STATS wire op.
+
+Pure rendering — :func:`render_top` turns one (or two consecutive)
+``ServiceCore.stats()`` documents into a text screen, so the view is
+unit-testable without a socket and the CLI loop stays a dozen lines.
+Rates are finite differences between consecutive stats snapshots over
+the polling interval.
+"""
+
+from __future__ import annotations
+
+#: ANSI clear-screen + home, prepended by the CLI loop between frames
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def fmt_ns(ns: float) -> str:
+    """Human-scale a modeled-ns figure (1234567 -> "1.23ms")."""
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+def render_top(stats: dict, prev: dict | None = None,
+               interval_s: float = 2.0) -> str:
+    """One screenful: header, flight recorder, counters (+rates),
+    per-endpoint latency percentiles, shard inventory."""
+    lines = [
+        f"repro.service top — service clock {fmt_ns(stats.get('clock_ns', 0.0))}"
+        f"   inflight {stats.get('inflight', 0)}/{stats.get('max_inflight', 0)}"
+        f"   shards {stats.get('nshards', 0)}"
+    ]
+    flight = stats.get("flight") or {}
+    if flight:
+        kept = flight.get("kept_by_reason", {})
+        lines.append(
+            f"flight recorder: {flight.get('resident', 0)}"
+            f"/{flight.get('capacity', 0)} resident"
+            f"   offered {flight.get('offered', 0)}"
+            f"   kept {flight.get('kept', 0)}"
+            f" (err {kept.get('error', 0)}"
+            f" rej {kept.get('rejected', 0)}"
+            f" slo {kept.get('slo', 0)}"
+            f" sample {kept.get('sample', 0)})"
+            f"   slo burns {flight.get('burns', 0)}"
+        )
+    counters = stats.get("counters", {})
+    if counters:
+        prev_counters = (prev or {}).get("counters", {})
+        width = max(max(len(n) for n in counters), len("counter"))
+        lines.append("")
+        lines.append(f"{'counter':<{width}}  {'total':>14}  {'rate/s':>10}")
+        for name in sorted(counters):
+            total = float(counters[name])
+            if prev is not None and interval_s > 0:
+                rate = (total - float(prev_counters.get(name, 0.0))) \
+                    / interval_s
+                rate_s = f"{rate:>10.1f}"
+            else:
+                rate_s = f"{'-':>10}"
+            lines.append(f"{name:<{width}}  {total:>14.0f}  {rate_s}")
+    latency = stats.get("latency", {})
+    if latency:
+        width = max(max(len(n) for n in latency), len("endpoint"))
+        lines.append("")
+        lines.append(f"{'endpoint':<{width}}  {'p50':>10}  {'p95':>10}"
+                     f"  {'p99':>10}")
+        for name in sorted(latency):
+            pct = latency[name]
+            lines.append(
+                f"{name:<{width}}  {fmt_ns(pct.get('p50', 0.0)):>10}"
+                f"  {fmt_ns(pct.get('p95', 0.0)):>10}"
+                f"  {fmt_ns(pct.get('p99', 0.0)):>10}")
+    shards = stats.get("shards", [])
+    if shards:
+        lines.append("")
+        lines.append(f"{'shard':>5}  {'up':>2}  {'batches':>9}"
+                     f"  {'requests':>9}")
+        for s in shards:
+            lines.append(
+                f"{s.get('shard', '?'):>5}"
+                f"  {'y' if s.get('available') else 'n':>2}"
+                f"  {s.get('batches', 0):>9}  {s.get('requests', 0):>9}")
+    return "\n".join(lines)

@@ -17,6 +17,18 @@ between accept and response.  Rejected requests never touch a shard — the
 reject path costs two wire frames and nothing else, which is why the
 saturation curve flattens instead of collapsing when 10^6 clients arrive.
 
+Observability (DESIGN.md §14): every request owns a **trace id** —
+client-minted and carried in the wire v2 trace-context extension, or
+server-minted (high bit set) for v1 peers — and every pipeline-stage span
+is tagged with it.  Engine spans come back from the shard already wrapped
+in per-request ``service.shard.request`` markers, so
+:meth:`ServiceCore._absorb_engine_spans` attributes them to their owning
+request instead of bulk-rebasing anonymous batches.  Each finished
+request is offered to an always-on :class:`~repro.telemetry.flight.
+FlightRecorder` (tail sampling: errors/rejects/SLO violations always
+kept), and the live registry is scrapeable as Prometheus text via the
+METRICS wire op.
+
 Thread model: the asyncio front-end decodes/encodes on the event loop and
 runs shard batches on worker threads, so every clock/span/metric mutation
 here takes the core lock for a short, non-blocking section; spans are
@@ -29,8 +41,10 @@ generator drive.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace as dc_replace
 
 import numpy as np
 
@@ -41,14 +55,18 @@ from ..errors import (
     ServiceOverloadedError,
 )
 from ..sim.trace import RankTrace
-from ..telemetry import metrics_for, span
+from ..telemetry import MetricRegistry, metrics_for, span
 from ..telemetry.export import registry_percentiles
+from ..telemetry.flight import FlightRecord, FlightRecorder
+from ..telemetry.prometheus import prometheus_text
 from ..units import MiB
 from . import wire
 from .shard import ShardExecutor, ShardRing
 from .wire import (
     OP_DELETE,
+    OP_FLIGHT,
     OP_LOAD,
+    OP_METRICS,
     OP_PING,
     OP_STATS,
     OP_STORE,
@@ -101,6 +119,18 @@ class ServiceConfig:
     #: service clock) — perf scenarios want the attribution; the load
     #: generator turns it off to keep million-request runs flat in memory
     collect_engine_spans: bool = True
+    #: flight recorder (:mod:`repro.telemetry.flight`): ring capacity and
+    #: the 1-in-N sampling period for healthy requests
+    flight_capacity: int = 256
+    flight_sample_every: int = 64
+    #: latency SLO in modeled ns — requests above it are always kept; None
+    #: disables the SLO keep-reason (errors/rejects are still kept)
+    flight_slo_ns: float | None = None
+    #: SLO-burn auto-dump: when >= burn_frac of the last burn_window
+    #: requests were kept for cause, dump the ring to flight_dump_dir
+    flight_burn_window: int = 64
+    flight_burn_frac: float = 0.5
+    flight_dump_dir: str | None = None
 
 
 @dataclass
@@ -111,6 +141,14 @@ class Envelope:
     #: service-clock timestamp at accept (latency measurements anchor here)
     t_accept: float = 0.0
     frame_bytes: int = 0
+    #: the request's trace id — client-minted via the wire trace-context
+    #: extension, or server-minted (high bit set) for v1 peers
+    trace_id: int = 0
+    #: wire version the client spoke; the response mirrors it
+    version: int = wire.WIRE_VERSION
+    #: this request's spans, accumulated stage by stage across the
+    #: pipeline for the flight recorder
+    spans: list = field(default_factory=list)
 
 
 class ServiceCore:
@@ -130,16 +168,36 @@ class ServiceCore:
         self.ctx = ServiceContext()
         self._lock = threading.Lock()
         self._inflight = 0
+        self._trace_seq = 0
+        self.flight = FlightRecorder(
+            self.cfg.flight_capacity, self.cfg.flight_sample_every,
+            self.cfg.flight_slo_ns,
+            burn_window=self.cfg.flight_burn_window,
+            burn_frac=self.cfg.flight_burn_frac,
+            on_burn=self._on_slo_burn,
+        )
 
     # ------------------------------------------------------------------ clock
 
-    def _stage(self, name: str, ns: float, **attrs):
-        """Record stage ``name`` as a closed span advancing the clock."""
-        with span(self.ctx, name, **attrs):
-            self.ctx.advance(ns)
-
     def _count(self, name: str, amount: float = 1.0) -> None:
         metrics_for(self.ctx).counter(name).add(amount)
+
+    def _mint_trace(self) -> int:
+        """Server-minted trace id for peers that sent none (v1 clients).
+
+        The high bit marks server-minted ids so dumps distinguish them
+        from client-minted ones; the low bits are a core-local sequence,
+        keeping the id deterministic for the perf scenarios."""
+        self._trace_seq += 1
+        return (1 << 63) | self._trace_seq
+
+    def _tag(self, env: Envelope, sp) -> None:
+        """Stamp a pipeline-stage span with the owning request's identity
+        and collect it into the envelope (no-op when sampled out)."""
+        if sp is not None:
+            sp.attrs = {**(sp.attrs or {}), "trace": env.trace_id,
+                        "seq": env.req.seq}
+            env.spans.append(sp)
 
     @property
     def clock_ns(self) -> float:
@@ -155,7 +213,7 @@ class ServiceCore:
         """Claim ``n`` admission slots or raise typed backpressure."""
         with self._lock:
             if self._inflight + n > self.cfg.max_inflight:
-                self._count("service.rejected", n)
+                self._count("service.rejects", n)
                 raise ServiceOverloadedError(
                     self._inflight, self.cfg.max_inflight,
                     self.cfg.retry_after_ms,
@@ -178,26 +236,38 @@ class ServiceCore:
         malformed frames (counted in ``service.protocol_errors``)."""
         with self._lock:
             t0 = self.ctx.lb_ns
-            self._stage("service.accept", wire_cost_ns(len(payload)),
-                        bytes=len(payload))
-            self._count("service.frames.in")
-            self._count("service.bytes.in", len(payload))
-            try:
-                with span(self.ctx, "service.decode"):
-                    self.ctx.advance(
-                        DECODE_OVERHEAD_NS + DECODE_BYTE_NS * len(payload))
-                    kind, seq, body = wire.decode_frame_payload(payload)
-                    req = wire.decode_request(kind, seq, body)
-            except ProtocolError:
-                self._count("service.protocol_errors")
-                raise
-            return Envelope(req, t_accept=t0, frame_bytes=len(payload))
+            with span(self.ctx, "service.accept", bytes=len(payload)) as acc:
+                self.ctx.advance(wire_cost_ns(len(payload)))
+                self._count("service.frames.in")
+                self._count("service.bytes.in", len(payload))
+                try:
+                    with span(self.ctx, "service.decode") as dec:
+                        self.ctx.advance(
+                            DECODE_OVERHEAD_NS
+                            + DECODE_BYTE_NS * len(payload))
+                        frame = wire.decode_frame(payload)
+                        req = wire.decode_request(
+                            frame.kind, frame.seq, frame.body,
+                            trace_id=frame.trace_id or 0,
+                            version=frame.version)
+                except ProtocolError:
+                    self._count("service.protocol_errors")
+                    raise
+                tid = req.trace_id or self._mint_trace()
+                if req.trace_id != tid:
+                    req = dc_replace(req, trace_id=tid)
+                env = Envelope(req, t_accept=t0, frame_bytes=len(payload),
+                               trace_id=tid, version=req.version)
+                self._tag(env, dec)
+                self._tag(env, acc)
+            return env
 
     def shard_of(self, env: Envelope) -> int:
         """Stage 3: route the request to its shard (consistent hashing)."""
         with self._lock:
-            with span(self.ctx, "service.dispatch", var=env.req.name):
+            with span(self.ctx, "service.dispatch", var=env.req.name) as sp:
                 self.ctx.advance(DISPATCH_NS)
+                self._tag(env, sp)
         return self.ring.shard_of(env.req.name)
 
     def execute_batch(self, shard: int, envelopes: list[Envelope]
@@ -218,48 +288,120 @@ class ServiceCore:
                 self._count("service.shard_errors", len(batch))
                 return [self._encode_response(e, exc) for e in envelopes]
         with self._lock:
-            self._stage("service.engine", result.engine_ns, shard=shard,
-                        batch=len(batch))
+            with span(self.ctx, "service.engine", shard=shard,
+                      batch=len(batch)) as eng:
+                self.ctx.advance(result.engine_ns)
+            if eng is not None:
+                # the engine stage is batch-shared: every request in the
+                # batch sees it in its flight record (deduped on export)
+                for env in envelopes:
+                    env.spans.append(eng)
             if result.coalesced:
                 self._count("service.store.coalesced", result.coalesced)
             metrics_for(self.ctx).histogram("service.batch.requests").observe(
                 float(len(batch)))
             if self.cfg.collect_engine_spans:
-                self._absorb_engine_spans(result.spans)
+                self._absorb_engine_spans(result.spans, envelopes, eng)
             return [
                 self._encode_response(env, out)
                 for env, out in zip(envelopes, result.outcomes)
             ]
 
-    def _absorb_engine_spans(self, spans) -> None:
-        """Rebase the batch's engine spans onto the service clock so one
-        scenario trace attributes RPC *and* engine families together."""
+    def _absorb_engine_spans(self, spans, envelopes, stage) -> None:
+        """Rebase the batch's engine spans onto the service clock and
+        attribute each one to its owning request.
+
+        The shard wraps every request it executes in a
+        ``service.shard.request`` marker span carrying the request's
+        trace/seq (:mod:`repro.service.shard`), so ownership of any
+        engine span is its nearest marker ancestor.  Owned spans are
+        tagged with the owner's trace/seq and copied into its envelope
+        (the flight recorder sees the complete per-request tree);
+        engine-run roots are reparented under the batch's
+        ``service.engine`` stage span so the service trace stays one
+        connected tree instead of interleaving anonymous batch spans."""
+        if not spans:
+            return
         base = self.ctx.lb_ns
-        shift = base - max((s.end_ns for s in spans), default=0.0)
+        shift = base - max(s.end_ns for s in spans)
+        by_id = {}
         for s in spans:
             s.start_ns += shift
             s.end_ns += shift
+            by_id[s.span_id] = s
+        owner_of: dict[int, tuple | None] = {}
+
+        def owner(s):
+            if s.span_id in owner_of:
+                return owner_of[s.span_id]
+            if s.name == "service.shard.request":
+                a = s.attrs or {}
+                own = (a.get("trace", 0), a.get("seq", 0))
+            elif s.parent_id in by_id:
+                own = owner(by_id[s.parent_id])
+            else:
+                own = None
+            owner_of[s.span_id] = own
+            return own
+
+        env_by_trace = {e.trace_id: e for e in envelopes}
+        stage_id = stage.span_id if stage is not None else None
+        for s in spans:
+            own = owner(s)
+            if s.parent_id not in by_id:
+                s.parent_id = stage_id
+            if own is not None:
+                trace_id, seq = own
+                if s.name != "service.shard.request":
+                    s.attrs = {**(s.attrs or {}), "trace": trace_id,
+                               "seq": seq}
+                env = env_by_trace.get(trace_id)
+                if env is not None:
+                    env.spans.append(s)
             self.ctx.trace.spans.append(s)
 
     def _encode_response(self, env: Envelope, outcome) -> bytes:
-        """Stage 5 (caller holds the lock): encode, charge, observe SLO."""
+        """Stage 5 (caller holds the lock): encode, charge, observe SLO,
+        then offer the finished request to the flight recorder.
+
+        The response mirrors the client's wire version — a v1 peer gets
+        a v1 frame with no trace extension, so v2 never leaks to peers
+        that cannot parse it."""
         seq = env.req.seq
+        tid = env.trace_id if env.version >= 2 and env.trace_id else None
+        status = "ok"
         if isinstance(outcome, BaseException):
-            resp = wire.encode_error(seq, outcome)
-            self._count("service.errors")
+            resp = wire.encode_error(seq, outcome, version=env.version,
+                                     trace_id=tid)
+            if isinstance(outcome, ServiceOverloadedError):
+                status = "rejected"
+            else:
+                status = f"error:{type(outcome).__name__}"
+                self._count("service.errors")
         elif outcome is None:
-            resp = wire.encode_ok_empty(seq)
+            resp = wire.encode_ok_empty(seq, version=env.version,
+                                        trace_id=tid)
         elif isinstance(outcome, (np.ndarray, np.generic, float, int)):
-            resp = wire.encode_ok_array(seq, np.asarray(outcome))
+            resp = wire.encode_ok_array(seq, np.asarray(outcome),
+                                        version=env.version, trace_id=tid)
         else:
-            resp = wire.encode_ok_json(seq, outcome)
-        self._stage("service.encode", wire_cost_ns(len(resp)),
-                    bytes=len(resp))
+            resp = wire.encode_ok_json(seq, outcome, version=env.version,
+                                       trace_id=tid)
+        with span(self.ctx, "service.encode", bytes=len(resp)) as sp:
+            self.ctx.advance(wire_cost_ns(len(resp)))
+            self._tag(env, sp)
         self._count("service.frames.out")
         self._count("service.bytes.out", len(resp))
         metrics_for(self.ctx).histogram(
             f"service.rpc.{env.req.op_name}.ns"
         ).observe(self.ctx.lb_ns - env.t_accept)
+        self.flight.offer(FlightRecord(
+            trace_id=env.trace_id, seq=seq, op=env.req.op_name,
+            var=env.req.name, status=status,
+            start_ns=env.t_accept, end_ns=self.ctx.lb_ns,
+            bytes_in=env.frame_bytes, bytes_out=len(resp),
+            spans=env.spans,
+        ))
         return resp
 
     # ------------------------------------------------------------------ one-shot
@@ -276,8 +418,11 @@ class ServiceCore:
             env = self.accept(payload)
         except ProtocolError as exc:
             with self._lock:
+                # version 1: a frame too broken to identify its speaker
+                # gets the answer every peer can decode
                 return self._encode_response(
-                    Envelope(Request(OP_PING, 0), t_accept=self.ctx.lb_ns),
+                    Envelope(Request(OP_PING, 0), t_accept=self.ctx.lb_ns,
+                             version=1),
                     exc)
         local = self._handle_local(env)
         if local is not None:
@@ -303,11 +448,56 @@ class ServiceCore:
             doc = self.stats()
             with self._lock:
                 return self._encode_response(env, doc)
+        if env.req.op == OP_METRICS:
+            text = self.prometheus()
+            with self._lock:
+                return self._encode_response(
+                    env, {"content_type": "text/plain; version=0.0.4",
+                          "body": text})
+        if env.req.op == OP_FLIGHT:
+            doc = self.flight_dump()
+            with self._lock:
+                return self._encode_response(env, doc)
         if env.req.op not in (OP_STORE, OP_LOAD, OP_DELETE):
             with self._lock:
                 return self._encode_response(
                     env, ServiceError(f"unroutable op {env.req.op}"))
         return None
+
+    # ------------------------------------------------------------------ observability
+
+    def prometheus(self) -> str:
+        """One Prometheus text-format page over the whole instance:
+        the service registry merged with every shard's engine registry,
+        plus a few instantaneous gauges."""
+        with self._lock:
+            reg = MetricRegistry.merged(
+                [metrics_for(self.ctx), *(s.metrics for s in self.shards)])
+            extra = {
+                "service.clock.ns": self.ctx.lb_ns,
+                "service.inflight.now": float(self._inflight),
+                "service.flight.resident": float(len(self.flight)),
+            }
+        return prometheus_text(reg, extra=extra)
+
+    def flight_dump(self) -> dict:
+        """The flight recorder's ring as a ``repro-flight/1`` document."""
+        with self._lock:
+            return self.flight.dump()
+
+    def _on_slo_burn(self, rec: FlightRecorder) -> None:
+        """SLO-burn hook (called under the core lock): count it and, when
+        a dump directory is configured, persist the ring while the
+        offending requests are still resident."""
+        self._count("service.flight.burns")
+        out_dir = self.cfg.flight_dump_dir
+        if not out_dir:
+            return
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"flight_burn_{rec.burns:04d}.json")
+        with open(path, "w") as fh:
+            json.dump(rec.dump(), fh, indent=2, sort_keys=True,
+                      default=float)
 
     # ------------------------------------------------------------------ stats
 
@@ -334,5 +524,6 @@ class ServiceCore:
                 "nshards": self.cfg.nshards,
                 "counters": counters,
                 "latency": latency,
+                "flight": self.flight.stats(),
                 "shards": [s.stats() for s in self.shards],
             }

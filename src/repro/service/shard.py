@@ -41,7 +41,7 @@ from ..cluster import Cluster
 from ..errors import ReproError, ShardUnavailableError
 from ..pmdk.locks import fnv1a64
 from ..pmemcpy import PMEM
-from ..telemetry import MetricRegistry, merged_counters, merged_metrics
+from ..telemetry import MetricRegistry, merged_counters, merged_metrics, span
 from ..telemetry.counters import Counters
 from ..units import MiB
 from .wire import OP_DELETE, OP_LOAD, OP_STORE, Request
@@ -188,8 +188,15 @@ class ShardExecutor:
             self.pmem.mmap(self.path, comm)
             try:
                 for slot, req in zip(kept_indices, kept):
+                    # marker span: everything nested under it (store.*,
+                    # pmdk.*, ...) belongs to exactly this request, which
+                    # is what lets the core re-attribute batch spans to
+                    # their owning trace id instead of bulk-rebasing
                     try:
-                        outcomes[slot] = self._apply_one(req)
+                        with span(ctx, "service.shard.request",
+                                  trace=req.trace_id, seq=req.seq,
+                                  op=req.op_name, var=req.name):
+                            outcomes[slot] = self._apply_one(req)
                     except ReproError as exc:
                         outcomes[slot] = exc
             finally:

@@ -30,6 +30,19 @@ from .metrics import (
     Histogram,
     MetricRegistry,
 )
+from .flight import (
+    FLIGHT_SCHEMA,
+    FlightRecord,
+    FlightRecorder,
+    flight_chrome_trace,
+    flight_darshan,
+    validate_flight_dump,
+)
+from .prometheus import (
+    prometheus_text,
+    sanitize_metric_name,
+    validate_prometheus_text,
+)
 from .spans import (
     SAMPLE_EVERY,
     TRACE_ENV,
@@ -52,6 +65,9 @@ __all__ = [
     "Span", "Tracer", "span", "tracer_for", "spans_of",
     "as_span_list", "exclusive_ns_by_family", "family_of",
     "trace_mode", "TRACE_ENV", "TRACE_MODES", "SAMPLE_EVERY",
+    "FLIGHT_SCHEMA", "FlightRecord", "FlightRecorder",
+    "flight_chrome_trace", "flight_darshan", "validate_flight_dump",
+    "prometheus_text", "sanitize_metric_name", "validate_prometheus_text",
 ]
 
 

@@ -102,6 +102,24 @@ def cmd_report(args) -> int:
         return 2
     title = args.job or (os.path.basename(args.trace) if args.trace
                          else "I/O profile")
+    if args.json:
+        # machine-readable mirror of the rendered report, so CI jobs
+        # consume structured data instead of scraping the table
+        from .export import darshan_records, registry_percentiles
+        from .spans import exclusive_ns_by_family
+
+        doc = {
+            "title": title,
+            "span_count": len(spans) if spans else 0,
+            "exclusive_ns_by_family":
+                exclusive_ns_by_family(spans) if spans else {},
+            "darshan": darshan_records(spans) if spans else [],
+            "latency": registry_percentiles(metrics) if metrics else {},
+            "metrics": metrics.as_dict() if metrics else {},
+        }
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True, default=float)
+        print()
+        return 0
     print(render_report(metrics, spans, title=title))
     return 0
 
@@ -219,6 +237,8 @@ def main(argv=None) -> int:
                    help="metrics JSON (per-job map or single registry)")
     p.add_argument("--job", default=None,
                    help="job id to select from a per-job metrics file")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as machine-readable JSON")
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("smoke", help="fig6 smoke across all six drivers")

@@ -225,7 +225,7 @@ def test_core_admission_control_backpressure():
     # ...but stats/ping still answer (they never take a slot)
     seq, doc = _rpc(core, wire.encode_stats(10))
     assert doc["inflight"] == 2
-    assert doc["counters"]["service.rejected"] >= 2
+    assert doc["counters"]["service.rejects"] >= 2
     core.release(2)
     _, err = _rpc(core, wire.encode_load(11, "x"))
     assert isinstance(err, KeyNotFoundError)  # admitted again, key missing
