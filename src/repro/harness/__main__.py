@@ -12,6 +12,8 @@ Usage::
              --profile   # print per-job I/O telemetry counter tables
              --trace-out DIR    # one Chrome/Perfetto trace JSON per job
              --metrics-out FILE # per-job typed metric registries (JSON)
+             --critpath-out DIR # one repro-critpath/1 JSON per job
+             --flame-out DIR    # one folded flamegraph stack file per job
 """
 
 from __future__ import annotations
@@ -71,6 +73,26 @@ def cmd_figures(args, directions) -> None:
             path = os.path.join(args.trace_out, f"{r.job_id()}.trace.json")
             write_json(path, doc)
             print(f"[trace] {path}")
+    if args.critpath_out:
+        from ..telemetry.export import write_json
+
+        os.makedirs(args.critpath_out, exist_ok=True)
+        for r in results:
+            if r.critpath is None:
+                continue
+            path = os.path.join(args.critpath_out,
+                                f"{r.job_id()}.critpath.json")
+            write_json(path, r.critpath)
+            print(f"[critpath] {path}")
+    if args.flame_out:
+        from ..telemetry.export import spans_from_dicts
+        from ..telemetry.flame import write_folded
+
+        os.makedirs(args.flame_out, exist_ok=True)
+        for r in results:
+            path = os.path.join(args.flame_out, f"{r.job_id()}.folded")
+            write_folded(path, spans_from_dicts(r.spans))
+            print(f"[flame] {path}")
     if args.metrics_out:
         from ..telemetry.export import write_json
 
@@ -172,6 +194,10 @@ def main(argv=None) -> int:
                     help="write one Chrome/Perfetto trace JSON per job")
     ap.add_argument("--metrics-out", default=None, metavar="FILE",
                     help="write per-job typed metric registries as JSON")
+    ap.add_argument("--critpath-out", default=None, metavar="DIR",
+                    help="write one repro-critpath/1 JSON per job")
+    ap.add_argument("--flame-out", default=None, metavar="DIR",
+                    help="write one folded flamegraph stack file per job")
     args = ap.parse_args(argv)
 
     if args.command == "fig6":

@@ -40,6 +40,9 @@ class JobResult:
     metrics: dict = field(default_factory=dict)   # MetricRegistry.as_dict()
     spans: list = field(default_factory=list)     # span dicts (trace export)
     engine: str = "threads"  # rank engine that executed the run
+    #: full repro-critpath/1 document of the run's causal replay (path
+    #: steps, lock hand-offs, contention stats) — written by --critpath-out
+    critpath: dict | None = None
 
     def row(self) -> tuple:
         return (self.library, self.nprocs, self.direction, round(self.seconds, 3))
@@ -50,17 +53,25 @@ class JobResult:
     def perf_record(self) -> dict:
         """The perf-scenario view of this job (:mod:`repro.perf`): exact
         modeled time, exclusive time per span family for regression
-        attribution, and the per-family latency percentiles."""
+        attribution, the per-family latency percentiles, and the compact
+        critical-path summary the compare gate diffs on failure."""
         from ..telemetry.export import span_latency_percentiles, spans_from_dicts
         from ..telemetry.metrics import MetricRegistry
         from ..telemetry.spans import exclusive_ns_by_family
 
         reg = MetricRegistry.from_dict(self.metrics)
-        return {
+        rec = {
             "modeled_ns": self.seconds * 1e9,
             "families": exclusive_ns_by_family(spans_from_dicts(self.spans)),
             "latency": span_latency_percentiles(reg),
         }
+        if self.critpath is not None:
+            rec["critpath"] = {
+                "total_ns": self.critpath["total_ns"],
+                "families": self.critpath["families"],
+                "source": self.critpath["source"],
+            }
+        return rec
 
 
 def _cluster_for(workload: Domain3D, machine: MachineSpec) -> Cluster:
@@ -74,6 +85,13 @@ def _job_result(library: str, nprocs: int, direction: str, res, cl) -> JobResult
     metric families, so ``--profile`` keeps its historical key set), the
     cross-rank :class:`MetricRegistry`, and the span dicts for trace
     export."""
+    from ..telemetry.critpath import (
+        critical_path_spmd,
+        critpath_doc,
+        offer_capture,
+    )
+
+    offer_capture("spmd", res)
     timing = res.time()
     reg = merged_metrics(res.traces)
     tel = merged_counters(res.traces).as_dict()
@@ -86,6 +104,7 @@ def _job_result(library: str, nprocs: int, direction: str, res, cl) -> JobResult
         reg.as_dict(),
         spans_to_dicts(spans_of(res.traces)),
         engine=res.engine,
+        critpath=critpath_doc(critical_path_spmd(res)),
     )
 
 

@@ -20,6 +20,14 @@ Usage::
     # prove the gate works: inflate LOCK_OVERHEAD_NS and require compare
     # to fail with meta.lock as the top attributed family
     python -m repro.perf selftest
+
+    # causal analysis of one scenario: critical path by span family,
+    # lock hand-offs, per-stripe contention, what-if estimates
+    python -m repro.perf doctor SCENARIO [--json FILE] [--flame-out FILE]
+
+    # the doctor's own gate: byte-stable output, shares summing to 100%
+    # on both engines, and a 400x lock inflation correctly blamed
+    python -m repro.perf doctor --selftest
 """
 
 from __future__ import annotations
@@ -96,6 +104,29 @@ def cmd_compare(args) -> int:
             json.dump(rep.as_dict(), f, indent=1)
             f.write("\n")
         print(f"[json] {args.json}")
+    if not rep.ok:
+        # automatic root-causing: diff baseline-vs-current critical paths
+        # and leave the narrative where both humans and CI will see it
+        narrative = rep.doctor_narrative()
+        if narrative:
+            doc["doctor"] = {
+                "narrative": narrative,
+                "top_critpath_family": rep.top_critpath_family(),
+                "culprits": {
+                    v.scenario: v.critpath_culprits
+                    for v in rep.regressions if v.critpath_culprits
+                },
+            }
+            write_bench(args.bench, doc)
+            print(f"[doctor] root-cause narrative written into {args.bench}")
+        step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+        if step_summary:
+            with open(step_summary, "a") as f:
+                f.write("## perf doctor — regression root cause\n\n```\n")
+                f.write(narrative or
+                        "no critical-path evidence recorded for the "
+                        "failing scenarios")
+                f.write("\n```\n")
     return 0 if rep.ok else 1
 
 
@@ -163,6 +194,242 @@ def cmd_selftest(args) -> int:
               f"got {top!r}", file=sys.stderr)
         return 1
     print("[selftest] regression detected and attributed to meta.lock ✓")
+    return 0
+
+
+def _analyze_scenario(name: str) -> tuple[dict, dict, object]:
+    """Run one scenario under full tracing with the doctor's capture hook
+    armed; returns ``(critpath_doc, perf_record, spmd_result_or_None)``."""
+    from ..telemetry.critpath import (
+        capture_analysis,
+        critical_path_spans,
+        critical_path_spmd,
+        critpath_doc,
+        whatif_report,
+    )
+    from ..telemetry.spans import TRACE_ENV
+
+    sc = get(name)
+    skip = getattr(sc, "skip", None)
+    reason = skip() if skip is not None else None
+    if reason:
+        raise RuntimeError(f"scenario {name}: {reason}")
+    prev_trace = os.environ.get(TRACE_ENV)
+    os.environ[TRACE_ENV] = "full"
+    try:
+        with capture_analysis() as captured:
+            rec = sc.run()
+    finally:
+        if prev_trace is None:
+            os.environ.pop(TRACE_ENV, None)
+        else:
+            os.environ[TRACE_ENV] = prev_trace
+    spmd = [p for kind, p in captured if kind == "spmd"]
+    service = [p for kind, p in captured if kind == "service"]
+    if spmd:
+        res = spmd[-1]
+        cp = critical_path_spmd(res)
+        wi = whatif_report(res.traces, cp.total_ns, machine=res.machine)
+        return critpath_doc(cp, whatif=wi, scenario=name), rec, res
+    if service:
+        core, t0 = service[-1]
+        cp = critical_path_spans(core.ctx.trace.spans, t0, core.clock_ns)
+        return critpath_doc(cp, scenario=name), rec, None
+    raise RuntimeError(
+        f"scenario {name} offered no analyzable run to the doctor"
+    )
+
+
+def _render_doctor(doc: dict) -> str:
+    lines = [f"== perf doctor: {doc.get('scenario', '?')} =="]
+    lines.append(
+        f"  critical path {_fmt_quantity(doc['total_ns'], 'ns')} "
+        f"(source: {doc['source']})"
+    )
+    fams = doc.get("families", {})
+    if fams:
+        lines.append("  critical-path share by span family:")
+        ranked = sorted(fams.items(), key=lambda kv: (-kv[1]["ns"], kv[0]))
+        for fam, row in ranked[:12]:
+            lines.append(
+                f"    {fam:<22} {_fmt_quantity(row['ns'], 'ns'):<16} "
+                f"{row['share'] * 100:6.2f}%"
+            )
+        if len(ranked) > 12:
+            lines.append(f"    ... and {len(ranked) - 12} smaller families")
+    handoffs = doc.get("handoffs", {})
+    if handoffs:
+        lines.append("  waits jumped on the path (blame stays with the "
+                     "holder's work):")
+        for fam, h in sorted(handoffs.items(),
+                             key=lambda kv: -kv[1]["wait_ns"]):
+            lines.append(
+                f"    {fam:<22} {h['count']:>4} hand-offs, "
+                f"{_fmt_quantity(h['wait_ns'], 'ns')} waited"
+            )
+    contention = doc.get("contention", {})
+    if contention:
+        lines.append("  lock contention (wait-for graph):")
+        ranked = sorted(contention.items(),
+                        key=lambda kv: (-kv[1]["wait_ns"], kv[0]))
+        for lock_id, st in ranked[:8]:
+            lines.append(
+                f"    {lock_id:<28} {st['acquires']:>5} acq "
+                f"({st['contended']} contended, queue<={st['max_queue']})  "
+                f"wait {_fmt_quantity(st['wait_ns'], 'ns')}  "
+                f"hold mean {_fmt_quantity(st['mean_hold_ns'], 'ns')}"
+            )
+        if len(ranked) > 8:
+            lines.append(f"    ... and {len(ranked) - 8} quieter locks")
+    whatif = doc.get("whatif")
+    if whatif:
+        lines.append("  what-if (replayed counterfactuals, ranked by "
+                     "time saved):")
+        for row in whatif:
+            lines.append(
+                f"    {row['name']:<12} -> "
+                f"{_fmt_quantity(row['modeled_ns'], 'ns'):<16} "
+                f"saves {_fmt_quantity(row['delta_ns'], 'ns'):<16} "
+                f"({row['speedup']:.2f}x)"
+            )
+    return "\n".join(lines)
+
+
+def cmd_doctor(args) -> int:
+    from ..telemetry.critpath import critpath_dumps, validate_critpath
+
+    if args.selftest:
+        return _doctor_selftest(args)
+    if not args.scenario_name:
+        print("error: doctor needs a scenario name (or --selftest)",
+              file=sys.stderr)
+        return 2
+    doc, _rec, res = _analyze_scenario(args.scenario_name)
+    errs = validate_critpath(doc)
+    if errs:
+        print(f"error: doctor produced an invalid critpath doc: {errs[:3]}",
+              file=sys.stderr)
+        return 1
+    print(_render_doctor(doc))
+    if args.json:
+        d = os.path.dirname(args.json)
+        if d:
+            os.makedirs(d, exist_ok=True)
+        with open(args.json, "w") as f:
+            f.write(critpath_dumps(doc))
+            f.write("\n")
+        print(f"[json] {args.json}")
+    if args.flame_out:
+        from ..telemetry.flame import write_folded
+
+        if res is None:
+            print("[flame] scenario has no replayable span forest; "
+                  "skipping --flame-out")
+        else:
+            d = os.path.dirname(args.flame_out)
+            if d:
+                os.makedirs(d, exist_ok=True)
+            write_folded(args.flame_out, res.traces)
+            print(f"[flame] {args.flame_out} (fold with speedscope or "
+                  f"flamegraph.pl)")
+    return 0
+
+
+def _doctor_selftest(args) -> int:
+    """The doctor's own gate (CI: ``perf doctor --selftest``):
+
+    1. byte-identical critpath JSON across two runs of a deterministic
+       scenario;
+    2. per-family critical-path shares summing to 100% ± 0.1% of the
+       end-to-end modeled time, on both rank engines;
+    3. a ``--factor``x LOCK_OVERHEAD_NS inflation blamed on ``meta.lock``
+       as the top critical-path delta;
+    4. a baseline-vs-self diff reporting exactly zero culprits.
+    """
+    from ..pmdk import hashmap as _hashmap
+    from ..pmdk import locks as _locks
+    from ..telemetry.critpath import (
+        critpath_culprits,
+        critpath_dumps,
+        validate_critpath,
+    )
+
+    failures: list[str] = []
+
+    print("[doctor-selftest] 1/4 byte-stable output (mem.memcpy_persist)")
+    doc_a = _analyze_scenario("mem.memcpy_persist")[0]
+    doc_b = _analyze_scenario("mem.memcpy_persist")[0]
+    if critpath_dumps(doc_a) != critpath_dumps(doc_b):
+        failures.append("critpath JSON differs between two identical runs")
+
+    print("[doctor-selftest] 2/4 shares sum to 100% of modeled time")
+    names = ["mem.memcpy_persist", "meta.lock_single",
+             "service.rpc_store", "procs.fig6_write.8p.threads"]
+    procs_twin = get("procs.fig6_write.8p.procs")
+    if procs_twin.skip is None or procs_twin.skip() is None:
+        names.append(procs_twin.name)
+    else:
+        print(f"[doctor-selftest]   SKIP {procs_twin.name}: "
+              f"{procs_twin.skip()}")
+    baseline_docs: dict[str, dict] = {}
+    for name in names:
+        doc, rec, _res = _analyze_scenario(name)
+        baseline_docs[name] = doc
+        errs = validate_critpath(doc)
+        if errs:
+            failures.append(f"{name}: invalid critpath doc: {errs[:2]}")
+            continue
+        share_sum = sum(r["share"] for r in doc["families"].values())
+        ns_sum = sum(r["ns"] for r in doc["families"].values())
+        modeled = float(rec["modeled_ns"])
+        if abs(share_sum - 1.0) > 1e-3:
+            failures.append(f"{name}: shares sum to {share_sum:.6f}")
+        if modeled > 0 and abs(ns_sum - modeled) > 1e-3 * modeled:
+            failures.append(
+                f"{name}: path families sum to {ns_sum:.0f} ns but "
+                f"end-to-end modeled time is {modeled:.0f} ns"
+            )
+        print(f"[doctor-selftest]   {name:<28} "
+              f"{share_sum * 100:7.3f}% of "
+              f"{_fmt_quantity(modeled, 'ns')}")
+
+    print(f"[doctor-selftest] 3/4 {args.factor:g}x lock inflation must "
+          f"blame meta.lock")
+    base_doc = baseline_docs["meta.lock_single"]
+    old = _locks.LOCK_OVERHEAD_NS
+    _locks.LOCK_OVERHEAD_NS = old * args.factor
+    _hashmap.LOCK_OVERHEAD_NS = old * args.factor
+    try:
+        slow_doc = _analyze_scenario("meta.lock_single")[0]
+    finally:
+        _locks.LOCK_OVERHEAD_NS = old
+        _hashmap.LOCK_OVERHEAD_NS = old
+    culprits = critpath_culprits(base_doc, slow_doc)
+    top = culprits[0]["family"] if culprits else None
+    if top != "meta.lock":
+        failures.append(
+            f"inflated run's top critical-path delta is {top!r}, "
+            f"expected 'meta.lock' "
+            f"(culprits: {[c['family'] for c in culprits[:3]]})"
+        )
+    else:
+        print(f"[doctor-selftest]   meta.lock "
+              f"+{_fmt_quantity(culprits[0]['delta_ns'], 'ns')} "
+              f"on the critical path ✓")
+
+    print("[doctor-selftest] 4/4 baseline-vs-self diff must be empty")
+    self_culprits = critpath_culprits(base_doc, base_doc)
+    if self_culprits:
+        failures.append(
+            f"self-diff produced culprits: "
+            f"{[c['family'] for c in self_culprits]}"
+        )
+
+    if failures:
+        for f in failures:
+            print(f"error: {f}", file=sys.stderr)
+        return 1
+    print("[doctor-selftest] all checks passed ✓")
     return 0
 
 
@@ -278,6 +545,21 @@ def main(argv=None) -> int:
     p.add_argument("--factor", type=float, default=400.0,
                    help="LOCK_OVERHEAD_NS inflation factor")
     p.set_defaults(fn=cmd_selftest)
+
+    p = sub.add_parser("doctor",
+                       help="causal analysis: critical path, contention, "
+                            "what-ifs")
+    p.add_argument("scenario_name", nargs="?", metavar="SCENARIO",
+                   help="registered perf scenario to analyze")
+    p.add_argument("--selftest", action="store_true",
+                   help="run the doctor's own correctness gate instead")
+    p.add_argument("--factor", type=float, default=400.0,
+                   help="LOCK_OVERHEAD_NS inflation factor (--selftest)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the repro-critpath/1 document to FILE")
+    p.add_argument("--flame-out", default=None, metavar="FILE",
+                   help="write folded flamegraph stacks to FILE")
+    p.set_defaults(fn=cmd_doctor)
 
     args = ap.parse_args(argv)
     return args.fn(args)

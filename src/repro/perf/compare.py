@@ -99,6 +99,11 @@ class ScenarioVerdict:
     wall_threshold_s: float = 0.0
     wall_exceeded: bool = False
     attribution: list[FamilyDelta] = field(default_factory=list)
+    #: per-family critical-path deltas (repro.telemetry.critpath rows) for
+    #: failed scenarios where both sides recorded a critpath summary
+    critpath_culprits: list[dict] = field(default_factory=list)
+    #: one-sentence root-cause narrative derived from the culprits
+    narrative: str = ""
 
     @property
     def failed(self) -> bool:
@@ -120,6 +125,10 @@ class ScenarioVerdict:
         }
         if self.attribution:
             d["attribution"] = [a.as_dict() for a in self.attribution]
+        if self.critpath_culprits:
+            d["critpath_culprits"] = list(self.critpath_culprits)
+        if self.narrative:
+            d["narrative"] = self.narrative
         return d
 
 
@@ -150,12 +159,37 @@ class CompareReport:
             return None
         return max(sorted(totals), key=lambda f: totals[f])
 
+    def top_critpath_family(self) -> str | None:
+        """The family with the most *critical-path* time added across the
+        failing scenarios — the doctor's culprit (may disagree with
+        :meth:`top_family` when the slowdown is off the path)."""
+        totals: dict[str, float] = {}
+        for v in self.regressions:
+            for c in v.critpath_culprits:
+                totals[c["family"]] = (
+                    totals.get(c["family"], 0.0) + c["delta_ns"]
+                )
+        if not totals:
+            return None
+        return max(sorted(totals), key=lambda f: totals[f])
+
+    def doctor_narrative(self) -> str:
+        """Root-cause paragraph covering every failed scenario (empty when
+        the gate passed or no critpath evidence exists)."""
+        lines = [v.narrative for v in self.regressions if v.narrative]
+        top = self.top_critpath_family()
+        if top and lines:
+            lines.append(f"Overall critical-path culprit: {top}.")
+        return "\n".join(lines)
+
     def as_dict(self) -> dict:
         return {
             "ok": self.ok,
             "wall_gated": self.wall_gated,
             "modeled_gate_frac": self.modeled_gate_frac,
             "top_family": self.top_family(),
+            "top_critpath_family": self.top_critpath_family(),
+            "doctor_narrative": self.doctor_narrative(),
             "missing_from_run": list(self.missing),
             "scenarios": [v.as_dict() for v in self.verdicts],
         }
@@ -191,6 +225,18 @@ class CompareReport:
                         f"+{_fmt_quantity(a.delta_ns, 'ns'):<16} "
                         f"({a.share * 100:5.1f}% of the regression)"
                     )
+            if v.failed and v.critpath_culprits:
+                lines.append("      critical-path diff "
+                             "(path time added by span family):")
+                for c in v.critpath_culprits[:5]:
+                    lines.append(
+                        f"        {c['family']:<18} "
+                        f"+{_fmt_quantity(c['delta_ns'], 'ns'):<16} "
+                        f"({_fmt_quantity(c['base_ns'], 'ns')} -> "
+                        f"{_fmt_quantity(c['cur_ns'], 'ns')})"
+                    )
+            if v.failed and v.narrative:
+                lines.append(f"      ROOT CAUSE: {v.narrative}")
         if self.missing:
             lines.append(
                 f"  (not measured this run: {', '.join(self.missing)})"
@@ -279,6 +325,19 @@ def compare_runs(
         attribution = attribute_families(
             base.get("families", {}), m.families
         ) if status != "ok" else []
+        culprits: list[dict] = []
+        narrative = ""
+        if status in FAILING and base.get("critpath") and m.critpath:
+            from ..telemetry.critpath import (
+                critpath_culprits,
+                narrate_culprits,
+            )
+
+            culprits = critpath_culprits(base["critpath"], m.critpath)
+            narrative = narrate_culprits(
+                m.scenario, culprits,
+                total_delta_ns=m.modeled_ns - base_ns,
+            )
         verdicts.append(ScenarioVerdict(
             m.scenario, status,
             base_engine=base_engine, cur_engine=m.engine,
@@ -290,6 +349,8 @@ def compare_runs(
             wall_threshold_s=round(threshold, 6),
             wall_exceeded=wall_exceeded,
             attribution=attribution,
+            critpath_culprits=culprits,
+            narrative=narrative,
         ))
     missing = sorted(set(base_scenarios) - seen)
     return CompareReport(

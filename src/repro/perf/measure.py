@@ -83,6 +83,9 @@ class Measurement:
     wall: WallStats
     modeled_tolerance_frac: float | None = None
     engine: str = "threads"
+    #: compact critical-path summary ({"total_ns", "families", "source"})
+    #: from the scenario's causal replay; absent on legacy records
+    critpath: dict | None = None
 
     def as_run(self) -> dict:
         out = {
@@ -97,6 +100,8 @@ class Measurement:
         }
         if self.modeled_tolerance_frac is not None:
             out["modeled_tolerance_frac"] = self.modeled_tolerance_frac
+        if self.critpath is not None:
+            out["critpath"] = self.critpath
         return out
 
     @classmethod
@@ -112,6 +117,7 @@ class Measurement:
             wall=WallStats.from_dict(d.get("wall", {})),
             modeled_tolerance_frac=float(tol) if tol is not None else None,
             engine=d.get("engine", "threads"),
+            critpath=d.get("critpath"),
         )
 
 
@@ -151,6 +157,7 @@ def measure_scenario(scenario: Scenario,
         wall=WallStats.from_samples(samples),
         modeled_tolerance_frac=scenario.modeled_tolerance_frac,
         engine=getattr(scenario, "engine", "threads"),
+        critpath=record.get("critpath"),
     )
 
 

@@ -121,12 +121,19 @@ def record_from_spmd(res) -> dict:
     scenario perf record (the non-harness twin of
     :meth:`~repro.harness.experiment.JobResult.perf_record`)."""
     from ..telemetry import exclusive_ns_by_family, merged_metrics
+    from ..telemetry.critpath import (
+        critical_path_spmd,
+        critpath_summary,
+        offer_capture,
+    )
     from ..telemetry.export import span_latency_percentiles
 
+    offer_capture("spmd", res)
     return {
         "modeled_ns": res.time().makespan_ns,
         "families": exclusive_ns_by_family(res.traces),
         "latency": span_latency_percentiles(merged_metrics(res.traces)),
+        "critpath": critpath_summary(critical_path_spmd(res)),
     }
 
 
@@ -391,8 +398,14 @@ def _mem_hot_path() -> dict:
 
 def _service_record(core, t0: float) -> dict:
     from ..telemetry import exclusive_ns_by_family, metrics_for
+    from ..telemetry.critpath import (
+        critical_path_spans,
+        critpath_summary,
+        offer_capture,
+    )
     from ..telemetry.export import registry_percentiles
 
+    offer_capture("service", (core, t0))
     latency = {
         name[:-len(".ns")]: pct
         for name, pct in registry_percentiles(metrics_for(core.ctx)).items()
@@ -402,6 +415,9 @@ def _service_record(core, t0: float) -> dict:
         "modeled_ns": core.clock_ns - t0,
         "families": exclusive_ns_by_family([core.ctx.trace]),
         "latency": latency,
+        "critpath": critpath_summary(
+            critical_path_spans(core.ctx.trace.spans, t0, core.clock_ns)
+        ),
     }
 
 

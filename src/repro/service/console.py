@@ -64,16 +64,21 @@ def render_top(stats: dict, prev: dict | None = None,
             lines.append(f"{name:<{width}}  {total:>14.0f}  {rate_s}")
     latency = stats.get("latency", {})
     if latency:
+        critpath = stats.get("critpath", {})
         width = max(max(len(n) for n in latency), len("endpoint"))
         lines.append("")
         lines.append(f"{'endpoint':<{width}}  {'p50':>10}  {'p95':>10}"
-                     f"  {'p99':>10}")
+                     f"  {'p99':>10}  crit-path")
         for name in sorted(latency):
             pct = latency[name]
+            # "service.rpc.store.ns" -> op "store" -> its critical-path-
+            # dominant span family from the flight recorder's kept trees
+            op = name.removeprefix("service.rpc.").removesuffix(".ns")
             lines.append(
                 f"{name:<{width}}  {fmt_ns(pct.get('p50', 0.0)):>10}"
                 f"  {fmt_ns(pct.get('p95', 0.0)):>10}"
-                f"  {fmt_ns(pct.get('p99', 0.0)):>10}")
+                f"  {fmt_ns(pct.get('p99', 0.0)):>10}"
+                f"  {critpath.get(op, '-')}")
     shards = stats.get("shards", [])
     if shards:
         lines.append("")

@@ -524,6 +524,30 @@ class ServiceCore:
                 "nshards": self.cfg.nshards,
                 "counters": counters,
                 "latency": latency,
+                "critpath": self._critpath_by_endpoint(),
                 "flight": self.flight.stats(),
                 "shards": [s.stats() for s in self.shards],
             }
+
+    def _critpath_by_endpoint(self) -> dict:
+        """``{op: family}`` — the span family dominating the critical
+        path of each endpoint, aggregated over the flight recorder's kept
+        requests (each record's span tree walked over its own service
+        window).  Traced families win over the ``untraced`` residue so a
+        thin span forest still names real work when any exists."""
+        from ..telemetry.critpath import UNTRACED, critical_path_spans
+
+        by_op: dict[str, dict[str, float]] = {}
+        for rec in self.flight.records():
+            if not rec.spans:
+                continue
+            cp = critical_path_spans(rec.spans, rec.start_ns, rec.end_ns)
+            agg = by_op.setdefault(rec.op, {})
+            for fam, ns in cp.families.items():
+                agg[fam] = agg.get(fam, 0.0) + ns
+        out: dict[str, str] = {}
+        for op, fams in sorted(by_op.items()):
+            traced = {f: ns for f, ns in fams.items() if f != UNTRACED}
+            pick = traced or fams
+            out[op] = max(pick.items(), key=lambda kv: (kv[1], kv[0]))[0]
+        return out

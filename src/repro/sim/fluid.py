@@ -110,6 +110,28 @@ class _LockState:
 
 
 @dataclass
+class CausalRecord:
+    """Happens-before evidence from one replay (``record_causal=True``).
+
+    Segments carry the *op index* so callers can align replay time back to
+    the rank's lower-bound clock (and from there to span families); wait
+    segments carry the rank whose release/arrival ended them, which is the
+    wake edge the critical-path walk follows.
+    """
+
+    #: (rank, op_index, phase, bucket, start_ns, end_ns, waker) — ``waker``
+    #: is the rank whose Release/arrival ended a "lock"/"barrier" wait,
+    #: None for work (delay/transfer) segments.  Zero-length intervals are
+    #: suppressed; per rank the segments tile [0, finish] exactly.
+    segments: list[tuple[int, int, str, str, float, float, int | None]] = (
+        field(default_factory=list)
+    )
+    #: lock_id -> {"acquires", "contended", "holds", "hold_ns", "wait_ns",
+    #: "max_queue", "edges": {(waiter, holder): count}}
+    locks: dict[str, dict] = field(default_factory=dict)
+
+
+@dataclass
 class FluidResult:
     """Outcome of one replay."""
 
@@ -122,6 +144,8 @@ class FluidResult:
         default_factory=list
     )
     makespan_ns: float = 0.0
+    #: filled when the replay ran with record_causal=True
+    causal: CausalRecord | None = None
 
     def __post_init__(self):
         if self.finish_ns:
@@ -145,7 +169,11 @@ class FluidSimulator:
         self.resources = resources
 
     def run(
-        self, traces: list[RankTrace], *, record_timeline: bool = False
+        self,
+        traces: list[RankTrace],
+        *,
+        record_timeline: bool = False,
+        record_causal: bool = False,
     ) -> FluidResult:
         ranks = {t.rank for t in traces}
         if len(ranks) != len(traces):
@@ -169,19 +197,40 @@ class FluidSimulator:
         accounting: dict[int, tuple[str, str]] = {}
         timeline: list[tuple[int, str, str, float, float]] = []
         busy_since: dict[int, float] = {}
+        causal = CausalRecord() if record_causal else None
+        causal_since: dict[int, tuple[float, int]] = {}
+        lock_wait_since: dict[int, float] = {}
+        lock_grant_at: dict[tuple[str, int], float] = {}
+
+        def lock_stats(lock_id: str) -> dict:
+            st = causal.locks.get(lock_id)
+            if st is None:
+                st = causal.locks[lock_id] = {
+                    "acquires": 0, "contended": 0, "holds": 0,
+                    "hold_ns": 0.0, "wait_ns": 0.0, "max_queue": 0,
+                    "edges": {},
+                }
+            return st
 
         def begin(rank: int) -> None:
             if record_timeline:
                 busy_since[rank] = now
+            if record_causal:
+                causal_since[rank] = (now, pos[rank])
 
-        def finish_interval(rank: int) -> None:
-            if not record_timeline:
-                return
-            start = busy_since.pop(rank, None)
-            if start is None or now - start <= _EPS:
-                return
-            phase, bucket = accounting.get(rank, ("", "idle"))
-            timeline.append((rank, phase, bucket, start, now))
+        def finish_interval(rank: int, waker: int | None = None) -> None:
+            if record_timeline:
+                start = busy_since.pop(rank, None)
+                if start is not None and now - start > _EPS:
+                    phase, bucket = accounting.get(rank, ("", "idle"))
+                    timeline.append((rank, phase, bucket, start, now))
+            if record_causal:
+                entry = causal_since.pop(rank, None)
+                if entry is not None and now - entry[0] > _EPS:
+                    phase, bucket = accounting.get(rank, ("", "idle"))
+                    causal.segments.append(
+                        (rank, entry[1], phase, bucket, entry[0], now, waker)
+                    )
 
         def charge(rank: int, ns: float) -> None:
             if ns <= 0:
@@ -215,11 +264,25 @@ class FluidSimulator:
                     return
                 if isinstance(op, Acquire):
                     st = locks.setdefault(op.lock_id, _LockState())
+                    if record_causal:
+                        lock_stats(op.lock_id)["acquires"] += 1
                     if st.grantable(op.shared):
                         st.grant(rank, op.shared)
+                        if record_causal:
+                            lock_grant_at[(op.lock_id, rank)] = now
                         pos[rank] += 1
                         continue
+                    if record_causal:
+                        ls = lock_stats(op.lock_id)
+                        ls["contended"] += 1
+                        waited_on = st.holders or {st.queue[0][0]}
+                        for h in waited_on:
+                            edge = (rank, h)
+                            ls["edges"][edge] = ls["edges"].get(edge, 0) + 1
+                        lock_wait_since[rank] = now
                     st.queue.append((rank, op.shared))
+                    if record_causal:
+                        ls["max_queue"] = max(ls["max_queue"], len(st.queue))
                     lock_blocked[rank] = op.lock_id
                     accounting[rank] = (op.phase, "lock")
                     begin(rank)
@@ -232,8 +295,18 @@ class FluidSimulator:
                             f"does not hold"
                         )
                     pos[rank] += 1
+                    if record_causal:
+                        ls = lock_stats(op.lock_id)
+                        ls["holds"] += 1
+                        ls["hold_ns"] += now - lock_grant_at.pop(
+                            (op.lock_id, rank), now
+                        )
                     for r in st.release(rank):
-                        finish_interval(r)
+                        finish_interval(r, waker=rank)
+                        if record_causal:
+                            ls = lock_stats(op.lock_id)
+                            ls["wait_ns"] += now - lock_wait_since.pop(r, now)
+                            lock_grant_at[(op.lock_id, r)] = now
                         del lock_blocked[r]
                         pos[r] += 1
                         rank_time[r] = now
@@ -255,7 +328,7 @@ class FluidSimulator:
                         release = [r for r in st.participants if blocked.get(r) == key]
                         del barriers[key]
                         for r in release:
-                            finish_interval(r)
+                            finish_interval(r, waker=rank)
                             del blocked[r]
                             pos[r] += 1
                             rank_time[r] = now
@@ -338,6 +411,14 @@ class FluidSimulator:
                 rank_time[rank] = now
                 idle.append(rank)
 
+        if record_causal:
+            # a lock still held at trace end closes its hold interval here
+            for (lock_id, rank), t0 in lock_grant_at.items():
+                ls = lock_stats(lock_id)
+                ls["holds"] += 1
+                ls["hold_ns"] += now - t0
+            causal.segments.sort(key=lambda s: (s[0], s[4], s[1]))
         return FluidResult(
-            finish_ns=finish, breakdown=breakdown, timeline=timeline
+            finish_ns=finish, breakdown=breakdown, timeline=timeline,
+            causal=causal,
         )

@@ -30,6 +30,28 @@ from .metrics import (
     Histogram,
     MetricRegistry,
 )
+from .critpath import (
+    CRITPATH_SCHEMA,
+    CriticalPath,
+    capture_analysis,
+    critical_path_replay,
+    critical_path_spans,
+    critical_path_spmd,
+    critpath_culprits,
+    critpath_doc,
+    critpath_dumps,
+    critpath_summary,
+    narrate_culprits,
+    offer_capture,
+    validate_critpath,
+    whatif_report,
+)
+from .flame import (
+    folded_stacks,
+    render_folded,
+    validate_folded,
+    write_folded,
+)
 from .flight import (
     FLIGHT_SCHEMA,
     FlightRecord,
@@ -65,6 +87,12 @@ __all__ = [
     "Span", "Tracer", "span", "tracer_for", "spans_of",
     "as_span_list", "exclusive_ns_by_family", "family_of",
     "trace_mode", "TRACE_ENV", "TRACE_MODES", "SAMPLE_EVERY",
+    "CRITPATH_SCHEMA", "CriticalPath", "critical_path_replay",
+    "critical_path_spans", "critical_path_spmd", "critpath_doc",
+    "critpath_dumps", "critpath_summary", "critpath_culprits",
+    "narrate_culprits", "validate_critpath", "whatif_report",
+    "capture_analysis", "offer_capture",
+    "folded_stacks", "render_folded", "validate_folded", "write_folded",
     "FLIGHT_SCHEMA", "FlightRecord", "FlightRecorder",
     "flight_chrome_trace", "flight_darshan", "validate_flight_dump",
     "prometheus_text", "sanitize_metric_name", "validate_prometheus_text",

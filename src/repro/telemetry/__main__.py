@@ -103,12 +103,21 @@ def cmd_report(args) -> int:
     title = args.job or (os.path.basename(args.trace) if args.trace
                          else "I/O profile")
     if args.json:
-        # machine-readable mirror of the rendered report, so CI jobs
-        # consume structured data instead of scraping the table
+        # machine-readable mirror of the rendered report, in the same
+        # repro-critpath/1 shape ``perf doctor --json`` emits (the report
+        # keys ride along as extras, which the schema allows) — one
+        # validator covers both artifacts
+        from .critpath import (
+            CRITPATH_SCHEMA,
+            critical_path_spans,
+            critpath_doc,
+            critpath_dumps,
+            validate_critpath,
+        )
         from .export import darshan_records, registry_percentiles
         from .spans import exclusive_ns_by_family
 
-        doc = {
+        extras = {
             "title": title,
             "span_count": len(spans) if spans else 0,
             "exclusive_ns_by_family":
@@ -117,7 +126,19 @@ def cmd_report(args) -> int:
             "latency": registry_percentiles(metrics) if metrics else {},
             "metrics": metrics.as_dict() if metrics else {},
         }
-        json.dump(doc, sys.stdout, indent=2, sort_keys=True, default=float)
+        if spans:
+            doc = critpath_doc(critical_path_spans(spans), **extras)
+        else:
+            # metrics-only report: no span forest to walk, so the
+            # critical-path section is legitimately empty
+            doc = {"schema": CRITPATH_SCHEMA, "source": "spans",
+                   "total_ns": 0.0, "families": {}, **extras}
+        errors = validate_critpath(doc)
+        if errors:
+            for e in errors[:5]:
+                print(f"error: {e}", file=sys.stderr)
+            return 1
+        sys.stdout.write(critpath_dumps(doc))
         print()
         return 0
     print(render_report(metrics, spans, title=title))
